@@ -1,0 +1,143 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers ----*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/per-figure benchmark binaries: repeated
+/// execution under the three settings of section 6.4 (Go, GoFree,
+/// Go-GCOff), ratio/p-value formatting, and run-count control via the
+/// GOFREE_BENCH_RUNS environment variable (the paper uses 99 runs; the
+/// default here is smaller so the full harness finishes quickly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_BENCH_BENCHUTIL_H
+#define GOFREE_BENCH_BENCHUTIL_H
+
+#include "compiler/Pipeline.h"
+#include "support/Stats.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace gofree {
+namespace bench {
+
+/// Number of repetitions per setting (GOFREE_BENCH_RUNS, default 7).
+inline int runCount() {
+  if (const char *Env = std::getenv("GOFREE_BENCH_RUNS")) {
+    int N = std::atoi(Env);
+    if (N > 0)
+      return N;
+  }
+  return 7;
+}
+
+/// Scales workload sizes (GOFREE_BENCH_SCALE percent, default 100).
+inline int64_t scaledArg(int64_t Arg) {
+  static int Scale = [] {
+    if (const char *Env = std::getenv("GOFREE_BENCH_SCALE")) {
+      int S = std::atoi(Env);
+      if (S > 0)
+        return S;
+    }
+    return 100;
+  }();
+  int64_t V = Arg * Scale / 100;
+  return V > 0 ? V : 1;
+}
+
+/// Metrics of one execution, plus the sample across repetitions.
+struct SettingSample {
+  std::vector<double> TimeSec;
+  std::vector<double> GcTimeSec; ///< Directly measured mark+sweep time.
+  std::vector<double> GcCycles;
+  std::vector<double> MaxHeap;
+  std::vector<double> FreeRatio;
+  rt::StatsSnapshot LastStats;
+  uint64_t Checksum = 0;
+};
+
+/// The paper's three settings (section 6.4).
+enum class Setting { Go, GoFree, GoGcOff };
+
+inline const char *settingName(Setting S) {
+  switch (S) {
+  case Setting::Go: return "Go";
+  case Setting::GoFree: return "GoFree";
+  case Setting::GoGcOff: return "Go-GCOff";
+  }
+  return "?";
+}
+
+/// Compiles and runs \p W under \p S, \p Runs times.
+inline SettingSample
+runSetting(const workloads::Workload &W, Setting S, int Runs,
+           const std::vector<int64_t> &ArgsOverride = {}) {
+  compiler::CompileOptions CO;
+  CO.Mode = S == Setting::GoFree ? compiler::CompileMode::GoFree
+                                 : compiler::CompileMode::Go;
+  compiler::Compilation C = compiler::compile(W.Source, CO);
+  if (!C.ok()) {
+    std::fprintf(stderr, "compile failed for %s:\n%s", W.Name.c_str(),
+                 C.Errors.c_str());
+    std::exit(1);
+  }
+  std::vector<int64_t> Args = ArgsOverride.empty() ? W.Args : ArgsOverride;
+  for (int64_t &A : Args)
+    A = scaledArg(A);
+  SettingSample Out;
+  for (int R = 0; R < Runs; ++R) {
+    compiler::ExecOptions EO;
+    if (S == Setting::GoGcOff)
+      EO.Heap.Gogc = -1;
+    compiler::ExecOutcome O = compiler::execute(C, W.Entry, Args, EO);
+    if (!O.Run.ok()) {
+      std::fprintf(stderr, "run failed for %s: %s\n", W.Name.c_str(),
+                   O.Run.Error.c_str());
+      std::exit(1);
+    }
+    Out.TimeSec.push_back(O.WallSeconds);
+    Out.GcTimeSec.push_back((double)O.Stats.GcNanos * 1e-9);
+    Out.GcCycles.push_back((double)O.Stats.GcCycles);
+    Out.MaxHeap.push_back((double)O.Stats.PeakCommitted);
+    Out.FreeRatio.push_back(O.Stats.freeRatio());
+    Out.LastStats = O.Stats;
+    Out.Checksum = O.Run.Checksum;
+  }
+  return Out;
+}
+
+/// mean(A)/mean(B) as a percentage, like the paper's "ratio" columns.
+inline double ratioPct(const std::vector<double> &A,
+                       const std::vector<double> &B) {
+  Summary Sa = summarize(A), Sb = summarize(B);
+  if (Sb.Mean == 0.0)
+    return Sa.Mean == 0.0 ? 100.0 : 999.0;
+  return 100.0 * Sa.Mean / Sb.Mean;
+}
+
+/// Relative stdev of A (in percent of its mean).
+inline double stdevPct(const std::vector<double> &A) {
+  Summary S = summarize(A);
+  return S.Mean == 0.0 ? 0.0 : 100.0 * S.Stdev / S.Mean;
+}
+
+inline std::string fmtP(double P) {
+  char Buf[32];
+  if (P < 0.001)
+    return "<0.001";
+  std::snprintf(Buf, sizeof(Buf), "%.3f", P);
+  return Buf;
+}
+
+} // namespace bench
+} // namespace gofree
+
+#endif // GOFREE_BENCH_BENCHUTIL_H

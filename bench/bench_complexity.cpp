@@ -1,0 +1,146 @@
+//===- bench/bench_complexity.cpp - O(N^2) complexity ablation ------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// The paper's central complexity claim (sections 1, 3.2, 4.2): GoFree's
+// analysis — including the completeness back-propagation — stays O(N^2),
+// while the connection graph that would compute the same completeness
+// directly is O(N^3). Two adversarial program families exhibit the bounds:
+//
+//   chain(K):  s0 := make(...); s1 := s0; ...; sK := s(K-1)
+//              every location is held by every later one -> GoFree's
+//              walkall performs Theta(K^2) relaxations.
+//
+//   storm(K):  K pointers fanned into one hub, then K indirect stores
+//              through the hub. Go's graph collapses each store to one
+//              heapLoc edge (stays quadratic); Andersen's store rule makes
+//              the connection graph do Theta(K^3) set work.
+//
+//===----------------------------------------------------------------------===//
+
+#include "escape/Analysis.h"
+#include "escape/Baselines.h"
+#include "minigo/Frontend.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace gofree;
+using namespace gofree::escape;
+
+namespace {
+
+std::string chainProgram(int K) {
+  std::string Out = "func f(n int) {\n  s0 := make([]int, n)\n";
+  for (int I = 1; I <= K; ++I)
+    Out += "  s" + std::to_string(I) + " := s" + std::to_string(I - 1) + "\n";
+  Out += "  sink(s" + std::to_string(K) + "[0])\n}\n";
+  return Out;
+}
+
+std::string stormProgram(int K) {
+  std::string Out = "func f(n int) {\n";
+  for (int I = 0; I < K; ++I)
+    Out += "  x" + std::to_string(I) + " := " + std::to_string(I) + "\n";
+  for (int I = 0; I < K; ++I)
+    Out += "  p" + std::to_string(I) + " := &x" + std::to_string(I) + "\n";
+  Out += "  hub := &p0\n";
+  for (int I = 1; I < K; ++I)
+    Out += "  hub = &p" + std::to_string(I) + "\n";
+  for (int I = 0; I < K; ++I)
+    Out += "  *hub = p" + std::to_string(I) + "\n";
+  Out += "  sink(**hub)\n}\n";
+  return Out;
+}
+
+struct Measure {
+  double Sec;
+  uint64_t Work;
+};
+
+Measure measureGoFree(const std::string &Src) {
+  DiagSink Diags;
+  auto Prog = minigo::parseAndCheck(Src, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.dump().c_str());
+    std::exit(1);
+  }
+  auto T0 = std::chrono::steady_clock::now();
+  ProgramAnalysis A = analyzeProgram(*Prog);
+  auto T1 = std::chrono::steady_clock::now();
+  return {std::chrono::duration<double>(T1 - T0).count(),
+          A.Stats.Relaxations};
+}
+
+Measure measureConn(const std::string &Src) {
+  DiagSink Diags;
+  auto Prog = minigo::parseAndCheck(Src, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.dump().c_str());
+    std::exit(1);
+  }
+  auto T0 = std::chrono::steady_clock::now();
+  ConnGraphAnalysis CG(Prog->Funcs[0]);
+  auto T1 = std::chrono::steady_clock::now();
+  return {std::chrono::duration<double>(T1 - T0).count(),
+          CG.constraintApplications()};
+}
+
+double exponent(double Y2, double Y1) {
+  return (Y1 <= 0 || Y2 <= 0) ? 0 : std::log2(Y2 / Y1);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Complexity ablation: GoFree O(N^2) vs connection graph "
+              "O(N^3)\n\n");
+
+  std::printf("chain(K): aliasing chain — GoFree's propagation is the "
+              "bottleneck\n");
+  std::printf("%6s | %12s %14s\n", "K", "GoFree sec", "relaxations");
+  std::vector<int> ChainKs = {100, 200, 400, 800};
+  std::vector<Measure> ChainMs;
+  for (int K : ChainKs) {
+    Measure M = measureGoFree(chainProgram(K));
+    ChainMs.push_back(M);
+    std::printf("%6d | %12.4f %14llu\n", K, M.Sec,
+                (unsigned long long)M.Work);
+  }
+  size_t N = ChainMs.size();
+  std::printf("per-doubling growth: relaxations x2^%.2f (O(N^2) predicts "
+              "x2^2)\n\n",
+              exponent((double)ChainMs[N - 1].Work,
+                       (double)ChainMs[N - 2].Work));
+
+  std::printf("storm(K): indirect-store storm — the connection graph pays "
+              "the cubic bill\n");
+  std::printf("%6s | %12s %14s | %12s %14s\n", "K", "GoFree sec",
+              "relaxations", "Conn sec", "applications");
+  std::vector<int> StormKs = {50, 100, 200, 400};
+  std::vector<Measure> GoMs, ConnMs;
+  for (int K : StormKs) {
+    std::string Src = stormProgram(K);
+    Measure MG = measureGoFree(Src);
+    Measure MC = measureConn(Src);
+    GoMs.push_back(MG);
+    ConnMs.push_back(MC);
+    std::printf("%6d | %12.4f %14llu | %12.4f %14llu\n", K, MG.Sec,
+                (unsigned long long)MG.Work, MC.Sec,
+                (unsigned long long)MC.Work);
+  }
+  N = GoMs.size();
+  std::printf("per-doubling growth: GoFree x2^%.2f, Conn x2^%.2f "
+              "(bounds: 2 vs 3)\n",
+              exponent((double)GoMs[N - 1].Work, (double)GoMs[N - 2].Work),
+              exponent((double)ConnMs[N - 1].Work,
+                       (double)ConnMs[N - 2].Work));
+  std::printf("\ntakeaway: GoFree extracts completeness information from "
+              "the quadratic graph\ninstead of paying the cubic connection-"
+              "graph price (table 3's middle column).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- examples/json_pipeline.cpp - A GC-pressure case study --------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// Case study on the workload the paper's evaluation liked best: a JSON-ish
+// document pipeline (its gojson subject showed the largest wall-clock win,
+// 6%). The example sweeps the GOGC pacing knob and shows how explicit
+// freeing interacts with GC pressure: the tighter the pacing, the more GC
+// cycles GoFree saves.
+//
+// Usage:   ./build/examples/json_pipeline [ndocs]
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gofree;
+using namespace gofree::compiler;
+using namespace gofree::workloads;
+
+int main(int Argc, char **Argv) {
+  int64_t NDocs = Argc > 1 ? std::atoll(Argv[1]) : 800;
+  const Workload &W = subjectWorkload("gojson");
+
+  CompileOptions GoOpts;
+  GoOpts.Mode = CompileMode::Go;
+  Compilation Go = compile(W.Source, GoOpts);
+  Compilation Free = compile(W.Source, CompileOptions{});
+  if (!Go.ok() || !Free.ok()) {
+    std::fprintf(stderr, "compile error\n");
+    return 1;
+  }
+
+  std::printf("JSON pipeline, %lld documents, sweeping the GOGC pacing "
+              "knob\n\n", (long long)NDocs);
+  std::printf("%6s | %14s | %14s | %9s | %12s\n", "GOGC", "Go GCs/time",
+              "GoFree GCs/time", "GCs saved", "GoFree free%");
+  std::printf("-------+----------------+----------------+-----------+------"
+              "-------\n");
+
+  for (int Gogc : {25, 50, 100, 200, 400}) {
+    ExecOptions EO;
+    EO.Heap.Gogc = Gogc;
+    ExecOutcome OGo = execute(Go, W.Entry, {NDocs}, EO);
+    ExecOutcome OFree = execute(Free, W.Entry, {NDocs}, EO);
+    if (!OGo.Run.ok() || !OFree.Run.ok() ||
+        OGo.Run.Checksum != OFree.Run.Checksum) {
+      std::fprintf(stderr, "execution mismatch at GOGC=%d\n", Gogc);
+      return 1;
+    }
+    long long Saved =
+        (long long)OGo.Stats.GcCycles - (long long)OFree.Stats.GcCycles;
+    std::printf("%6d | %5llu / %.3fs | %5llu / %.3fs | %9lld | %11.0f%%\n",
+                Gogc, (unsigned long long)OGo.Stats.GcCycles,
+                OGo.WallSeconds, (unsigned long long)OFree.Stats.GcCycles,
+                OFree.WallSeconds, Saved,
+                100.0 * OFree.Stats.freeRatio());
+  }
+
+  std::printf("\nthe shape to see: explicit freeing slows heap growth, so "
+              "every pacing level\ntriggers fewer collections; the effect "
+              "is strongest when GOGC is tight.\n");
+  return 0;
+}

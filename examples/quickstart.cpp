@@ -1,0 +1,90 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// Quickstart: compile a small Go-like program twice — once like stock Go,
+// once with GoFree's compiler-inserted freeing — run both, and compare what
+// the runtime saw. This is the paper's whole pitch in one page: same
+// program, same results, less garbage collection.
+//
+// Build & run:   cmake --build build && ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+
+#include <cstdio>
+
+using namespace gofree::compiler;
+
+int main() {
+  // A MiniGo program: a loop that builds a short-lived buffer and a
+  // short-lived index per iteration. Stock Go leaves both to the garbage
+  // collector; GoFree's escape analysis proves they die with their scope
+  // and frees them explicitly.
+  const char *Source = R"go(
+func process(round int, size int) int {
+  buf := make([]int, size)           // freeable: dies with this call
+  index := make(map[int]int, 16)     // freeable: dies with this call
+  for i := 0; i < size; i = i + 1 {
+    buf[i] = round*31 + i
+    index[buf[i] % 97] = i
+  }
+  total := 0
+  for i := 0; i < size; i = i + 1 {
+    total = total + buf[i] + index[buf[i] % 97]
+  }
+  return total
+}
+
+func main(rounds int) {
+  acc := 0
+  for r := 0; r < rounds; r = r + 1 {
+    acc = acc + process(r, r % 200 + 100)
+  }
+  sink(acc % 1000000007)
+}
+)go";
+
+  std::printf("== GoFree quickstart ==\n\n");
+
+  for (CompileMode Mode : {CompileMode::Go, CompileMode::GoFree}) {
+    CompileOptions CO;
+    CO.Mode = Mode;
+    Compilation C = compile(Source, CO);
+    if (!C.ok()) {
+      std::fprintf(stderr, "compile error:\n%s", C.Errors.c_str());
+      return 1;
+    }
+    ExecOutcome O = execute(C, "main", {20000});
+    if (!O.Run.ok()) {
+      std::fprintf(stderr, "runtime error: %s\n", O.Run.Error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", Mode == CompileMode::Go ? "[stock Go]" : "[GoFree]");
+    std::printf("  checksum        %016llx  (must match across modes)\n",
+                (unsigned long long)O.Run.Checksum);
+    std::printf("  wall time       %.3f s\n", O.WallSeconds);
+    std::printf("  heap allocated  %.1f MB\n",
+                O.Stats.AllocedBytes / 1048576.0);
+    std::printf("  freed by tcfree %.1f MB  (free ratio %.0f%%)\n",
+                O.Stats.tcfreeFreedBytes() / 1048576.0,
+                100.0 * O.Stats.freeRatio());
+    std::printf("  GC cycles       %llu\n",
+                (unsigned long long)O.Stats.GcCycles);
+    std::printf("  peak heap       %.1f MB\n",
+                O.Stats.PeakCommitted / 1048576.0);
+    if (Mode == CompileMode::GoFree)
+      std::printf("  tcfree calls    %llu inserted by the compiler "
+                  "(%u slice frees, %u map frees in the source)\n",
+                  (unsigned long long)O.Stats.TcfreeCalls,
+                  C.Instr.SliceFrees, C.Instr.MapFrees);
+    std::printf("\n");
+  }
+
+  std::printf("The checksums match: compiler-inserted freeing never changes "
+              "program behavior.\nIt only tells the allocator earlier what "
+              "the GC would have discovered later.\n");
+  return 0;
+}

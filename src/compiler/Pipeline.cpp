@@ -1,0 +1,58 @@
+//===- compiler/Pipeline.cpp - Source-to-execution pipeline ---------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+
+#include "minigo/Frontend.h"
+
+#include <chrono>
+
+using namespace gofree;
+using namespace gofree::compiler;
+
+Compilation gofree::compiler::compile(const std::string &Source,
+                                      CompileOptions Opts) {
+  Compilation C;
+  C.Mode = Opts.Mode;
+  DiagSink Diags;
+  C.Prog = minigo::parseAndCheck(Source, Diags);
+  if (!C.Prog) {
+    C.Errors = Diags.dump();
+    return C;
+  }
+  escape::AnalysisOptions AO;
+  AO.Build = Opts.Build;
+  AO.Solve = Opts.Solve;
+  AO.Targets = Opts.Mode == CompileMode::GoFree ? Opts.Targets
+                                                : escape::FreeTargets::None;
+  C.Analysis = escape::analyzeProgram(*C.Prog, AO);
+  if (Opts.Mode == CompileMode::GoFree)
+    C.Instr = instrument::insertFrees(*C.Prog, C.Analysis);
+  return C;
+}
+
+ExecOutcome gofree::compiler::execute(const Compilation &C,
+                                      const std::string &Entry,
+                                      const std::vector<int64_t> &Args,
+                                      ExecOptions Opts) {
+  assert(C.ok() && "executing a failed compilation");
+  ExecOutcome O;
+  // The runtime-only optimizations (GrowMapAndFreeOld, and the slice-grow
+  // ablation) belong to GoFree's runtime; stock Go has no tcfree at all.
+  if (C.Mode == CompileMode::Go) {
+    Opts.Interp.Map.GrowFreeOld = false;
+    Opts.Interp.Slice.FreeOldOnGrow = false;
+  }
+  rt::Heap Heap(Opts.Heap);
+  interp::Interp I(*C.Prog, C.Analysis, Heap, Opts.Interp);
+  auto Start = std::chrono::steady_clock::now();
+  O.Run = I.run(Entry, Args);
+  auto End = std::chrono::steady_clock::now();
+  O.WallSeconds = std::chrono::duration<double>(End - Start).count();
+  O.Stats = Heap.stats().snap();
+  return O;
+}

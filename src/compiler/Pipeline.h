@@ -1,0 +1,90 @@
+//===- compiler/Pipeline.h - Source-to-execution pipeline ------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the library (fig. 2 of the paper): compile a
+/// MiniGo source either like stock Go (escape analysis for stack allocation
+/// only) or like GoFree (same stack decisions plus tcfree instrumentation),
+/// then execute it on the runtime and collect the metrics of table 5.
+///
+/// Typical use:
+/// \code
+///   Compilation C = compile(Source, {CompileMode::GoFree});
+///   ExecOutcome O = execute(C, "main", {1000});
+///   // O.Run.Checksum, O.Stats.freeRatio(), O.Stats.GcCycles, ...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_COMPILER_PIPELINE_H
+#define GOFREE_COMPILER_PIPELINE_H
+
+#include "escape/Analysis.h"
+#include "instrument/FreeInserter.h"
+#include "interp/Interp.h"
+#include "minigo/Ast.h"
+#include "runtime/Heap.h"
+
+#include <memory>
+#include <string>
+
+namespace gofree {
+namespace compiler {
+
+/// Which compiler to emulate.
+enum class CompileMode : uint8_t {
+  Go,     ///< Stock Go: stack allocation, no explicit deallocation.
+  GoFree, ///< GoFree: Go's decisions plus tcfree instrumentation.
+};
+
+/// Compilation options.
+struct CompileOptions {
+  CompileMode Mode = CompileMode::GoFree;
+  /// Free targets when Mode is GoFree (section 6.5: slices and maps).
+  escape::FreeTargets Targets = escape::FreeTargets::SlicesAndMaps;
+  /// Solver/build knobs, for ablations.
+  escape::BuildOptions Build;
+  escape::SolverOptions Solve;
+};
+
+/// A compiled program ready to execute.
+struct Compilation {
+  CompileMode Mode = CompileMode::GoFree;
+  std::unique_ptr<minigo::Program> Prog;
+  escape::ProgramAnalysis Analysis;
+  instrument::InstrumentStats Instr;
+  std::string Errors;
+
+  bool ok() const { return Prog != nullptr; }
+};
+
+/// Compiles \p Source. On frontend errors, ok() is false and Errors holds
+/// the diagnostics.
+Compilation compile(const std::string &Source, CompileOptions Opts = {});
+
+/// Execution options: runtime configuration plus interpreter knobs.
+struct ExecOptions {
+  rt::HeapOptions Heap;
+  interp::InterpOptions Interp;
+};
+
+/// Result of one execution: program observables plus runtime metrics.
+struct ExecOutcome {
+  interp::RunResult Run;
+  rt::StatsSnapshot Stats;
+  double WallSeconds = 0.0;
+};
+
+/// Runs \p Entry on a fresh heap.
+ExecOutcome execute(const Compilation &C, const std::string &Entry,
+                    const std::vector<int64_t> &Args = {},
+                    ExecOptions Opts = {});
+
+} // namespace compiler
+} // namespace gofree
+
+#endif // GOFREE_COMPILER_PIPELINE_H

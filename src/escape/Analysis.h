@@ -1,0 +1,75 @@
+//===- escape/Analysis.h - Whole-program GoFree analysis -------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program driver for the static analysis of section 4: orders
+/// functions bottom-up over the call graph (callees before callers, default
+/// tags inside recursion cycles, like Go), builds and solves each function's
+/// escape graph, extracts extended parameter tags, and distills the results
+/// the compiler pipeline needs: per-allocation-site stack/heap decisions,
+/// "moved to heap" variables, and the set of ToFree variables eligible for
+/// tcfree instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_ESCAPE_ANALYSIS_H
+#define GOFREE_ESCAPE_ANALYSIS_H
+
+#include "escape/GraphBuilder.h"
+#include "escape/Solver.h"
+#include "minigo/Ast.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gofree {
+namespace escape {
+
+/// Which variable types the instrumentation may free. The paper's GoFree
+/// frees only slices and maps (section 6.5); All additionally frees plain
+/// pointers, an extension evaluated by an ablation bench.
+enum class FreeTargets : uint8_t { None, SlicesAndMaps, All };
+
+/// Analysis-wide options.
+struct AnalysisOptions {
+  BuildOptions Build;
+  SolverOptions Solve;
+  FreeTargets Targets = FreeTargets::SlicesAndMaps;
+};
+
+/// Results of analyzing a whole program.
+struct ProgramAnalysis {
+  /// Indexed by allocation-site id: may the site allocate on the stack?
+  std::vector<bool> SiteOnStack;
+  /// Variables whose own storage escapes and must be heap-boxed.
+  std::unordered_set<const minigo::VarDecl *> MovedToHeap;
+  /// Variables whose ToFree property held and whose type matches the free
+  /// targets: tcfree is inserted at the end of their declaration scope.
+  std::unordered_set<const minigo::VarDecl *> ToFreeVars;
+  /// Extended parameter tags, by function.
+  TagMap Tags;
+  /// Solved per-function graphs, for inspection, reports and tests.
+  std::unordered_map<const minigo::FuncDecl *, BuildResult> FuncGraphs;
+  /// Aggregate solver work, for the complexity benchmark.
+  SolverStats Stats;
+};
+
+/// Runs the analysis over every function of \p Prog. Also sets
+/// VarDecl::MovedToHeap on the AST (both Go and GoFree make identical
+/// stack-allocation decisions; they differ only in tcfree insertion).
+ProgramAnalysis analyzeProgram(const minigo::Program &Prog,
+                               const AnalysisOptions &Opts = {});
+
+/// Bottom-up SCC order of the call graph: callees first, cycles grouped.
+std::vector<std::vector<const minigo::FuncDecl *>>
+callGraphSccs(const minigo::Program &Prog);
+
+} // namespace escape
+} // namespace gofree
+
+#endif // GOFREE_ESCAPE_ANALYSIS_H

@@ -1,0 +1,106 @@
+//===- escape/Baselines.h - Baseline escape analyses -----------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two comparison points of table 3 and section 2.1.2:
+///
+///   - Fast Escape Analysis (Gay & Steensgaard): O(N), propagates only a
+///     boolean escape property among references and keeps no nontrivial
+///     points-to information. It cannot support explicit deallocation.
+///   - Connection-graph analysis (Andersen-style): O(N^3), tracks indirect
+///     stores and computes complete points-to sets, at a compile-time cost
+///     Go is unwilling to pay.
+///
+/// GoFree's contribution sits between them: Go's O(N^2) graph plus the
+/// completeness analysis that identifies which of its points-to sets happen
+/// to be complete.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_ESCAPE_BASELINES_H
+#define GOFREE_ESCAPE_BASELINES_H
+
+#include "minigo/Ast.h"
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gofree {
+namespace escape {
+
+//===----------------------------------------------------------------------===//
+// Fast Escape Analysis
+//===----------------------------------------------------------------------===//
+
+/// Result of the O(N) fast analysis over one program.
+struct FastEscapeResult {
+  /// Variables whose reference escapes (assigned onward, stored, passed,
+  /// returned, or address-taken).
+  std::set<const minigo::VarDecl *> Escaping;
+  /// Per allocation-site id: stack-eligible under the fast rule (constant
+  /// size and the immediately-bound reference does not escape).
+  std::vector<bool> SiteOnStack;
+  /// Direct bindings: var -> the single allocation it was bound to at its
+  /// declaration, when that is the only thing it can point to *that the
+  /// analysis knows of*. Any indirection yields no information.
+  std::unordered_map<const minigo::VarDecl *, const minigo::Expr *> Binding;
+
+  /// The fast analysis's PointsTo: the direct binding or nothing. Always
+  /// incomplete in the presence of any dereference (table 3).
+  std::vector<std::string> pointsToNames(const minigo::VarDecl *V) const;
+};
+
+FastEscapeResult fastEscape(const minigo::Program &Prog);
+
+//===----------------------------------------------------------------------===//
+// Connection-graph (Andersen-style) analysis
+//===----------------------------------------------------------------------===//
+
+/// Inclusion-based points-to analysis of one function, tracking indirect
+/// stores precisely. Worst case O(N^3).
+class ConnGraphAnalysis {
+public:
+  explicit ConnGraphAnalysis(const minigo::FuncDecl *Fn);
+
+  /// Complete points-to set of a variable, as location names ("c", "d",
+  /// "make@3:8", "heap").
+  std::vector<std::string> pointsToNames(const minigo::VarDecl *V) const;
+
+  /// Work performed, for the complexity comparison bench.
+  uint64_t constraintApplications() const { return Applications; }
+  size_t nodeCount() const { return Names.size(); }
+
+private:
+  uint32_t nodeOf(const minigo::VarDecl *V);
+  uint32_t freshNode(std::string Name);
+  void addAddrOf(uint32_t Dst, uint32_t Obj);
+  void addCopy(uint32_t Dst, uint32_t Src);
+  void addLoad(uint32_t Dst, uint32_t Src);
+  void addStore(uint32_t Dst, uint32_t Src);
+  /// Normalizes an (expr base, derefs) pair to a node holding the value.
+  uint32_t materialize(uint32_t Base, int Derefs);
+  void visitStmt(const minigo::Stmt *S);
+  uint32_t evalExpr(const minigo::Expr *E, int *DerefsOut);
+  void assign(const minigo::Expr *Lhs, uint32_t SrcNode, int SrcDerefs);
+  void solve();
+
+  std::vector<std::string> Names;
+  std::unordered_map<const minigo::VarDecl *, uint32_t> VarNode;
+  std::vector<std::set<uint32_t>> Pts;
+  std::vector<std::set<uint32_t>> CopyEdges;             // Dst lists per Src.
+  std::vector<std::vector<uint32_t>> LoadsFrom;          // p = *q: per q.
+  std::vector<std::vector<uint32_t>> StoresTo;           // *p = q: per p.
+  uint32_t HeapNode = 0;
+  uint64_t Applications = 0;
+};
+
+} // namespace escape
+} // namespace gofree
+
+#endif // GOFREE_ESCAPE_BASELINES_H

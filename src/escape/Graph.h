@@ -1,0 +1,171 @@
+//===- escape/Graph.h - Escape graph (paper definition 4.1) ----*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The escape graph of the paper (definitions 4.1-4.5): a directed weighted
+/// graph whose vertices ("locations") stand for storage created by AST
+/// nodes, plus dummy locations (heapLoc, per-function return values, and the
+/// content-tag / parameter-copy locations of the inter-procedural analysis of
+/// section 4.4). Edge weights are dereference counts ("Derefs", table 2).
+///
+/// Each location also carries the escape properties of table 1, which the
+/// Solver computes: LoopDepth, HeapAlloc, Exposes, Incomplete, DeclDepth,
+/// OutermostRef, Outlived, PointsToHeap, ToFree. Exposes and Incomplete are
+/// split by *origin* so the inter-procedural content tags can keep only the
+/// part that "could only come from indirect stores within the callee"
+/// (section 4.4):
+///   - Store origin: indirect stores and the heapLoc wildcard.
+///   - Ret origin:   exposure through the function's return values.
+///   - Param origin: the conservative Incomplete(param) seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_ESCAPE_GRAPH_H
+#define GOFREE_ESCAPE_GRAPH_H
+
+#include "minigo/Ast.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace gofree {
+namespace escape {
+
+/// DeclDepth/LoopDepth value standing for "+infinity" (section 4.4: tag
+/// locations must never look like they belong to an outer scope).
+inline constexpr int BigDepth = 1 << 20;
+
+/// What a location stands for.
+enum class LocKind : uint8_t {
+  HeapLoc,    ///< The global dummy heap location.
+  Var,        ///< A declared variable (local, parameter, or result var).
+  Alloc,      ///< An allocation site: make/new/&T{}/append-content.
+  Ret,        ///< A per-function return-value dummy.
+  ParamCopy,  ///< Instantiated callee parameter at a call site.
+  RetCopy,    ///< Instantiated callee return value at a call site.
+  ContentTag, ///< Dummy summarizing a return value's points-to set.
+};
+
+/// One vertex of the escape graph with its solved properties.
+struct Location {
+  uint32_t Id = 0;
+  LocKind Kind = LocKind::Var;
+  std::string Name; ///< For reports and tests.
+
+  /// AST backing, when applicable.
+  const minigo::VarDecl *Var = nullptr;
+  const minigo::Expr *AllocExpr = nullptr;
+  /// Allocation-site id (minigo::InvalidAllocId if not a site).
+  uint32_t AllocId = minigo::InvalidAllocId;
+
+  // Static attributes (set by the builder).
+  int DeclDepth = 0; ///< Definition 4.13; -1 for heapLoc/return.
+  int LoopDepth = 0; ///< Definition 4.3; -1 for heapLoc/return.
+  /// False for scalar-only data: Exposes/Incomplete need not be tracked
+  /// (section 4.2), though tracking them anyway would only be conservative.
+  bool HasPointers = true;
+
+  // Solved properties (table 1). Seeds are set by the builder; the Solver
+  // runs the constraints to fixpoint.
+  bool HeapAlloc = false;
+  bool ExposesStore = false;
+  bool ExposesRet = false;
+  bool IncompleteParam = false;
+  bool IncompleteStore = false;
+  bool IncompleteRet = false;
+  int OutermostRef = 0; ///< Definition 4.14; initialized to DeclDepth.
+  bool Outlived = false;
+  bool PointsToHeap = false;
+  bool ToFree = false;
+
+  bool exposes() const { return ExposesStore || ExposesRet; }
+  bool incomplete() const {
+    return IncompleteParam || IncompleteStore || IncompleteRet;
+  }
+};
+
+/// A directed weighted edge Src -> Dst meaning "data flows from Src to Dst
+/// with Derefs dereferences" (table 2).
+struct Edge {
+  uint32_t Src;
+  int32_t Derefs;
+};
+
+/// The escape graph of one function (after tag instantiation it also holds
+/// the callee summaries spliced in at call sites).
+class EscapeGraph {
+public:
+  EscapeGraph() {
+    // Location 0 is always heapLoc (definition 4.2). Its value is a
+    // wildcard: it exposes everything it points to and its own value is
+    // untracked, so anything derived from it is incomplete.
+    Location &H = addLocation(LocKind::HeapLoc, "heapLoc");
+    H.DeclDepth = -1;
+    H.LoopDepth = -1;
+    H.OutermostRef = -1;
+    H.HeapAlloc = true;
+    H.ExposesStore = true;
+    H.IncompleteStore = true;
+  }
+
+  static constexpr uint32_t HeapLocId = 0;
+
+  Location &addLocation(LocKind Kind, std::string Name) {
+    Location L;
+    L.Id = (uint32_t)Locs.size();
+    L.Kind = Kind;
+    L.Name = std::move(Name);
+    Locs.push_back(std::move(L));
+    InEdges.emplace_back();
+    return Locs.back();
+  }
+
+  /// Adds the edge Src --Derefs--> Dst. Self-edges are dropped (they can
+  /// arise from `s = append(s, v)` and carry no information).
+  void addEdge(uint32_t Src, uint32_t Dst, int Derefs) {
+    assert(Src < Locs.size() && Dst < Locs.size() && "edge endpoint missing");
+    if (Src == Dst)
+      return;
+    InEdges[Dst].push_back({Src, Derefs});
+    ++NumEdges;
+  }
+
+  size_t size() const { return Locs.size(); }
+  size_t edgeCount() const { return NumEdges; }
+
+  Location &loc(uint32_t Id) {
+    assert(Id < Locs.size() && "bad location id");
+    return Locs[Id];
+  }
+  const Location &loc(uint32_t Id) const {
+    assert(Id < Locs.size() && "bad location id");
+    return Locs[Id];
+  }
+
+  /// Edges arriving at \p Dst (walked in reverse to enumerate Holds(Dst)).
+  const std::vector<Edge> &inEdges(uint32_t Dst) const {
+    return InEdges[Dst];
+  }
+
+  std::vector<Location> &locations() { return Locs; }
+  const std::vector<Location> &locations() const { return Locs; }
+
+  /// Per-function return-value dummy locations, in result order.
+  std::vector<uint32_t> RetLocs;
+
+private:
+  std::vector<Location> Locs;
+  std::vector<std::vector<Edge>> InEdges;
+  size_t NumEdges = 0;
+};
+
+} // namespace escape
+} // namespace gofree
+
+#endif // GOFREE_ESCAPE_GRAPH_H

@@ -1,0 +1,102 @@
+//===- escape/GraphBuilder.h - AST -> escape graph -------------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the escape graph of one function from its typed AST, following
+/// table 2 of the paper:
+///
+///   p = *q   =>   q --1--> p
+///   p = q    =>   q --0--> p
+///   p = &q   =>   q --(-1)--> p
+///   *p = q   =>   q --0--> heapLoc   (indirect stores are not tracked)
+///
+/// plus the GoFree extensions: slice-append content locations (section
+/// 4.6.1) and extended parameter tags with content tags at call sites
+/// (section 4.4). The builder is flow-insensitive and field-insensitive,
+/// like Go's analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_ESCAPE_GRAPHBUILDER_H
+#define GOFREE_ESCAPE_GRAPHBUILDER_H
+
+#include "escape/Graph.h"
+#include "minigo/Ast.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace gofree {
+namespace escape {
+
+/// The extended parameter tag of a function (section 4.4): a compressed
+/// bipartite graph from parameters to return values, plus per-return content
+/// summaries and per-parameter exposure flags.
+struct FuncTag {
+  struct ParamToRet {
+    uint32_t ParamIdx;
+    uint32_t RetIdx;
+    int Derefs;
+  };
+  std::vector<ParamToRet> Edges;
+  /// MinDerefs(param_i, heapLoc), or NotHeld if the parameter does not
+  /// escape into the heap inside the callee.
+  std::vector<int> ParamToHeap;
+  /// The callee performs indirect stores reachable from this parameter, so
+  /// objects whose address is passed here become incomplete in the caller.
+  std::vector<bool> ParamExposes;
+  /// HeapAlloc(ContentTag(ret_j)) = PointsToHeap(ret_j): the return value
+  /// may carry out a newly heap-allocated object (the "factory" case).
+  std::vector<bool> RetPointsToHeap;
+  /// Incomplete(ret_j) restricted to store-origin: indirect stores inside
+  /// the callee made the returned pointer's points-to set untrackable.
+  std::vector<bool> RetIncompleteStore;
+};
+
+using TagMap = std::unordered_map<const minigo::FuncDecl *, FuncTag>;
+
+/// Options controlling graph construction.
+struct BuildOptions {
+  /// Use extended parameter tags at call sites with known callees. When
+  /// false every call uses the default "everything escapes" tag, modeling
+  /// Go without GoFree's IPA.
+  bool UseTags = true;
+  /// Model slice appends with a heap content location (section 4.6.1).
+  bool ModelAppendContent = true;
+  /// Largest constant-size allocation eligible for the stack, in bytes
+  /// (mirrors Go's 64 KiB implicit-allocation limit).
+  size_t MaxStackAllocBytes = 64 * 1024;
+  /// Largest constant map size hint eligible for stack allocation (Go can
+  /// keep an hmap plus one 8-entry bucket on the stack).
+  int64_t MaxStackMapHint = 8;
+};
+
+/// The escape graph of one function plus AST-to-location mappings.
+struct BuildResult {
+  EscapeGraph Graph;
+  std::unordered_map<const minigo::VarDecl *, uint32_t> VarLoc;
+  /// Allocation-site id -> location id.
+  std::unordered_map<uint32_t, uint32_t> AllocLoc;
+};
+
+/// Builds the escape graph of \p Fn. \p Tags supplies callee summaries for
+/// the inter-procedural analysis; callees without a tag (recursion, unknown)
+/// use the conservative default tag.
+BuildResult buildEscapeGraph(const minigo::FuncDecl *Fn, const TagMap &Tags,
+                             const BuildOptions &Opts = {});
+
+/// Extracts the extended parameter tag from a solved graph (section 4.4).
+FuncTag extractTag(const minigo::FuncDecl *Fn, const BuildResult &Build);
+
+/// PointsTo(l) (definition 4.9): all leaves m with MinDerefs(m, l) == -1.
+std::vector<uint32_t> pointsToSet(const EscapeGraph &G, uint32_t LocId);
+
+} // namespace escape
+} // namespace gofree
+
+#endif // GOFREE_ESCAPE_GRAPHBUILDER_H

@@ -1,0 +1,246 @@
+//===- instrument/FreeInserter.cpp - tcfree insertion ---------------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/FreeInserter.h"
+
+using namespace gofree;
+using namespace gofree::instrument;
+using namespace gofree::minigo;
+
+namespace {
+
+/// Can a tcfree be hoisted above a statement evaluating \p E? Safe exactly
+/// when E can only read scalar locals: an int/bool variable can never reach
+/// a freed object, while any pointer-bearing read, dereference, index,
+/// field access or call might alias it.
+bool readsOnlyScalars(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::BoolLit:
+  case ExprKind::NilLit:
+    return true;
+  case ExprKind::Ident: {
+    const auto *Id = cast<IdentExpr>(E);
+    return Id->Decl && Id->Decl->Ty->isScalar();
+  }
+  case ExprKind::Unary:
+    return readsOnlyScalars(cast<UnaryExpr>(E)->Sub);
+  case ExprKind::Binary:
+    return readsOnlyScalars(cast<BinaryExpr>(E)->Lhs) &&
+           readsOnlyScalars(cast<BinaryExpr>(E)->Rhs);
+  default:
+    // Derefs, fields, indexes, calls, allocations: all may read memory.
+    return false;
+  }
+}
+
+/// True if \p S transfers control and therefore must stay the last statement
+/// of its block.
+bool isTerminator(const Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::Return:
+  case StmtKind::Break:
+  case StmtKind::Continue:
+  case StmtKind::Panic:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True if inserting a tcfree *before* \p S is safe: the statement must not
+/// read any variable (its operands could alias the freed object).
+bool safeToHoistAbove(const Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::Break:
+  case StmtKind::Continue:
+    return true;
+  case StmtKind::Return: {
+    for (const Expr *V : cast<ReturnStmt>(S)->Values)
+      if (!readsOnlyScalars(V))
+        return false;
+    return true;
+  }
+  case StmtKind::Panic:
+    return readsOnlyScalars(cast<PanicStmt>(S)->Value);
+  default:
+    return false;
+  }
+}
+
+class Inserter {
+public:
+  Inserter(Program &Prog, const escape::ProgramAnalysis &Analysis)
+      : Prog(Prog), Analysis(Analysis) {}
+
+  InstrumentStats Stats;
+
+  void run() {
+    for (FuncDecl *Fn : Prog.Funcs) {
+      if (!Fn->Body)
+        continue;
+      CurFn = Fn;
+      visitBlock(Fn->Body);
+    }
+    CurFn = nullptr;
+  }
+
+private:
+  TcfreeKind kindFor(const VarDecl *V) const {
+    if (V->Ty->isSlice())
+      return TcfreeKind::Slice;
+    if (V->Ty->isMap())
+      return TcfreeKind::Map;
+    return TcfreeKind::Object;
+  }
+
+  void countFree(TcfreeKind K) {
+    if (K == TcfreeKind::Slice)
+      ++Stats.SliceFrees;
+    else if (K == TcfreeKind::Map)
+      ++Stats.MapFrees;
+    else
+      ++Stats.ObjectFrees;
+  }
+
+  /// Collects the ToFree variables declared by \p S (a statement directly in
+  /// the block being processed).
+  void collectDeclared(const Stmt *S, std::vector<VarDecl *> &Out) const {
+    if (const auto *DS = dyn_cast<VarDeclStmt>(S))
+      for (VarDecl *V : DS->Vars)
+        if (Analysis.ToFreeVars.count(V))
+          Out.push_back(V);
+  }
+
+  void visitStmt(Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Block:
+      visitBlock(cast<BlockStmt>(S));
+      return;
+    case StmtKind::If: {
+      auto *IS = cast<IfStmt>(S);
+      visitBlock(IS->Then);
+      if (IS->Else)
+        visitStmt(IS->Else);
+      return;
+    }
+    case StmtKind::For:
+      visitBlock(cast<ForStmt>(S)->Body);
+      return;
+    default:
+      return;
+    }
+  }
+
+  /// Creates an instrumentation temporary in the current function's frame.
+  VarDecl *makeTemp(const Type *Ty, SourceLoc Loc) {
+    auto *V = Prog.Nodes.create<VarDecl>();
+    V->Name = "__gofree_rv" + std::to_string(CurFn->AllVars.size());
+    V->Loc = Loc;
+    V->Ty = Ty;
+    V->Id = (uint32_t)CurFn->AllVars.size();
+    V->FrameOffset = CurFn->FrameSize;
+    CurFn->FrameSize += Ty->size();
+    CurFn->AllVars.push_back(V); // Keeps the slot GC-scannable.
+    return V;
+  }
+
+  /// Rewrites a trailing `return E...` whose operands read memory into
+  ///   rv... := E...; tcfree(...); return rv...
+  /// so the frees run after the return values are evaluated (the paper
+  /// inserts tcfree "as the last statement ... so the tcfree is live").
+  /// Returns the index where the frees belong.
+  size_t splitReturnTail(BlockStmt *B, ReturnStmt *RS) {
+    auto *DS = Prog.Nodes.create<VarDeclStmt>();
+    DS->Loc = RS->Loc;
+    bool TupleForwarding =
+        RS->Values.size() == 1 && RS->Values[0]->Ty->isTuple();
+    const std::vector<const Type *> *Types = nullptr;
+    std::vector<const Type *> Single;
+    if (TupleForwarding) {
+      Types = &RS->Values[0]->Ty->tupleElems();
+    } else {
+      for (const Expr *V : RS->Values)
+        Single.push_back(V->Ty);
+      Types = &Single;
+    }
+    std::vector<Expr *> NewValues;
+    for (const Type *Ty : *Types) {
+      VarDecl *Tmp = makeTemp(Ty, RS->Loc);
+      DS->Vars.push_back(Tmp);
+      auto *Ref = Prog.Nodes.create<IdentExpr>(Tmp->Name);
+      Ref->Loc = RS->Loc;
+      Ref->Decl = Tmp;
+      Ref->Ty = Ty;
+      NewValues.push_back(Ref);
+    }
+    DS->Inits = RS->Values;
+    RS->Values = std::move(NewValues);
+    size_t ReturnIdx = B->Stmts.size() - 1;
+    B->Stmts.insert(B->Stmts.begin() + (ptrdiff_t)ReturnIdx, DS);
+    return ReturnIdx + 1; // Frees go between the temps and the return.
+  }
+
+  void visitBlock(BlockStmt *B) {
+    // Depth-first so inner scopes are instrumented before we splice into
+    // this block's statement list.
+    std::vector<VarDecl *> ToFree;
+    for (Stmt *S : B->Stmts) {
+      visitStmt(S);
+      collectDeclared(S, ToFree);
+      // Variables declared in a for-statement's init clause live until the
+      // loop ends; their frees land right here in the parent block, which
+      // is handled by treating them as declared by the ForStmt itself.
+      if (auto *FS = dyn_cast<ForStmt>(S); FS && FS->Init)
+        collectDeclared(FS->Init, ToFree);
+    }
+    if (ToFree.empty())
+      return;
+
+    // Find the splice point: after the last statement, or before a trailing
+    // terminator. A terminator whose operands read memory cannot simply be
+    // hoisted over (its reads could alias a freed object), but a return can
+    // be split so its values are captured first.
+    size_t InsertAt = B->Stmts.size();
+    if (!B->Stmts.empty() && isTerminator(B->Stmts.back())) {
+      if (safeToHoistAbove(B->Stmts.back())) {
+        InsertAt = B->Stmts.size() - 1;
+      } else if (auto *RS = dyn_cast<ReturnStmt>(B->Stmts.back())) {
+        InsertAt = splitReturnTail(B, RS);
+      } else {
+        Stats.SkippedUnsafeTail += (unsigned)ToFree.size();
+        return; // A memory-reading panic tail: leave the frees to the GC.
+      }
+    }
+
+    std::vector<Stmt *> Frees;
+    for (VarDecl *V : ToFree) {
+      TcfreeKind K = kindFor(V);
+      auto *TS = Prog.Nodes.create<TcfreeStmt>(V, K);
+      TS->Loc = V->Loc;
+      Frees.push_back(TS);
+      countFree(K);
+    }
+    B->Stmts.insert(B->Stmts.begin() + (ptrdiff_t)InsertAt, Frees.begin(),
+                    Frees.end());
+  }
+
+  Program &Prog;
+  const escape::ProgramAnalysis &Analysis;
+
+public:
+  FuncDecl *CurFn = nullptr;
+};
+
+} // namespace
+
+InstrumentStats gofree::instrument::insertFrees(
+    Program &Prog, const escape::ProgramAnalysis &Analysis) {
+  Inserter I(Prog, Analysis);
+  I.run();
+  return I.Stats;
+}

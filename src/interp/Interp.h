@@ -1,0 +1,202 @@
+//===- interp/Interp.h - MiniGo tree-walking interpreter -------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes instrumented MiniGo programs against the GoFree runtime. Frames
+/// hold variables in flat byte buffers with precise pointer maps; the
+/// interpreter is the GC's root scanner. Stack-allocation decisions from the
+/// escape analysis are honored: eligible sites allocate from a per-frame,
+/// scope-rewound arena instead of the heap, and TcfreeStmt nodes call into
+/// the tcfree runtime family.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_INTERP_INTERP_H
+#define GOFREE_INTERP_INTERP_H
+
+#include "escape/Analysis.h"
+#include "interp/TypeLower.h"
+#include "minigo/Ast.h"
+#include "runtime/Heap.h"
+#include "runtime/MapRt.h"
+#include "runtime/SliceRt.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gofree {
+namespace interp {
+
+/// Outcome of one program execution (the observable behavior the
+/// robustness harness compares across configurations).
+struct RunResult {
+  uint64_t Checksum = 0;   ///< Order-sensitive fold of all sink() values.
+  uint64_t SinkCount = 0;
+  bool Panicked = false;
+  int64_t PanicValue = 0;
+  bool OutOfFuel = false;  ///< Step or recursion budget exhausted.
+  uint64_t Steps = 0;
+  std::string Error;       ///< Runtime fault (nil deref, bounds), if any.
+
+  bool ok() const { return !Panicked && !OutOfFuel && Error.empty(); }
+};
+
+/// Interpreter knobs.
+struct InterpOptions {
+  uint64_t MaxSteps = 2'000'000'000;
+  unsigned MaxFrames = 4096;
+  int CacheId = 0;
+  /// Simulates Go's runtime rescheduling the goroutine onto another P:
+  /// every this-many interpreter steps the thread-cache id rotates, so
+  /// spans cached before the switch belong to a "different thread" and
+  /// tcfree exercises its ownership give-up path (section 5). 0 disables.
+  uint64_t MigrationPeriod = 0;
+  rt::SliceRtOptions Slice;
+  rt::MapRtOptions Map;
+};
+
+/// A runtime value. Struct-typed values are references to storage (frame
+/// slot, temp arena, or heap); assignment copies the bytes.
+struct Value {
+  const minigo::Type *Ty = nullptr;
+  int64_t I = 0;            ///< Int/Bool payload.
+  uintptr_t A = 0;          ///< Pointer/map/struct-storage address.
+  rt::SliceHeader S{0, 0, 0};
+};
+
+/// Per-frame bump arena with stable addresses, backing the stack-allocation
+/// optimization. Like Go's compiler, each eligible allocation site owns one
+/// fixed slot that is reused across loop iterations (Frame::SiteMem), so the
+/// arena never needs to rewind before the function returns.
+class FrameArena {
+public:
+  uintptr_t allocate(size_t Bytes);
+
+private:
+  std::vector<std::pair<std::unique_ptr<char[]>, size_t>> Slabs;
+  size_t Used = 0;
+};
+
+/// One stack-allocated object, for precise root scanning.
+struct StackObj {
+  uintptr_t Addr;
+  const rt::TypeDesc *Desc;
+  size_t Bytes;
+};
+
+/// A pending deferred call.
+struct DeferRecord {
+  const minigo::FuncDecl *Fn;
+  std::vector<Value> Args;
+};
+
+/// An activation record.
+struct Frame {
+  const minigo::FuncDecl *Fn = nullptr;
+  std::vector<char> Slots;
+  FrameArena Arena;
+  std::vector<StackObj> StackObjs;
+  std::vector<DeferRecord> Defers;
+  /// Allocation-site id -> fixed stack slot for that site (reused on every
+  /// execution, mirroring Go's per-site stack slots).
+  std::unordered_map<uint32_t, uintptr_t> SiteMem;
+
+  uintptr_t slotAddr(const minigo::VarDecl *V) const {
+    return reinterpret_cast<uintptr_t>(Slots.data()) + V->FrameOffset;
+  }
+};
+
+/// The interpreter. One instance runs one program against one heap.
+class Interp : public rt::RootScanner {
+public:
+  Interp(const minigo::Program &Prog, const escape::ProgramAnalysis &Analysis,
+         rt::Heap &Heap, InterpOptions Opts = {});
+  ~Interp() override;
+
+  /// Runs \p Entry with integer arguments. The entry function's parameters
+  /// must all be int.
+  RunResult run(const std::string &Entry,
+                const std::vector<int64_t> &Args = {});
+
+  // RootScanner: frames, stack objects, deferred args and temps.
+  void scanRoots(rt::Heap &H) override;
+
+private:
+  enum class Flow : uint8_t { Normal, Return, Break, Continue, Panic, Fault };
+
+  // Statement execution.
+  Flow execBlock(const minigo::BlockStmt *B);
+  Flow execStmt(const minigo::Stmt *S);
+  Flow execVarDecl(const minigo::VarDeclStmt *DS);
+  Flow execAssign(const minigo::AssignStmt *AS);
+  Flow execTcfree(const minigo::TcfreeStmt *TS);
+
+  // Expression evaluation. On fault, sets FaultMsg and returns a zero
+  // value; callers check via faulted().
+  Value evalExpr(const minigo::Expr *E);
+  Value evalAppend(const minigo::AppendExpr *AE);
+  Value evalMake(const minigo::MakeExpr *ME);
+  Value evalComposite(const minigo::CompositeExpr *CE);
+
+  /// Resolves an lvalue to the address of its storage. Map element lvalues
+  /// are handled separately in execAssign.
+  uintptr_t evalLvalueAddr(const minigo::Expr *E, const minigo::Type **TyOut);
+
+  // Calls.
+  Flow callFunction(const minigo::FuncDecl *Fn, std::vector<Value> Args,
+                    std::vector<Value> *Results);
+  void runDefers(Frame &F);
+
+  // Memory access helpers.
+  Value loadValue(uintptr_t Addr, const minigo::Type *Ty);
+  void storeValue(uintptr_t Addr, const Value &V);
+  rt::MapCtx mapCtxFor(const minigo::Type *MapTy);
+
+  // Variable storage: returns the address of the variable's payload,
+  // boxing through the heap for moved-to-heap variables.
+  uintptr_t varAddr(const minigo::VarDecl *V);
+  void initVarSlot(const minigo::VarDecl *V);
+
+  // Fault, panic-unwinding and fuel handling.
+  bool faulted() const { return !FaultMsg.empty(); }
+  /// True while a fault or a panic raised inside expression evaluation is
+  /// unwinding to the nearest statement.
+  bool interrupted() const { return PanicUnwinding || !FaultMsg.empty(); }
+  /// Converts the pending interruption into a statement-level Flow and
+  /// clears the panic-unwinding flag (the panic continues as Flow::Panic).
+  Flow unwindStmt();
+  Value fault(const std::string &Msg);
+  bool burnFuel();
+
+  // Temp rooting around allocation points.
+  size_t tempMark() const { return TempRoots.size(); }
+  void pushTemp(const Value &V) { TempRoots.push_back(V); }
+  void popTemps(size_t Mark) { TempRoots.resize(Mark); }
+
+  const minigo::Program &Prog;
+  const escape::ProgramAnalysis &Analysis;
+  rt::Heap &Heap;
+  InterpOptions Opts;
+  TypeLower Types;
+
+  std::vector<std::unique_ptr<Frame>> Frames;
+  std::vector<Value> TempRoots;
+  RunResult Result;
+  std::string FaultMsg;
+  std::vector<Value> PendingReturn;
+  int64_t PendingPanic = 0;
+  bool PanicUnwinding = false;
+  uint64_t FuelUsed = 0;
+};
+
+} // namespace interp
+} // namespace gofree
+
+#endif // GOFREE_INTERP_INTERP_H

@@ -1,0 +1,113 @@
+//===- interp/TypeLower.cpp - MiniGo types to runtime descriptors ---------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/TypeLower.h"
+
+#include "runtime/MapRt.h"
+
+using namespace gofree;
+using namespace gofree::interp;
+using namespace gofree::minigo;
+
+rt::TypeDesc *TypeLower::make() {
+  Pool.push_back(std::make_unique<rt::TypeDesc>());
+  return Pool.back().get();
+}
+
+const rt::TypeDesc *TypeLower::lower(const Type *T) {
+  auto It = Lowered.find(T);
+  if (It != Lowered.end())
+    return It->second;
+  rt::TypeDesc *D = make();
+  Lowered[T] = D; // Insert first: recursive structs terminate via pointers.
+  D->Name = T->str();
+  D->Size = T->size();
+  switch (T->kind()) {
+  case Type::TK_Int:
+  case Type::TK_Bool:
+    break;
+  case Type::TK_Pointer:
+  case Type::TK_Map:
+    // Both are a single machine pointer; the target object's own
+    // descriptor drives deeper scanning.
+    D->Slots.push_back({0, rt::SlotKind::Raw});
+    break;
+  case Type::TK_Slice:
+    D->Slots.push_back({0, rt::SlotKind::Slice});
+    break;
+  case Type::TK_Struct:
+    for (const Field &F : T->fields()) {
+      const rt::TypeDesc *FD = lower(F.Ty);
+      for (const rt::PtrSlot &S : FD->Slots)
+        D->Slots.push_back({(uint32_t)F.Offset + S.Offset, S.Kind});
+    }
+    break;
+  case Type::TK_Void:
+  case Type::TK_Tuple:
+  case Type::TK_Nil:
+    assert(false && "no storage layout for void/tuple/nil");
+    break;
+  }
+  return D;
+}
+
+const rt::TypeDesc *TypeLower::arrayOf(const Type *Elem) {
+  auto It = Arrays.find(Elem);
+  if (It != Arrays.end())
+    return It->second;
+  rt::TypeDesc *D = make();
+  D->Name = "[...]" + Elem->str();
+  D->Size = Elem->size();
+  D->IsArray = true;
+  D->Elem = lower(Elem);
+  Arrays[Elem] = D;
+  return D;
+}
+
+const rt::TypeDesc *TypeLower::mapBuckets(const Type *Value) {
+  auto It = Buckets.find(Value);
+  if (It != Buckets.end())
+    return It->second;
+  // One bucket entry: {state u64, key i64, value bytes}.
+  rt::TypeDesc *Entry = make();
+  Entry->Name = "mapentry[" + Value->str() + "]";
+  Entry->Size = rt::MapEntryOverhead + Value->size();
+  const rt::TypeDesc *VD = lower(Value);
+  for (const rt::PtrSlot &S : VD->Slots)
+    Entry->Slots.push_back(
+        {(uint32_t)rt::MapEntryOverhead + S.Offset, S.Kind});
+
+  rt::TypeDesc *D = make();
+  D->Name = "mapbuckets[" + Value->str() + "]";
+  D->Size = Entry->Size;
+  D->IsArray = true;
+  D->Elem = Entry;
+  Buckets[Value] = D;
+  return D;
+}
+
+const rt::TypeDesc *TypeLower::hmap() {
+  if (!HMapDesc) {
+    rt::TypeDesc *D = make();
+    D->Name = "hmap";
+    D->Size = rt::HMapHeaderSize;
+    D->Slots.push_back({rt::HMapBucketsOff, rt::SlotKind::Raw});
+    HMapDesc = D;
+  }
+  return HMapDesc;
+}
+
+const rt::TypeDesc *TypeLower::rawPtr() {
+  if (!RawPtrDesc) {
+    rt::TypeDesc *D = make();
+    D->Name = "rawptr";
+    D->Size = 8;
+    D->Slots.push_back({0, rt::SlotKind::Raw});
+    RawPtrDesc = D;
+  }
+  return RawPtrDesc;
+}

@@ -1,0 +1,56 @@
+//===- interp/TypeLower.h - MiniGo types to runtime descriptors -*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers frontend types to runtime TypeDescs (the GC's pointer maps) and
+/// caches the derived descriptors slice backing arrays and map buckets
+/// need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_INTERP_TYPELOWER_H
+#define GOFREE_INTERP_TYPELOWER_H
+
+#include "minigo/Type.h"
+#include "runtime/TypeDesc.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace gofree {
+namespace interp {
+
+/// Builds and owns runtime type descriptors for one program run.
+class TypeLower {
+public:
+  /// Descriptor of a value of type \p T (its in-memory layout).
+  const rt::TypeDesc *lower(const minigo::Type *T);
+  /// IsArray descriptor for a backing array of \p Elem values.
+  const rt::TypeDesc *arrayOf(const minigo::Type *Elem);
+  /// IsArray descriptor for the bucket array of a map with \p Value values.
+  const rt::TypeDesc *mapBuckets(const minigo::Type *Value);
+  /// Descriptor of an hmap header.
+  const rt::TypeDesc *hmap();
+  /// Descriptor of a single machine pointer (used for heap-boxed variable
+  /// slots).
+  const rt::TypeDesc *rawPtr();
+
+private:
+  rt::TypeDesc *make();
+  std::vector<std::unique_ptr<rt::TypeDesc>> Pool;
+  std::unordered_map<const minigo::Type *, const rt::TypeDesc *> Lowered;
+  std::unordered_map<const minigo::Type *, const rt::TypeDesc *> Arrays;
+  std::unordered_map<const minigo::Type *, const rt::TypeDesc *> Buckets;
+  const rt::TypeDesc *HMapDesc = nullptr;
+  const rt::TypeDesc *RawPtrDesc = nullptr;
+};
+
+} // namespace interp
+} // namespace gofree
+
+#endif // GOFREE_INTERP_TYPELOWER_H

@@ -1,0 +1,34 @@
+//===- minigo/AstPrinter.h - MiniGo AST pretty-printer ---------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-prints a (possibly instrumented) MiniGo AST back to Go-like
+/// source. The instrumentation tests inspect this output to verify where
+/// tcfree calls were inserted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_MINIGO_ASTPRINTER_H
+#define GOFREE_MINIGO_ASTPRINTER_H
+
+#include "minigo/Ast.h"
+
+#include <string>
+
+namespace gofree {
+namespace minigo {
+
+/// Renders one function (or a whole program) as Go-like source text.
+std::string printFunc(const FuncDecl *Fn);
+std::string printProgram(const Program &Prog);
+std::string printStmt(const Stmt *S, int Indent = 0);
+std::string printExpr(const Expr *E);
+
+} // namespace minigo
+} // namespace gofree
+
+#endif // GOFREE_MINIGO_ASTPRINTER_H

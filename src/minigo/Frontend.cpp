@@ -1,0 +1,31 @@
+//===- minigo/Frontend.cpp - Convenience driver ---------------------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minigo/Frontend.h"
+
+#include "minigo/Lexer.h"
+#include "minigo/Parser.h"
+#include "minigo/Sema.h"
+
+using namespace gofree;
+using namespace gofree::minigo;
+
+std::unique_ptr<Program> gofree::minigo::parseAndCheck(
+    const std::string &Source, DiagSink &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Toks = Lex.lexAll();
+  if (Diags.hasErrors())
+    return nullptr;
+  auto Prog = std::make_unique<Program>();
+  Parser P(std::move(Toks), *Prog, Diags);
+  if (!P.parseProgram())
+    return nullptr;
+  Sema S(*Prog, Diags);
+  if (!S.run())
+    return nullptr;
+  return Prog;
+}

@@ -1,0 +1,33 @@
+//===- minigo/Frontend.h - Convenience driver ------------------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call frontend: source text -> lexed -> parsed -> checked Program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_MINIGO_FRONTEND_H
+#define GOFREE_MINIGO_FRONTEND_H
+
+#include "minigo/Ast.h"
+#include "support/Diag.h"
+
+#include <memory>
+#include <string>
+
+namespace gofree {
+namespace minigo {
+
+/// Lexes, parses and checks \p Source. On failure returns nullptr with the
+/// errors recorded in \p Diags.
+std::unique_ptr<Program> parseAndCheck(const std::string &Source,
+                                       DiagSink &Diags);
+
+} // namespace minigo
+} // namespace gofree
+
+#endif // GOFREE_MINIGO_FRONTEND_H

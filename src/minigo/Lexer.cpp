@@ -1,0 +1,361 @@
+//===- minigo/Lexer.cpp - MiniGo lexer ------------------------------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minigo/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace gofree;
+using namespace gofree::minigo;
+
+const char *gofree::minigo::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof: return "end of file";
+  case TokKind::Ident: return "identifier";
+  case TokKind::IntLit: return "integer literal";
+  case TokKind::KwFunc: return "'func'";
+  case TokKind::KwVar: return "'var'";
+  case TokKind::KwType: return "'type'";
+  case TokKind::KwStruct: return "'struct'";
+  case TokKind::KwIf: return "'if'";
+  case TokKind::KwElse: return "'else'";
+  case TokKind::KwFor: return "'for'";
+  case TokKind::KwRange: return "'range'";
+  case TokKind::KwSwitch: return "'switch'";
+  case TokKind::KwCase: return "'case'";
+  case TokKind::KwDefault: return "'default'";
+  case TokKind::KwReturn: return "'return'";
+  case TokKind::KwBreak: return "'break'";
+  case TokKind::KwContinue: return "'continue'";
+  case TokKind::KwDefer: return "'defer'";
+  case TokKind::KwPanic: return "'panic'";
+  case TokKind::KwMake: return "'make'";
+  case TokKind::KwNew: return "'new'";
+  case TokKind::KwLen: return "'len'";
+  case TokKind::KwCap: return "'cap'";
+  case TokKind::KwAppend: return "'append'";
+  case TokKind::KwCopy: return "'copy'";
+  case TokKind::KwDelete: return "'delete'";
+  case TokKind::KwSink: return "'sink'";
+  case TokKind::KwMap: return "'map'";
+  case TokKind::KwTrue: return "'true'";
+  case TokKind::KwFalse: return "'false'";
+  case TokKind::KwNil: return "'nil'";
+  case TokKind::KwInt: return "'int'";
+  case TokKind::KwBool: return "'bool'";
+  case TokKind::LParen: return "'('";
+  case TokKind::RParen: return "')'";
+  case TokKind::LBrace: return "'{'";
+  case TokKind::RBrace: return "'}'";
+  case TokKind::LBracket: return "'['";
+  case TokKind::RBracket: return "']'";
+  case TokKind::Comma: return "','";
+  case TokKind::Semi: return "';'";
+  case TokKind::Dot: return "'.'";
+  case TokKind::Colon: return "':'";
+  case TokKind::Star: return "'*'";
+  case TokKind::Amp: return "'&'";
+  case TokKind::Plus: return "'+'";
+  case TokKind::Minus: return "'-'";
+  case TokKind::Slash: return "'/'";
+  case TokKind::Percent: return "'%'";
+  case TokKind::Assign: return "'='";
+  case TokKind::PlusEq: return "'+='";
+  case TokKind::MinusEq: return "'-='";
+  case TokKind::StarEq: return "'*='";
+  case TokKind::SlashEq: return "'/='";
+  case TokKind::PercentEq: return "'%='";
+  case TokKind::PlusPlus: return "'++'";
+  case TokKind::MinusMinus: return "'--'";
+  case TokKind::Define: return "':='";
+  case TokKind::EqEq: return "'=='";
+  case TokKind::NotEq: return "'!='";
+  case TokKind::Lt: return "'<'";
+  case TokKind::Le: return "'<='";
+  case TokKind::Gt: return "'>'";
+  case TokKind::Ge: return "'>='";
+  case TokKind::Not: return "'!'";
+  case TokKind::AndAnd: return "'&&'";
+  case TokKind::OrOr: return "'||'";
+  }
+  return "<bad token>";
+}
+
+static const std::unordered_map<std::string, TokKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokKind> Table = {
+      {"func", TokKind::KwFunc},     {"var", TokKind::KwVar},
+      {"type", TokKind::KwType},     {"struct", TokKind::KwStruct},
+      {"if", TokKind::KwIf},         {"else", TokKind::KwElse},
+      {"for", TokKind::KwFor},       {"return", TokKind::KwReturn},
+      {"range", TokKind::KwRange},   {"switch", TokKind::KwSwitch},
+      {"case", TokKind::KwCase},     {"default", TokKind::KwDefault},
+      {"break", TokKind::KwBreak},   {"continue", TokKind::KwContinue},
+      {"defer", TokKind::KwDefer},   {"panic", TokKind::KwPanic},
+      {"make", TokKind::KwMake},     {"new", TokKind::KwNew},
+      {"len", TokKind::KwLen},       {"cap", TokKind::KwCap},
+      {"append", TokKind::KwAppend}, {"delete", TokKind::KwDelete},
+      {"copy", TokKind::KwCopy},
+      {"sink", TokKind::KwSink},     {"map", TokKind::KwMap},
+      {"true", TokKind::KwTrue},     {"false", TokKind::KwFalse},
+      {"nil", TokKind::KwNil},
+      {"int", TokKind::KwInt},       {"bool", TokKind::KwBool},
+  };
+  return Table;
+}
+
+Lexer::Lexer(std::string Source, DiagSink &Diags)
+    : Src(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+}
+
+char Lexer::bump() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::endsStatement(TokKind K) {
+  switch (K) {
+  case TokKind::Ident:
+  case TokKind::IntLit:
+  case TokKind::KwTrue:
+  case TokKind::KwFalse:
+  case TokKind::KwNil:
+  case TokKind::KwInt:
+  case TokKind::KwBool:
+  case TokKind::KwBreak:
+  case TokKind::KwContinue:
+  case TokKind::KwReturn:
+  case TokKind::RParen:
+  case TokKind::RBrace:
+  case TokKind::RBracket:
+  case TokKind::PlusPlus:
+  case TokKind::MinusMinus:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void Lexer::skipSpaceAndComments(bool &SawNewline) {
+  SawNewline = false;
+  while (!atEnd()) {
+    char C = peek();
+    if (C == '\n') {
+      SawNewline = true;
+      bump();
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r') {
+      bump();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        bump();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      bump();
+      bump();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\n')
+          SawNewline = true;
+        bump();
+      }
+      if (!atEnd()) {
+        bump();
+        bump();
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::next() {
+  Token T;
+  T.Loc = here();
+  if (atEnd()) {
+    T.Kind = TokKind::Eof;
+    return T;
+  }
+  char C = bump();
+  if (std::isalpha((unsigned char)C) || C == '_') {
+    std::string Word(1, C);
+    while (!atEnd() && (std::isalnum((unsigned char)peek()) || peek() == '_'))
+      Word.push_back(bump());
+    auto It = keywordTable().find(Word);
+    if (It != keywordTable().end()) {
+      T.Kind = It->second;
+    } else {
+      T.Kind = TokKind::Ident;
+      T.Text = std::move(Word);
+    }
+    return T;
+  }
+  if (std::isdigit((unsigned char)C)) {
+    int64_t V = C - '0';
+    while (!atEnd() && std::isdigit((unsigned char)peek()))
+      V = V * 10 + (bump() - '0');
+    T.Kind = TokKind::IntLit;
+    T.IntValue = V;
+    return T;
+  }
+  switch (C) {
+  case '(': T.Kind = TokKind::LParen; return T;
+  case ')': T.Kind = TokKind::RParen; return T;
+  case '{': T.Kind = TokKind::LBrace; return T;
+  case '}': T.Kind = TokKind::RBrace; return T;
+  case '[': T.Kind = TokKind::LBracket; return T;
+  case ']': T.Kind = TokKind::RBracket; return T;
+  case ',': T.Kind = TokKind::Comma; return T;
+  case ';': T.Kind = TokKind::Semi; return T;
+  case '.': T.Kind = TokKind::Dot; return T;
+  case '*':
+    if (peek() == '=') {
+      bump();
+      T.Kind = TokKind::StarEq;
+    } else {
+      T.Kind = TokKind::Star;
+    }
+    return T;
+  case '+':
+    if (peek() == '=') {
+      bump();
+      T.Kind = TokKind::PlusEq;
+    } else if (peek() == '+') {
+      bump();
+      T.Kind = TokKind::PlusPlus;
+    } else {
+      T.Kind = TokKind::Plus;
+    }
+    return T;
+  case '-':
+    if (peek() == '=') {
+      bump();
+      T.Kind = TokKind::MinusEq;
+    } else if (peek() == '-') {
+      bump();
+      T.Kind = TokKind::MinusMinus;
+    } else {
+      T.Kind = TokKind::Minus;
+    }
+    return T;
+  case '/':
+    if (peek() == '=') {
+      bump();
+      T.Kind = TokKind::SlashEq;
+    } else {
+      T.Kind = TokKind::Slash;
+    }
+    return T;
+  case '%':
+    if (peek() == '=') {
+      bump();
+      T.Kind = TokKind::PercentEq;
+    } else {
+      T.Kind = TokKind::Percent;
+    }
+    return T;
+  case ':':
+    if (peek() == '=') {
+      bump();
+      T.Kind = TokKind::Define;
+    } else {
+      T.Kind = TokKind::Colon;
+    }
+    return T;
+  case '=':
+    if (peek() == '=') {
+      bump();
+      T.Kind = TokKind::EqEq;
+    } else {
+      T.Kind = TokKind::Assign;
+    }
+    return T;
+  case '!':
+    if (peek() == '=') {
+      bump();
+      T.Kind = TokKind::NotEq;
+    } else {
+      T.Kind = TokKind::Not;
+    }
+    return T;
+  case '<':
+    if (peek() == '=') {
+      bump();
+      T.Kind = TokKind::Le;
+    } else {
+      T.Kind = TokKind::Lt;
+    }
+    return T;
+  case '>':
+    if (peek() == '=') {
+      bump();
+      T.Kind = TokKind::Ge;
+    } else {
+      T.Kind = TokKind::Gt;
+    }
+    return T;
+  case '&':
+    if (peek() == '&') {
+      bump();
+      T.Kind = TokKind::AndAnd;
+    } else {
+      T.Kind = TokKind::Amp;
+    }
+    return T;
+  case '|':
+    if (peek() == '|') {
+      bump();
+      T.Kind = TokKind::OrOr;
+      return T;
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+  T.Kind = TokKind::Semi; // Keep the parser moving.
+  return T;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  while (true) {
+    bool SawNewline = false;
+    skipSpaceAndComments(SawNewline);
+    // Go-style automatic semicolon insertion.
+    if (SawNewline && !Out.empty() && endsStatement(Out.back().Kind)) {
+      Token Semi;
+      Semi.Kind = TokKind::Semi;
+      Semi.Loc = here();
+      Out.push_back(Semi);
+    }
+    Token T = next();
+    bool IsEof = T.is(TokKind::Eof);
+    if (IsEof && !Out.empty() && endsStatement(Out.back().Kind)) {
+      Token Semi;
+      Semi.Kind = TokKind::Semi;
+      Semi.Loc = T.Loc;
+      Out.push_back(Semi);
+    }
+    Out.push_back(std::move(T));
+    if (IsEof)
+      break;
+  }
+  return Out;
+}

@@ -1,0 +1,54 @@
+//===- minigo/Lexer.h - MiniGo lexer ---------------------------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniGo. Implements Go-style automatic semicolon
+/// insertion so sources read like idiomatic Go.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_MINIGO_LEXER_H
+#define GOFREE_MINIGO_LEXER_H
+
+#include "minigo/Token.h"
+#include "support/Diag.h"
+
+#include <string>
+#include <vector>
+
+namespace gofree {
+namespace minigo {
+
+/// Lexes a whole MiniGo source buffer into a token vector.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagSink &Diags);
+
+  /// Lexes the entire buffer. The result always ends with an Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(size_t Ahead = 0) const;
+  char bump();
+  bool atEnd() const { return Pos >= Src.size(); }
+  SourceLoc here() const { return {Line, Col}; }
+  void skipSpaceAndComments(bool &SawNewline);
+  /// True if a newline after \p K triggers semicolon insertion.
+  static bool endsStatement(TokKind K);
+
+  std::string Src;
+  DiagSink &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace minigo
+} // namespace gofree
+
+#endif // GOFREE_MINIGO_LEXER_H

@@ -1,0 +1,102 @@
+//===- minigo/Parser.h - MiniGo recursive-descent parser -------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing an untyped AST. Name resolution and
+/// type inference happen in the separate Sema pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_MINIGO_PARSER_H
+#define GOFREE_MINIGO_PARSER_H
+
+#include "minigo/Ast.h"
+#include "minigo/Token.h"
+#include "support/Diag.h"
+
+#include <vector>
+
+namespace gofree {
+namespace minigo {
+
+/// Parses a token stream into a Program. On syntax errors, diagnostics are
+/// reported and parsing attempts to recover at statement boundaries.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, Program &Prog, DiagSink &Diags);
+
+  /// Parses the whole program. Returns false if any error was reported.
+  bool parseProgram();
+
+private:
+  // Token stream helpers.
+  const Token &cur() const { return Toks[Idx]; }
+  const Token &lookahead(size_t N = 1) const {
+    size_t I = Idx + N;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  void advance() {
+    if (Idx + 1 < Toks.size())
+      ++Idx;
+  }
+  bool at(TokKind K) const { return cur().is(K); }
+  bool accept(TokKind K) {
+    if (!at(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokKind K, const char *Ctx);
+  void error(const char *Msg);
+  void syncToStmtBoundary();
+
+  // Declarations.
+  void parseTypeDecl();
+  void parseFuncDecl();
+  const Type *parseType();
+
+  // Statements.
+  BlockStmt *parseBlock();
+  Stmt *parseStmt();
+  Stmt *parseSimpleStmt();
+  Stmt *parseIf();
+  Stmt *parseFor();
+  Stmt *parseRangeFor(SourceLoc Loc);
+  Stmt *parseSwitch();
+  Stmt *parseReturn();
+  /// Fresh name for desugaring temporaries (__gofree_syn<N>).
+  std::string freshName();
+
+  // Expressions.
+  std::vector<Expr *> parseExprList();
+  Expr *parseExpr() { return parseBinary(0); }
+  Expr *parseBinary(int MinPrec);
+  Expr *parseUnary();
+  Expr *parsePostfix(Expr *Base);
+  Expr *parsePrimary();
+  Expr *parseCompositeBody(std::string TypeName, SourceLoc Loc, bool TakeAddr);
+
+  template <typename T, typename... Args> T *make(SourceLoc Loc, Args &&...A) {
+    T *Node = Prog.Nodes.create<T>(std::forward<Args>(A)...);
+    Node->Loc = Loc;
+    return Node;
+  }
+
+  std::vector<Token> Toks;
+  size_t Idx = 0;
+  Program &Prog;
+  DiagSink &Diags;
+  /// Go-style restriction: composite literals are not recognized directly in
+  /// if/for headers, where `{` starts the block instead.
+  bool CompositeOK = true;
+  unsigned SynthCounter = 0;
+};
+
+} // namespace minigo
+} // namespace gofree
+
+#endif // GOFREE_MINIGO_PARSER_H

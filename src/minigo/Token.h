@@ -1,0 +1,116 @@
+//===- minigo/Token.h - MiniGo token definitions ---------------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for MiniGo, the Go subset the GoFree analyses consume. The
+/// subset covers everything the escape analysis of the paper cares about:
+/// pointers, address-of/dereference, structs, slices, maps, nested scopes,
+/// loops, multi-value returns, defer and panic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_MINIGO_TOKEN_H
+#define GOFREE_MINIGO_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace gofree {
+namespace minigo {
+
+/// All MiniGo token kinds.
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  // Keywords.
+  KwFunc,
+  KwVar,
+  KwType,
+  KwStruct,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwRange,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwDefer,
+  KwPanic,
+  KwMake,
+  KwNew,
+  KwLen,
+  KwCap,
+  KwAppend,
+  KwCopy,
+  KwDelete,
+  KwSink,
+  KwMap,
+  KwTrue,
+  KwFalse,
+  KwNil,
+  KwInt,
+  KwBool,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Dot,
+  Colon,
+  Star,
+  Amp,
+  Plus,
+  Minus,
+  Slash,
+  Percent,
+  Assign,
+  PlusEq,
+  MinusEq,
+  StarEq,
+  SlashEq,
+  PercentEq,
+  PlusPlus,
+  MinusMinus,
+  Define, // :=
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Not,
+  AndAnd,
+  OrOr,
+};
+
+/// Human-readable spelling of a token kind, for diagnostics.
+const char *tokKindName(TokKind K);
+
+/// One lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;  ///< Identifier spelling; empty otherwise.
+  int64_t IntValue = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+} // namespace minigo
+} // namespace gofree
+
+#endif // GOFREE_MINIGO_TOKEN_H

@@ -1,0 +1,179 @@
+//===- runtime/Gc.cpp - Stop-the-world mark-sweep collector ---------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// Go's collector is concurrent tri-color; this reproduction is a precise
+// stop-the-world mark-sweep with the same pacing rule (GOGC) and the same
+// cost structure GoFree attacks: mark work scales with live objects, sweep
+// work with heap spans, and cycle count with allocation pressure. The
+// interactions tcfree needs -- a phase flag it must respect, and dangling
+// large spans the marker skips and the cycle retires (fig. 9) -- are
+// modeled faithfully.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+#include <chrono>
+#include <cstring>
+
+using namespace gofree;
+using namespace gofree::rt;
+
+void Heap::maybeTriggerGc() {
+  if (InGc || Opts.Gogc < 0 || !Scanner)
+    return;
+  if (Stats.HeapLive.load(std::memory_order_relaxed) < NextTrigger)
+    return;
+  runGc();
+}
+
+void Heap::runGc() {
+  if (InGc)
+    return;
+  InGc = true;
+  auto Start = std::chrono::steady_clock::now();
+
+  Phase = GcPhase::Marking;
+  markPhase();
+  // TcfreeLarge step 2 (fig. 9): dangling control blocks are returned to
+  // the idle pool after the mark phase, like any unmarked span.
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (MSpan *S : Dangling)
+      retireSpan(S);
+    Dangling.clear();
+  }
+
+  Phase = GcPhase::Sweeping;
+  sweepPhase();
+  Phase = GcPhase::Idle;
+
+  // Pacing: next cycle when the live heap grows by GOGC percent.
+  uint64_t Live = Stats.HeapLive.load(std::memory_order_relaxed);
+  NextTrigger = std::max<uint64_t>(
+      Opts.MinHeapTrigger, Live + Live * (uint64_t)Opts.Gogc / 100);
+
+  auto End = std::chrono::steady_clock::now();
+  Stats.GcCycles.fetch_add(1, std::memory_order_relaxed);
+  Stats.GcNanos.fetch_add(
+      (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(End -
+                                                                     Start)
+          .count(),
+      std::memory_order_relaxed);
+  InGc = false;
+}
+
+void Heap::markPhase() {
+  for (const auto &SP : AllSpans)
+    if (SP->State == SpanState::InUse)
+      SP->clearMarks();
+  MarkStack.clear();
+  // The mutator supplies roots; gcMarkAddr queues grey objects which we
+  // blacken here by scanning their pointer maps. Runtime-internal roots
+  // cover objects mid-construction (see Heap::InternalRoot).
+  for (uintptr_t Addr : InternalRoots)
+    gcMarkAddr(Addr);
+  Scanner->scanRoots(*this);
+  while (!MarkStack.empty()) {
+    MarkItem Item = MarkStack.back();
+    MarkStack.pop_back();
+    gcScanRegion(Item.Addr, Item.Desc, Item.Bytes);
+  }
+}
+
+void Heap::gcMarkAddr(uintptr_t Addr) {
+  assert(Phase == GcPhase::Marking && "gcMarkAddr outside mark phase");
+  if (!Addr)
+    return;
+  auto It = PageMap.find(Addr >> PageShift);
+  if (It == PageMap.end())
+    return; // Stack address, foreign pointer, or freed large object.
+  MSpan *S = It->second;
+  // Dangling spans are skipped rather than marked (section 5).
+  if (S->State != SpanState::InUse)
+    return;
+  size_t Slot = S->slotOf(Addr);
+  if (!S->allocBit(Slot) || S->markBit(Slot))
+    return;
+  S->setMarkBit(Slot);
+  const TypeDesc *Desc = S->SlotDescs[Slot];
+  if (Desc && Desc->hasPointers())
+    MarkStack.push_back({S->slotAddr(Slot), Desc, S->ElemSize});
+}
+
+void Heap::gcScanRegion(uintptr_t Addr, const TypeDesc *Desc, size_t Bytes) {
+  assert(Phase == GcPhase::Marking && "gcScanRegion outside mark phase");
+  if (!Desc || !Desc->hasPointers())
+    return;
+  if (Desc->IsArray) {
+    size_t ElemSize = Desc->Elem->Size;
+    size_t N = Bytes / ElemSize;
+    for (size_t I = 0; I < N; ++I)
+      gcScanRegion(Addr + I * ElemSize, Desc->Elem, ElemSize);
+    return;
+  }
+  for (const PtrSlot &Slot : Desc->Slots) {
+    uintptr_t P;
+    std::memcpy(&P, reinterpret_cast<void *>(Addr + Slot.Offset), 8);
+    // Raw pointers, slice data pointers and hmap pointers all mark the
+    // target object; the target's own descriptor drives deeper scanning.
+    gcMarkAddr(P);
+  }
+}
+
+void Heap::sweepPhase() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &SP : AllSpans) {
+    MSpan *S = SP.get();
+    if (S->State != SpanState::InUse)
+      continue;
+    size_t FreedHere = 0;
+    for (size_t Slot = 0; Slot < S->NElems; ++Slot) {
+      if (!S->allocBit(Slot) || S->markBit(Slot))
+        continue;
+      S->clearAllocBit(Slot);
+      uint8_t Cat = S->SlotCats[Slot];
+      S->SlotDescs[Slot] = nullptr;
+      FreedHere += S->ElemSize;
+      Stats.GcSweptCount.fetch_add(1, std::memory_order_relaxed);
+      Stats.GcSweptCountByCat[Cat].fetch_add(1, std::memory_order_relaxed);
+    }
+    if (FreedHere) {
+      S->FreeIndex = 0;
+      Stats.GcSweptBytes.fetch_add(FreedHere, std::memory_order_relaxed);
+      Stats.HeapLive.fetch_sub(FreedHere, std::memory_order_relaxed);
+    }
+    // Fully empty spans go back to the page heap. Go flushes mcaches at
+    // every GC, so even a span currently cached by a thread is released
+    // when it holds nothing (the owner simply refills on its next miss).
+    if (S->liveCount() == 0) {
+      if (S->OwnerCache != NoOwner) {
+        Cache &C = Caches[(size_t)S->OwnerCache];
+        if (S->SizeClass >= 0 && C.Current[(size_t)S->SizeClass] == S)
+          C.Current[(size_t)S->SizeClass] = nullptr;
+        S->OwnerCache = NoOwner;
+      }
+      retireSpan(S);
+    }
+  }
+  rebuildCentralLists();
+}
+
+void Heap::rebuildCentralLists() {
+  for (auto &L : CentralPartial)
+    L.clear();
+  for (auto &L : CentralFull)
+    L.clear();
+  for (const auto &SP : AllSpans) {
+    MSpan *S = SP.get();
+    if (S->State != SpanState::InUse || S->SizeClass < 0 ||
+        S->OwnerCache != NoOwner)
+      continue;
+    if (S->nextFree() == S->NElems)
+      CentralFull[(size_t)S->SizeClass].push_back(S);
+    else
+      CentralPartial[(size_t)S->SizeClass].push_back(S);
+  }
+}

@@ -1,0 +1,329 @@
+//===- runtime/Heap.cpp - Thread-caching heap allocation paths ------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace gofree;
+using namespace gofree::rt;
+
+RootScanner::~RootScanner() = default;
+
+Heap::Heap(HeapOptions O) : Opts(O), NextTrigger(O.MinHeapTrigger) {
+  assert(Opts.NumCaches > 0 && "need at least one cache");
+  CentralPartial.resize((size_t)numSizeClasses());
+  CentralFull.resize((size_t)numSizeClasses());
+  Caches.resize((size_t)Opts.NumCaches);
+  for (Cache &C : Caches)
+    C.Current.assign((size_t)numSizeClasses(), nullptr);
+}
+
+Heap::~Heap() = default;
+
+//===----------------------------------------------------------------------===//
+// Page heap
+//===----------------------------------------------------------------------===//
+
+uintptr_t Heap::allocPages(size_t NPages) {
+  // First fit over the free runs, splitting the remainder.
+  for (size_t I = 0; I < FreeRuns.size(); ++I) {
+    if (FreeRuns[I].NPages < NPages)
+      continue;
+    uintptr_t Base = FreeRuns[I].Base;
+    if (FreeRuns[I].NPages == NPages) {
+      FreeRuns.erase(FreeRuns.begin() + (ptrdiff_t)I);
+    } else {
+      FreeRuns[I].Base += NPages * PageSize;
+      FreeRuns[I].NPages -= NPages;
+    }
+    return Base;
+  }
+  // Grow the arena: chunks of at least 2 MiB, page aligned.
+  size_t ChunkPages = std::max<size_t>(NPages, 256);
+  size_t Bytes = ChunkPages * PageSize + PageSize;
+  Chunks.emplace_back(std::make_unique<char[]>(Bytes), Bytes);
+  uintptr_t Raw = reinterpret_cast<uintptr_t>(Chunks.back().first.get());
+  uintptr_t Aligned = (Raw + PageSize - 1) & ~(uintptr_t)(PageSize - 1);
+  if (ChunkPages > NPages)
+    FreeRuns.push_back({Aligned + NPages * PageSize, ChunkPages - NPages});
+  return Aligned;
+}
+
+void Heap::freePages(uintptr_t Base, size_t NPages) {
+  // Insert sorted and coalesce with neighbours.
+  Run R{Base, NPages};
+  auto It = std::lower_bound(
+      FreeRuns.begin(), FreeRuns.end(), R,
+      [](const Run &A, const Run &B) { return A.Base < B.Base; });
+  It = FreeRuns.insert(It, R);
+  if (It + 1 != FreeRuns.end() &&
+      It->Base + It->NPages * PageSize == (It + 1)->Base) {
+    It->NPages += (It + 1)->NPages;
+    FreeRuns.erase(It + 1);
+  }
+  if (It != FreeRuns.begin()) {
+    auto Prev = It - 1;
+    if (Prev->Base + Prev->NPages * PageSize == It->Base) {
+      Prev->NPages += It->NPages;
+      FreeRuns.erase(It);
+    }
+  }
+}
+
+MSpan *Heap::newSpan(uintptr_t Base, size_t NPages, size_t ElemSize,
+                     int Class) {
+  MSpan *S;
+  if (!SpanPool.empty()) {
+    S = SpanPool.back();
+    SpanPool.pop_back();
+  } else {
+    AllSpans.push_back(std::make_unique<MSpan>());
+    S = AllSpans.back().get();
+  }
+  S->reset(Base, NPages, ElemSize, Class);
+  registerSpan(S);
+  Stats.Committed.fetch_add(NPages * PageSize, std::memory_order_relaxed);
+  Stats.notePeaks();
+  return S;
+}
+
+void Heap::registerSpan(MSpan *S) {
+  for (size_t P = 0; P < S->NPages; ++P)
+    PageMap[(S->Base >> PageShift) + P] = S;
+}
+
+void Heap::unregisterSpan(MSpan *S) {
+  for (size_t P = 0; P < S->NPages; ++P)
+    PageMap.erase((S->Base >> PageShift) + P);
+}
+
+void Heap::retireSpan(MSpan *S) {
+  // Pages already unregistered/freed by the caller for dangling spans; for
+  // in-use spans release everything here.
+  if (S->State == SpanState::InUse) {
+    unregisterSpan(S);
+    freePages(S->Base, S->NPages);
+    Stats.Committed.fetch_sub(S->NPages * PageSize, std::memory_order_relaxed);
+  }
+  S->State = SpanState::Free;
+  S->OwnerCache = NoOwner;
+  SpanPool.push_back(S);
+}
+
+MSpan *Heap::spanOf(uintptr_t Addr) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = PageMap.find(Addr >> PageShift);
+  return It == PageMap.end() ? nullptr : It->second;
+}
+
+bool Heap::isLiveObject(uintptr_t Addr) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = PageMap.find(Addr >> PageShift);
+  if (It == PageMap.end() || It->second->State != SpanState::InUse)
+    return false;
+  MSpan *S = It->second;
+  return S->allocBit(S->slotOf(Addr));
+}
+
+void Heap::reassignSpanOwner(uintptr_t Addr, int NewOwner) {
+  MSpan *S = spanOf(Addr);
+  assert(S && "reassignSpanOwner on non-heap address");
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Detach from whichever cache currently holds it.
+  for (Cache &C : Caches)
+    for (MSpan *&Cur : C.Current)
+      if (Cur == S)
+        Cur = nullptr;
+  S->OwnerCache = NewOwner;
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation
+//===----------------------------------------------------------------------===//
+
+uintptr_t Heap::allocate(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
+                         int CacheId) {
+  assert(CacheId >= 0 && CacheId < Opts.NumCaches && "bad cache id");
+  if (Bytes == 0)
+    Bytes = 8;
+  Bytes = (Bytes + 7) & ~(size_t)7;
+  maybeTriggerGc();
+  uintptr_t Addr = Bytes <= MaxSmallSize
+                       ? allocSmall(Bytes, Desc, Cat, CacheId)
+                       : allocLarge(Bytes, Desc, Cat);
+  return Addr;
+}
+
+uintptr_t Heap::allocSmall(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
+                           int CacheId) {
+  int Class = sizeClassFor(Bytes);
+  size_t ElemSize = classSize(Class);
+  Cache &C = Caches[(size_t)CacheId];
+  MSpan *S = C.Current[(size_t)Class];
+  size_t Slot = S ? S->nextFree() : 0;
+  if (!S || Slot == S->NElems) {
+    S = refillCache(CacheId, Class);
+    Slot = S->nextFree();
+    assert(Slot < S->NElems && "fresh span has no free slot");
+  }
+  S->setAllocBit(Slot);
+  S->FreeIndex = Slot + 1;
+  S->SlotDescs[Slot] = Desc;
+  S->SlotCats[Slot] = (uint8_t)Cat;
+  uintptr_t Addr = S->slotAddr(Slot);
+  std::memset(reinterpret_cast<void *>(Addr), 0, ElemSize);
+
+  Stats.AllocedBytes.fetch_add(ElemSize, std::memory_order_relaxed);
+  Stats.AllocCount.fetch_add(1, std::memory_order_relaxed);
+  Stats.AllocCountByCat[(int)Cat].fetch_add(1, std::memory_order_relaxed);
+  Stats.AllocBytesByCat[(int)Cat].fetch_add(ElemSize,
+                                            std::memory_order_relaxed);
+  Stats.HeapLive.fetch_add(ElemSize, std::memory_order_relaxed);
+  Stats.notePeaks();
+  return Addr;
+}
+
+MSpan *Heap::refillCache(int CacheId, int Class) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Cache &C = Caches[(size_t)CacheId];
+  // Return the exhausted span to the central full list.
+  if (MSpan *Old = C.Current[(size_t)Class]) {
+    Old->OwnerCache = NoOwner;
+    CentralFull[(size_t)Class].push_back(Old);
+    C.Current[(size_t)Class] = nullptr;
+  }
+  MSpan *S;
+  auto &Partial = CentralPartial[(size_t)Class];
+  if (!Partial.empty()) {
+    S = Partial.back();
+    Partial.pop_back();
+  } else {
+    size_t Pages = classSpanPages(Class);
+    uintptr_t Base = allocPages(Pages);
+    S = newSpan(Base, Pages, classSize(Class), Class);
+  }
+  S->OwnerCache = CacheId;
+  C.Current[(size_t)Class] = S;
+  return S;
+}
+
+uintptr_t Heap::allocLarge(size_t Bytes, const TypeDesc *Desc, AllocCat Cat) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t Pages = (Bytes + PageSize - 1) / PageSize;
+  uintptr_t Base = allocPages(Pages);
+  MSpan *S = newSpan(Base, Pages, Pages * PageSize, /*Class=*/-1);
+  S->setAllocBit(0);
+  S->FreeIndex = 1;
+  S->SlotDescs[0] = Desc;
+  S->SlotCats[0] = (uint8_t)Cat;
+  std::memset(reinterpret_cast<void *>(Base), 0, S->ElemSize);
+
+  Stats.AllocedBytes.fetch_add(S->ElemSize, std::memory_order_relaxed);
+  Stats.AllocCount.fetch_add(1, std::memory_order_relaxed);
+  Stats.AllocCountByCat[(int)Cat].fetch_add(1, std::memory_order_relaxed);
+  Stats.AllocBytesByCat[(int)Cat].fetch_add(S->ElemSize,
+                                            std::memory_order_relaxed);
+  Stats.HeapLive.fetch_add(S->ElemSize, std::memory_order_relaxed);
+  Stats.notePeaks();
+  return Base;
+}
+
+//===----------------------------------------------------------------------===//
+// tcfree
+//===----------------------------------------------------------------------===//
+
+bool Heap::tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source) {
+  Stats.TcfreeCalls.fetch_add(1, std::memory_order_relaxed);
+  auto GiveUp = [&] {
+    Stats.TcfreeGiveUps.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  };
+  if (!Addr)
+    return GiveUp();
+  // Never race the collector (section 5).
+  if (Phase != GcPhase::Idle)
+    return GiveUp();
+  MSpan *S = spanOf(Addr);
+  if (!S)
+    return GiveUp(); // Stack or foreign address: tcfree ignores it.
+
+  if (S->SizeClass < 0) {
+    // TcfreeLarge, step 1 (fig. 9): lock, return the pages, leave the
+    // control block dangling until after the next GC mark phase.
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Phase != GcPhase::Idle || S->State != SpanState::InUse)
+      return GiveUp(); // Double free or raced retirement.
+    if (Opts.Mock != MockTcfree::Off) {
+      poison(S->Base, S->ElemSize);
+      return true;
+    }
+    S->clearAllocBit(0);
+    unregisterSpan(S);
+    freePages(S->Base, S->NPages);
+    Stats.Committed.fetch_sub(S->NPages * PageSize, std::memory_order_relaxed);
+    S->State = SpanState::Dangling;
+    Dangling.push_back(S);
+    Stats.FreedBytesBySource[(int)Source].fetch_add(S->ElemSize,
+                                                    std::memory_order_relaxed);
+    Stats.FreedCountBySource[(int)Source].fetch_add(1,
+                                                    std::memory_order_relaxed);
+    Stats.HeapLive.fetch_sub(S->ElemSize, std::memory_order_relaxed);
+    return true;
+  }
+
+  // TcfreeSmall: only on spans cached by the calling thread; if the span
+  // was filled and swapped out (or stolen by another cache), give up.
+  if (S->State != SpanState::InUse || S->OwnerCache != CacheId)
+    return GiveUp();
+  size_t Slot = S->slotOf(Addr);
+  if (!S->allocBit(Slot))
+    return GiveUp(); // Benign double free (section 5): ignored.
+  if (Opts.Mock != MockTcfree::Off) {
+    poison(S->slotAddr(Slot), S->ElemSize);
+    return true;
+  }
+  S->clearAllocBit(Slot);
+  S->SlotDescs[Slot] = nullptr;
+  if (Slot < S->FreeIndex)
+    S->FreeIndex = Slot; // Revert the allocator pointer (section 5).
+  Stats.FreedBytesBySource[(int)Source].fetch_add(S->ElemSize,
+                                                  std::memory_order_relaxed);
+  Stats.FreedCountBySource[(int)Source].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  Stats.HeapLive.fetch_sub(S->ElemSize, std::memory_order_relaxed);
+  return true;
+}
+
+size_t Heap::tcfreeBatch(const uintptr_t *Addrs, size_t N, int CacheId,
+                         FreeSource Source) {
+  // One shared GC-phase check covers the whole batch (the paper notes most
+  // of tcfree's cost is validation); each object then runs the usual
+  // per-object checks, so a batch is never less safe than N single calls.
+  if (Phase != GcPhase::Idle) {
+    Stats.TcfreeCalls.fetch_add(N, std::memory_order_relaxed);
+    Stats.TcfreeGiveUps.fetch_add(N, std::memory_order_relaxed);
+    return 0;
+  }
+  size_t Freed = 0;
+  for (size_t I = 0; I < N; ++I)
+    if (tcfreeObject(Addrs[I], CacheId, Source))
+      ++Freed;
+  return Freed;
+}
+
+void Heap::poison(uintptr_t Addr, size_t Bytes) {
+  Stats.MockPoisonedCount.fetch_add(1, std::memory_order_relaxed);
+  auto *P = reinterpret_cast<unsigned char *>(Addr);
+  if (Opts.Mock == MockTcfree::Zero) {
+    std::memset(P, 0, Bytes);
+    return;
+  }
+  for (size_t I = 0; I < Bytes; ++I)
+    P[I] = (unsigned char)~P[I];
+}

@@ -1,0 +1,209 @@
+//===- runtime/Heap.h - Thread-caching heap with GC and tcfree -*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime substrate of sections 3.3 and 5: a TCMalloc-style heap
+/// (page heap -> central lists -> per-thread caches of size-classed spans),
+/// a non-moving stop-the-world mark-sweep collector with Go's GOGC pacing
+/// rule, and the tcfree family of best-effort explicit deallocation
+/// primitives. tcfree never compromises safety: whenever freeing would be
+/// unsafe (GC running, span owned by another cache, unknown address) it
+/// gives up and leaves the object to the GC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_RUNTIME_HEAP_H
+#define GOFREE_RUNTIME_HEAP_H
+
+#include "runtime/HeapStats.h"
+#include "runtime/MSpan.h"
+#include "runtime/SizeClasses.h"
+#include "runtime/TypeDesc.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace gofree {
+namespace rt {
+
+class Heap;
+
+/// Supplies the GC's roots. The interpreter implements this by walking its
+/// frames (precisely, using per-frame pointer maps) and its evaluation
+/// stack. During scanRoots the scanner calls Heap::gcMarkAddr /
+/// Heap::gcScanRegion.
+class RootScanner {
+public:
+  virtual ~RootScanner();
+  virtual void scanRoots(Heap &H) = 0;
+};
+
+/// Poison-instead-of-free modes for the robustness methodology of section
+/// 6.8: a mock tcfree corrupts the "freed" memory instead of recycling it,
+/// so any live object wrongly freed makes the program observably misbehave.
+enum class MockTcfree : uint8_t { Off, Zero, Flip };
+
+/// Runtime configuration.
+struct HeapOptions {
+  /// GOGC: the next GC triggers when live bytes reach
+  /// live-after-last-GC * (1 + Gogc/100). Negative disables GC entirely
+  /// (the paper's Go-GCOff setting).
+  int Gogc = 100;
+  /// Floor for the first/next GC trigger (Go's 4 MiB default).
+  uint64_t MinHeapTrigger = 4ull << 20;
+  MockTcfree Mock = MockTcfree::Off;
+  /// Number of thread caches ("P"s).
+  int NumCaches = 4;
+};
+
+/// GC phase; tcfree gives up whenever the collector is active (section 5).
+enum class GcPhase : uint8_t { Idle, Marking, Sweeping };
+
+/// The heap. All sizes are rounded to 8 bytes; allocations above
+/// MaxSmallSize get dedicated spans.
+class Heap {
+public:
+  explicit Heap(HeapOptions Opts = {});
+  ~Heap();
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  /// Allocates zeroed storage. May trigger a GC cycle first (pacing).
+  /// \p Desc may be null for pointer-free payloads. \p CacheId selects the
+  /// thread cache; must be in [0, NumCaches).
+  uintptr_t allocate(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
+                     int CacheId);
+
+  /// The tcfree primitive (section 5). Returns true if the object was
+  /// reclaimed (or poisoned, in mock mode); false when it gave up. Never
+  /// unsafe: stack addresses, foreign spans, running GC, and double frees
+  /// all return false without side effects.
+  bool tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source);
+
+  /// Batched tcfree (section 5, "Possibility of Batching"): frees several
+  /// same-scope objects under one safety check. Returns how many were
+  /// actually reclaimed; each object individually follows tcfree's
+  /// best-effort rules.
+  size_t tcfreeBatch(const uintptr_t *Addrs, size_t N, int CacheId,
+                     FreeSource Source);
+
+  /// Runs a full stop-the-world mark-sweep cycle now.
+  void runGc();
+
+  /// Registers the root provider. GC cannot run without one.
+  void setRootScanner(RootScanner *S) { Scanner = S; }
+
+  /// During the mark phase: marks the object containing \p Addr (no-op for
+  /// null/stack/freed addresses) and queues it for scanning.
+  void gcMarkAddr(uintptr_t Addr);
+  /// During the mark phase: precisely scans a root region (e.g. a stack
+  /// frame slot) of \p Bytes bytes laid out as \p Desc.
+  void gcScanRegion(uintptr_t Addr, const TypeDesc *Desc, size_t Bytes);
+
+  GcPhase phase() const { return Phase; }
+  HeapStats &stats() { return Stats; }
+  const HeapStats &stats() const { return Stats; }
+  const HeapOptions &options() const { return Opts; }
+
+  /// Looks up the span containing \p Addr; null for non-heap addresses.
+  MSpan *spanOf(uintptr_t Addr);
+
+  /// True if \p Addr lies in a live heap object.
+  bool isLiveObject(uintptr_t Addr);
+
+  /// Current GC trigger threshold (for tests and the pacer bench).
+  uint64_t gcTrigger() const { return NextTrigger; }
+
+  /// Number of dangling large-span control blocks awaiting retirement.
+  size_t danglingSpanCount() const { return Dangling.size(); }
+
+  /// Test hook: forces the span containing \p Addr to look like it belongs
+  /// to another cache, exercising tcfree's ownership give-up path.
+  void reassignSpanOwner(uintptr_t Addr, int NewOwner);
+
+  /// Keeps a freshly allocated object alive across a follow-up allocation
+  /// that could trigger GC before the object becomes reachable from the
+  /// mutator (e.g. an hmap header while its bucket array is allocated).
+  class InternalRoot {
+  public:
+    InternalRoot(Heap &H, uintptr_t Addr) : H(H) {
+      H.InternalRoots.push_back(Addr);
+    }
+    ~InternalRoot() { H.InternalRoots.pop_back(); }
+    InternalRoot(const InternalRoot &) = delete;
+    InternalRoot &operator=(const InternalRoot &) = delete;
+
+  private:
+    Heap &H;
+  };
+
+private:
+  struct Cache {
+    std::vector<MSpan *> Current; ///< One span per size class, or null.
+  };
+  struct Run {
+    uintptr_t Base;
+    size_t NPages;
+  };
+
+  // Small-object path.
+  uintptr_t allocSmall(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
+                       int CacheId);
+  uintptr_t allocLarge(size_t Bytes, const TypeDesc *Desc, AllocCat Cat);
+  MSpan *refillCache(int CacheId, int Class);
+
+  // Page heap.
+  uintptr_t allocPages(size_t NPages);
+  void freePages(uintptr_t Base, size_t NPages);
+  MSpan *newSpan(uintptr_t Base, size_t NPages, size_t ElemSize, int Class);
+  void registerSpan(MSpan *S);
+  void unregisterSpan(MSpan *S);
+  void retireSpan(MSpan *S);
+
+  // GC internals.
+  void poison(uintptr_t Addr, size_t Bytes);
+  void maybeTriggerGc();
+  void markPhase();
+  void sweepPhase();
+  void rebuildCentralLists();
+
+  HeapOptions Opts;
+  HeapStats Stats;
+  RootScanner *Scanner = nullptr;
+
+  std::mutex Mu; ///< Guards page heap, central lists, span lifecycle, GC.
+  std::vector<std::pair<std::unique_ptr<char[]>, size_t>> Chunks;
+  std::vector<Run> FreeRuns;
+  std::unordered_map<uintptr_t, MSpan *> PageMap; ///< page index -> span
+  std::vector<std::unique_ptr<MSpan>> AllSpans;
+  std::vector<MSpan *> SpanPool; ///< Free control blocks.
+  std::vector<MSpan *> Dangling; ///< TcfreeLarge step-1 spans (fig. 9).
+
+  // Central lists per size class.
+  std::vector<std::vector<MSpan *>> CentralPartial;
+  std::vector<std::vector<MSpan *>> CentralFull;
+  std::vector<Cache> Caches;
+
+  // GC state.
+  GcPhase Phase = GcPhase::Idle;
+  uint64_t NextTrigger;
+  struct MarkItem {
+    uintptr_t Addr;
+    const TypeDesc *Desc;
+    size_t Bytes;
+  };
+  std::vector<MarkItem> MarkStack;
+  std::vector<uintptr_t> InternalRoots;
+  bool InGc = false; ///< Re-entrancy guard (allocation during scanning).
+};
+
+} // namespace rt
+} // namespace gofree
+
+#endif // GOFREE_RUNTIME_HEAP_H

@@ -1,0 +1,159 @@
+//===- runtime/HeapStats.h - Allocation and GC metrics ---------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiling counters behind the paper's metrics (table 5): alloced,
+/// freed (by tcfree source), GC cycles and time, and heap sizes, plus the
+/// per-category allocation/outcome counts behind tables 8 and 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_RUNTIME_HEAPSTATS_H
+#define GOFREE_RUNTIME_HEAPSTATS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace gofree {
+namespace rt {
+
+/// Allocation categories, following table 8's grouping.
+enum class AllocCat : uint8_t {
+  Other = 0, ///< Objects, moved variables, struct literals.
+  Slice,     ///< Slice backing arrays (make and growth).
+  Map,       ///< hmap headers and bucket arrays.
+};
+inline constexpr int NumAllocCats = 3;
+
+/// What freed a piece of memory, following table 9's breakdown.
+enum class FreeSource : uint8_t {
+  TcfreeObject = 0, ///< tcfree on a plain object.
+  TcfreeSlice,      ///< tcfreeSlice (slice lifetime end).
+  TcfreeMap,        ///< tcfreeMap (map lifetime end).
+  MapGrowOld,       ///< GrowMapAndFreeOld: old buckets freed on map growth.
+};
+inline constexpr int NumFreeSources = 4;
+
+/// Plain-value copy of the counters, for reporting and benchmarking.
+struct StatsSnapshot {
+  uint64_t AllocedBytes = 0;
+  uint64_t AllocCount = 0;
+  uint64_t AllocCountByCat[NumAllocCats] = {};
+  uint64_t StackAllocCountByCat[NumAllocCats] = {};
+  uint64_t TcfreeCalls = 0;
+  uint64_t TcfreeGiveUps = 0;
+  uint64_t FreedBytesBySource[NumFreeSources] = {};
+  uint64_t FreedCountBySource[NumFreeSources] = {};
+  uint64_t GcCycles = 0;
+  uint64_t GcNanos = 0;
+  uint64_t GcSweptBytes = 0;
+  uint64_t GcSweptCountByCat[NumAllocCats] = {};
+  uint64_t PeakCommitted = 0;
+  uint64_t PeakLive = 0;
+
+  uint64_t tcfreeFreedBytes() const {
+    uint64_t Total = 0;
+    for (uint64_t B : FreedBytesBySource)
+      Total += B;
+    return Total;
+  }
+  double freeRatio() const {
+    return AllocedBytes == 0 ? 0.0
+                             : (double)tcfreeFreedBytes() / (double)AllocedBytes;
+  }
+};
+
+/// All counters are relaxed atomics: exact under the single-threaded
+/// interpreter, and merely approximate (but data-race-free) under the
+/// multi-threaded allocator stress tests.
+struct HeapStats {
+  // Allocation (table 5 "alloced").
+  std::atomic<uint64_t> AllocedBytes{0};
+  std::atomic<uint64_t> AllocCount{0};
+  std::atomic<uint64_t> AllocCountByCat[NumAllocCats] = {};
+  std::atomic<uint64_t> AllocBytesByCat[NumAllocCats] = {};
+  // Stack allocations (reported by the interpreter, for table 8).
+  std::atomic<uint64_t> StackAllocCountByCat[NumAllocCats] = {};
+
+  // Explicit deallocation (table 5 "freed", table 9 breakdown).
+  std::atomic<uint64_t> TcfreeCalls{0};
+  std::atomic<uint64_t> TcfreeGiveUps{0};
+  std::atomic<uint64_t> FreedBytesBySource[NumFreeSources] = {};
+  std::atomic<uint64_t> FreedCountBySource[NumFreeSources] = {};
+  std::atomic<uint64_t> MockPoisonedCount{0};
+
+  // Garbage collection.
+  std::atomic<uint64_t> GcCycles{0};
+  std::atomic<uint64_t> GcNanos{0};
+  std::atomic<uint64_t> GcSweptBytes{0};
+  std::atomic<uint64_t> GcSweptCount{0};
+  std::atomic<uint64_t> GcSweptCountByCat[NumAllocCats] = {};
+
+  // Heap footprint (table 5 "maxheap").
+  std::atomic<uint64_t> HeapLive{0};        ///< Live object bytes.
+  std::atomic<uint64_t> Committed{0};       ///< Bytes in in-use spans.
+  std::atomic<uint64_t> PeakCommitted{0};
+  std::atomic<uint64_t> PeakLive{0};
+
+  uint64_t tcfreeFreedBytes() const {
+    uint64_t Total = 0;
+    for (const auto &B : FreedBytesBySource)
+      Total += B.load(std::memory_order_relaxed);
+    return Total;
+  }
+
+  /// freed / alloced, the paper's "free ratio".
+  double freeRatio() const {
+    uint64_t A = AllocedBytes.load(std::memory_order_relaxed);
+    return A == 0 ? 0.0 : (double)tcfreeFreedBytes() / (double)A;
+  }
+
+  StatsSnapshot snap() const {
+    StatsSnapshot S;
+    S.AllocedBytes = AllocedBytes.load(std::memory_order_relaxed);
+    S.AllocCount = AllocCount.load(std::memory_order_relaxed);
+    for (int I = 0; I < NumAllocCats; ++I) {
+      S.AllocCountByCat[I] = AllocCountByCat[I].load(std::memory_order_relaxed);
+      S.StackAllocCountByCat[I] =
+          StackAllocCountByCat[I].load(std::memory_order_relaxed);
+      S.GcSweptCountByCat[I] =
+          GcSweptCountByCat[I].load(std::memory_order_relaxed);
+    }
+    S.TcfreeCalls = TcfreeCalls.load(std::memory_order_relaxed);
+    S.TcfreeGiveUps = TcfreeGiveUps.load(std::memory_order_relaxed);
+    for (int I = 0; I < NumFreeSources; ++I) {
+      S.FreedBytesBySource[I] =
+          FreedBytesBySource[I].load(std::memory_order_relaxed);
+      S.FreedCountBySource[I] =
+          FreedCountBySource[I].load(std::memory_order_relaxed);
+    }
+    S.GcCycles = GcCycles.load(std::memory_order_relaxed);
+    S.GcNanos = GcNanos.load(std::memory_order_relaxed);
+    S.GcSweptBytes = GcSweptBytes.load(std::memory_order_relaxed);
+    S.PeakCommitted = PeakCommitted.load(std::memory_order_relaxed);
+    S.PeakLive = PeakLive.load(std::memory_order_relaxed);
+    return S;
+  }
+
+  void notePeaks() {
+    uint64_t C = Committed.load(std::memory_order_relaxed);
+    uint64_t P = PeakCommitted.load(std::memory_order_relaxed);
+    while (C > P &&
+           !PeakCommitted.compare_exchange_weak(P, C, std::memory_order_relaxed))
+      ;
+    uint64_t L = HeapLive.load(std::memory_order_relaxed);
+    uint64_t PL = PeakLive.load(std::memory_order_relaxed);
+    while (L > PL &&
+           !PeakLive.compare_exchange_weak(PL, L, std::memory_order_relaxed))
+      ;
+  }
+};
+
+} // namespace rt
+} // namespace gofree
+
+#endif // GOFREE_RUNTIME_HEAPSTATS_H

@@ -1,0 +1,117 @@
+//===- runtime/MSpan.h - Span control blocks -------------------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mspan control block (section 3.3 / figure 9): a run of pages divided
+/// into equally-sized element slots with allocation and mark bitmaps.
+/// TcfreeSmall works by clearing an allocation bit and rewinding the free
+/// index; TcfreeLarge detaches the pages and leaves the control block
+/// "dangling" until the next GC mark phase retires it (section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_RUNTIME_MSPAN_H
+#define GOFREE_RUNTIME_MSPAN_H
+
+#include "runtime/SizeClasses.h"
+#include "runtime/TypeDesc.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace gofree {
+namespace rt {
+
+/// Owner id meaning "not cached by any thread".
+inline constexpr int NoOwner = -1;
+
+/// Lifecycle of a span.
+enum class SpanState : uint8_t {
+  InUse,    ///< Holds live slots; registered in the page map.
+  Dangling, ///< Large span whose pages were returned by TcfreeLarge; the
+            ///< control block waits for the next GC mark phase (fig. 9).
+  Free,     ///< Control block in the idle pool.
+};
+
+/// A span: NPages contiguous pages carved into NElems slots of ElemSize.
+struct MSpan {
+  uintptr_t Base = 0;
+  size_t NPages = 0;
+  size_t ElemSize = 0;
+  size_t NElems = 0;
+  int SizeClass = -1; ///< -1 for large (dedicated) spans.
+  int OwnerCache = NoOwner;
+  SpanState State = SpanState::Free;
+  /// Next slot to try when bump-allocating; tcfreeSmall rewinds it.
+  size_t FreeIndex = 0;
+  std::vector<uint64_t> AllocBits;
+  std::vector<uint64_t> MarkBits;
+  /// Per-slot type descriptors for precise GC scanning.
+  std::vector<const TypeDesc *> SlotDescs;
+  /// Per-slot allocation category (AllocCat), for sweep accounting.
+  std::vector<uint8_t> SlotCats;
+
+  void reset(uintptr_t NewBase, size_t Pages, size_t Elem, int Class) {
+    Base = NewBase;
+    NPages = Pages;
+    ElemSize = Elem;
+    NElems = Pages * PageSize / Elem;
+    SizeClass = Class;
+    OwnerCache = NoOwner;
+    State = SpanState::InUse;
+    FreeIndex = 0;
+    AllocBits.assign((NElems + 63) / 64, 0);
+    MarkBits.assign((NElems + 63) / 64, 0);
+    SlotDescs.assign(NElems, nullptr);
+    SlotCats.assign(NElems, 0);
+  }
+
+  bool allocBit(size_t Slot) const {
+    return (AllocBits[Slot >> 6] >> (Slot & 63)) & 1;
+  }
+  void setAllocBit(size_t Slot) { AllocBits[Slot >> 6] |= 1ULL << (Slot & 63); }
+  void clearAllocBit(size_t Slot) {
+    AllocBits[Slot >> 6] &= ~(1ULL << (Slot & 63));
+  }
+  bool markBit(size_t Slot) const {
+    return (MarkBits[Slot >> 6] >> (Slot & 63)) & 1;
+  }
+  void setMarkBit(size_t Slot) { MarkBits[Slot >> 6] |= 1ULL << (Slot & 63); }
+  void clearMarks() { MarkBits.assign(MarkBits.size(), 0); }
+
+  /// Slot index containing \p Addr. Precondition: contains(Addr).
+  size_t slotOf(uintptr_t Addr) const {
+    assert(contains(Addr) && "address outside span");
+    return (Addr - Base) / ElemSize;
+  }
+  uintptr_t slotAddr(size_t Slot) const { return Base + Slot * ElemSize; }
+  bool contains(uintptr_t Addr) const {
+    return Addr >= Base && Addr < Base + NPages * PageSize;
+  }
+
+  /// Finds the next clear allocation bit at or after FreeIndex. Returns
+  /// NElems when the span is full.
+  size_t nextFree() const {
+    for (size_t I = FreeIndex; I < NElems; ++I)
+      if (!allocBit(I))
+        return I;
+    return NElems;
+  }
+
+  size_t liveCount() const {
+    size_t N = 0;
+    for (uint64_t W : AllocBits)
+      N += (size_t)__builtin_popcountll(W);
+    return N;
+  }
+};
+
+} // namespace rt
+} // namespace gofree
+
+#endif // GOFREE_RUNTIME_MSPAN_H

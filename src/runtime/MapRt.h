@@ -1,0 +1,102 @@
+//===- runtime/MapRt.h - Map runtime support -------------------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Map runtime (section 4.6.2): an open-addressing hash table whose biggest
+/// part is a contiguous bucket array. Growth allocates a bigger bucket
+/// array, evacuates, and then — GoFree's runtime-only optimization — frees
+/// the abandoned old array with tcfree (GrowMapAndFreeOld), since a map's
+/// bucket array is exclusively owned by its hmap. TcfreeMap unwraps the
+/// current bucket array and the hmap header and forwards both to tcfree.
+///
+/// Layout of the hmap header (all fields 8 bytes):
+///   +0  Count      live entries
+///   +8  Tombs      tombstones
+///   +16 NBuckets   power-of-two bucket count
+///   +24 Buckets    pointer to the bucket array (GC-scanned)
+///   +32 EntrySize  16 + value size
+///
+/// Each bucket entry: {state u64 (0 empty / 1 full / 2 tombstone),
+/// key i64, value bytes}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_RUNTIME_MAPRT_H
+#define GOFREE_RUNTIME_MAPRT_H
+
+#include "runtime/Heap.h"
+#include "runtime/TypeDesc.h"
+
+#include <cstdint>
+
+namespace gofree {
+namespace rt {
+
+inline constexpr size_t HMapHeaderSize = 40;
+inline constexpr size_t MapEntryOverhead = 16; ///< state + key.
+
+inline constexpr uint32_t HMapCountOff = 0;
+inline constexpr uint32_t HMapTombsOff = 8;
+inline constexpr uint32_t HMapNBucketsOff = 16;
+inline constexpr uint32_t HMapBucketsOff = 24;
+inline constexpr uint32_t HMapEntrySizeOff = 32;
+
+/// Runtime knobs for maps.
+struct MapRtOptions {
+  /// GrowMapAndFreeOld (table 9): explicitly free abandoned bucket arrays
+  /// when a map grows. Needs no static analysis, only tcfree.
+  bool GrowFreeOld = true;
+};
+
+/// Context a map operation needs: where the map lives and how its buckets
+/// are described for the GC.
+struct MapCtx {
+  Heap *H = nullptr;
+  /// IsArray descriptor of the bucket array (Elem = entry descriptor).
+  const TypeDesc *BucketArrayDesc = nullptr;
+  size_t ValueSize = 8;
+  int CacheId = 0;
+  MapRtOptions Opts;
+};
+
+/// Initial bucket count for a size hint.
+int64_t mapBucketsForHint(int64_t Hint);
+
+/// Bucket-array bytes for a bucket count and value size.
+size_t mapBucketBytes(int64_t NBuckets, size_t ValueSize);
+
+/// Initializes an hmap header at \p HMap whose bucket array of
+/// \p NBuckets entries lives at \p Buckets (both may be stack or heap).
+void mapInit(uintptr_t HMap, int64_t NBuckets, uintptr_t Buckets,
+             size_t ValueSize);
+
+/// Heap-allocates and initializes a map (hmap + buckets) for \p Hint.
+uintptr_t mapMakeHeap(const MapCtx &Ctx, const TypeDesc *HMapDesc,
+                      int64_t Hint);
+
+/// Inserts or updates \p Key. \p Value points to ValueSize bytes. May grow
+/// the map (and free the old buckets, per Ctx.Opts).
+void mapAssign(const MapCtx &Ctx, uintptr_t HMap, int64_t Key,
+               const void *Value);
+
+/// Looks up \p Key; copies the value into \p Out if present.
+bool mapLookup(uintptr_t HMap, int64_t Key, void *Out, size_t ValueSize);
+
+/// Removes \p Key; returns true if it was present.
+bool mapDelete(uintptr_t HMap, int64_t Key);
+
+/// Number of live entries.
+int64_t mapLen(uintptr_t HMap);
+
+/// TcfreeMap (table 4): unwraps and frees the bucket array, then the hmap
+/// header itself. Each free is best-effort.
+bool tcfreeMap(Heap &H, uintptr_t HMap, int CacheId);
+
+} // namespace rt
+} // namespace gofree
+
+#endif // GOFREE_RUNTIME_MAPRT_H

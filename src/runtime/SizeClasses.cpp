@@ -1,0 +1,99 @@
+//===- runtime/SizeClasses.cpp - Size-segregated allocation classes -------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SizeClasses.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace gofree;
+using namespace gofree::rt;
+
+namespace {
+
+struct ClassTable {
+  std::vector<size_t> Sizes;
+  std::vector<size_t> SpanPages;
+  /// Lookup from (Bytes+7)/8 to class index, covering up to MaxSmallSize.
+  std::vector<int16_t> ClassOf;
+
+  ClassTable() {
+    // Geometric-ish progression mirroring TCMalloc's table shape. Steps
+    // divide their range evenly, so the sequence lands exactly on
+    // MaxSmallSize.
+    Sizes.push_back(8);
+    size_t S = 16;
+    Sizes.push_back(S);
+    while (S < MaxSmallSize) {
+      size_t Step;
+      if (S < 128)
+        Step = 16;
+      else if (S < 256)
+        Step = 32;
+      else if (S < 512)
+        Step = 64;
+      else if (S < 1024)
+        Step = 128;
+      else if (S < 2048)
+        Step = 256;
+      else if (S < 4096)
+        Step = 512;
+      else if (S < 8192)
+        Step = 1024;
+      else if (S < 16384)
+        Step = 2048;
+      else
+        Step = 4096;
+      S += Step;
+      Sizes.push_back(S);
+    }
+    assert(Sizes.back() == MaxSmallSize && "size table must end at the cap");
+    SpanPages.resize(Sizes.size());
+    for (size_t I = 0; I < Sizes.size(); ++I) {
+      // Enough pages for at least 4 elements, at most 16 pages.
+      size_t Need = (Sizes[I] * 4 + PageSize - 1) / PageSize;
+      if (Need < 1)
+        Need = 1;
+      if (Need > 16)
+        Need = 16;
+      SpanPages[I] = Need;
+    }
+    ClassOf.assign(MaxSmallSize / 8 + 1, -1);
+    size_t Cls = 0;
+    for (size_t Words = 1; Words <= MaxSmallSize / 8; ++Words) {
+      size_t Bytes = Words * 8;
+      while (Sizes[Cls] < Bytes)
+        ++Cls;
+      ClassOf[Words] = (int16_t)Cls;
+    }
+  }
+};
+
+const ClassTable &table() {
+  static const ClassTable T;
+  return T;
+}
+
+} // namespace
+
+int gofree::rt::numSizeClasses() { return (int)table().Sizes.size(); }
+
+int gofree::rt::sizeClassFor(size_t Bytes) {
+  assert(Bytes > 0 && Bytes <= MaxSmallSize && "not a small size");
+  size_t Words = (Bytes + 7) / 8;
+  return table().ClassOf[Words];
+}
+
+size_t gofree::rt::classSize(int Class) {
+  assert(Class >= 0 && Class < numSizeClasses() && "bad size class");
+  return table().Sizes[(size_t)Class];
+}
+
+size_t gofree::rt::classSpanPages(int Class) {
+  assert(Class >= 0 && Class < numSizeClasses() && "bad size class");
+  return table().SpanPages[(size_t)Class];
+}

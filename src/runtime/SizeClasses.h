@@ -1,0 +1,48 @@
+//===- runtime/SizeClasses.h - Size-segregated allocation classes -*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TCMalloc-style size classes (section 3.3): small objects are rounded up
+/// to one of a fixed set of sizes and served from size-segregated spans;
+/// anything above MaxSmallSize gets a dedicated span ("large object").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_RUNTIME_SIZECLASSES_H
+#define GOFREE_RUNTIME_SIZECLASSES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gofree {
+namespace rt {
+
+/// Page granularity of the page heap (Go uses 8 KiB pages).
+inline constexpr size_t PageSize = 8192;
+inline constexpr size_t PageShift = 13;
+
+/// Largest size served from size-classed spans; larger objects get a
+/// dedicated span (Go's threshold is 32 KiB).
+inline constexpr size_t MaxSmallSize = 32768;
+
+/// Number of small size classes.
+int numSizeClasses();
+
+/// Maps a byte size (1..MaxSmallSize) to its size class index.
+int sizeClassFor(size_t Bytes);
+
+/// The rounded-up object size of a size class.
+size_t classSize(int Class);
+
+/// Pages per span for a size class (chosen so a span holds a useful number
+/// of elements).
+size_t classSpanPages(int Class);
+
+} // namespace rt
+} // namespace gofree
+
+#endif // GOFREE_RUNTIME_SIZECLASSES_H

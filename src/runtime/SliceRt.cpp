@@ -1,0 +1,48 @@
+//===- runtime/SliceRt.cpp - Slice runtime support ------------------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SliceRt.h"
+
+#include <cstring>
+
+using namespace gofree;
+using namespace gofree::rt;
+
+uintptr_t gofree::rt::sliceAllocArray(Heap &H, const TypeDesc *ArrayDesc,
+                                      int64_t Cap, size_t ElemSize,
+                                      int CacheId) {
+  size_t Bytes = (size_t)(Cap > 0 ? Cap : 0) * ElemSize;
+  return H.allocate(Bytes ? Bytes : 8, ArrayDesc, AllocCat::Slice, CacheId);
+}
+
+bool gofree::rt::sliceGrowForAppend(Heap &H, SliceHeader &Hdr,
+                                    const TypeDesc *ArrayDesc, size_t ElemSize,
+                                    int CacheId, const SliceRtOptions &Opts) {
+  if (Hdr.Len < Hdr.Cap)
+    return false;
+  // Go's growth policy: double small slices, grow large ones by 25%.
+  int64_t NewCap = Hdr.Cap < 4 ? 4 : Hdr.Cap;
+  NewCap = Hdr.Cap < 256 ? NewCap * 2 : Hdr.Cap + Hdr.Cap / 4 + 1;
+  uintptr_t NewData = sliceAllocArray(H, ArrayDesc, NewCap, ElemSize, CacheId);
+  if (Hdr.Len > 0)
+    std::memcpy(reinterpret_cast<void *>(NewData),
+                reinterpret_cast<void *>(Hdr.Data),
+                (size_t)Hdr.Len * ElemSize);
+  uintptr_t OldData = Hdr.Data;
+  Hdr.Data = NewData;
+  Hdr.Cap = NewCap;
+  // Extension knob: the old array is exclusively owned by this slice value
+  // after the copy, so it can be freed like a map's old buckets. Stack
+  // arrays make tcfree give up, which is the safe outcome.
+  if (Opts.FreeOldOnGrow && OldData)
+    H.tcfreeObject(OldData, CacheId, FreeSource::TcfreeSlice);
+  return true;
+}
+
+bool gofree::rt::tcfreeSlice(Heap &H, const SliceHeader &Hdr, int CacheId) {
+  return H.tcfreeObject(Hdr.Data, CacheId, FreeSource::TcfreeSlice);
+}

@@ -1,0 +1,63 @@
+//===- runtime/SliceRt.h - Slice runtime support ---------------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Slice runtime (section 4.6.1): backing-array allocation and growth. A
+/// slice value is a 24-byte fat pointer {data, len, cap}; growth reallocates
+/// the array on the heap (always: like Go, growslice is a runtime call) and
+/// copies. tcfreeSlice unwraps the data pointer and forwards it to the
+/// heap's tcfree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_RUNTIME_SLICERT_H
+#define GOFREE_RUNTIME_SLICERT_H
+
+#include "runtime/Heap.h"
+#include "runtime/TypeDesc.h"
+
+#include <cstdint>
+
+namespace gofree {
+namespace rt {
+
+/// In-memory slice header layout.
+struct SliceHeader {
+  uintptr_t Data;
+  int64_t Len;
+  int64_t Cap;
+};
+static_assert(sizeof(SliceHeader) == 24, "slice header must be 24 bytes");
+
+/// Growth knobs.
+struct SliceRtOptions {
+  /// Extension ablation: explicitly free the old backing array after a
+  /// growth copies out of it, mirroring GrowMapAndFreeOld. The paper's
+  /// GoFree leaves old slice arrays to the GC; off by default.
+  bool FreeOldOnGrow = false;
+};
+
+/// Allocates a heap backing array for \p Cap elements described by
+/// \p ArrayDesc (an IsArray descriptor whose Elem size is the element
+/// size). Returns the array address.
+uintptr_t sliceAllocArray(Heap &H, const TypeDesc *ArrayDesc, int64_t Cap,
+                          size_t ElemSize, int CacheId);
+
+/// Grows \p Hdr in place to hold at least Len+1 elements, copying the
+/// existing contents. Returns true if a reallocation happened.
+bool sliceGrowForAppend(Heap &H, SliceHeader &Hdr, const TypeDesc *ArrayDesc,
+                        size_t ElemSize, int CacheId,
+                        const SliceRtOptions &Opts);
+
+/// TcfreeSlice (table 4): unwraps the backing array address and forwards it
+/// to tcfree. Safe on stack-backed and empty slices (gives up).
+bool tcfreeSlice(Heap &H, const SliceHeader &Hdr, int CacheId);
+
+} // namespace rt
+} // namespace gofree
+
+#endif // GOFREE_RUNTIME_SLICERT_H

@@ -1,0 +1,63 @@
+//===- runtime/TypeDesc.h - Runtime type descriptors -----------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime type descriptors: the GC's precise pointer maps. Every heap
+/// allocation records the TypeDesc of its element so the mark phase can
+/// scan exactly the pointer-bearing slots, like Go's heap bitmap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_RUNTIME_TYPEDESC_H
+#define GOFREE_RUNTIME_TYPEDESC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gofree {
+namespace rt {
+
+/// How a pointer-bearing slot is laid out.
+enum class SlotKind : uint8_t {
+  Raw,   ///< A plain machine pointer (possibly null or a stack address).
+  Slice, ///< A 24-byte slice header {data, len, cap}; data is scanned.
+  Map,   ///< An 8-byte pointer to an hmap object.
+};
+
+/// One pointer-bearing slot within a type.
+struct PtrSlot {
+  uint32_t Offset;
+  SlotKind Kind;
+};
+
+/// Describes the layout of one allocated element. Array allocations (slice
+/// backing stores, map bucket arrays) set IsArray and Elem; the object is
+/// then a sequence of ObjectSize/Elem->Size elements.
+struct TypeDesc {
+  std::string Name;
+  size_t Size = 8;              ///< Element size in bytes.
+  bool IsArray = false;
+  const TypeDesc *Elem = nullptr;
+  std::vector<PtrSlot> Slots;   ///< Empty for pointer-free data.
+
+  bool hasPointers() const {
+    return IsArray ? (Elem && Elem->hasPointers()) : !Slots.empty();
+  }
+};
+
+/// A pointer-free descriptor usable for any scalar payload.
+inline const TypeDesc *scalarDesc() {
+  static const TypeDesc D{"scalar", 8, false, nullptr, {}};
+  return &D;
+}
+
+} // namespace rt
+} // namespace gofree
+
+#endif // GOFREE_RUNTIME_TYPEDESC_H

@@ -1,0 +1,28 @@
+//===- support/Diag.cpp - Diagnostics collection --------------------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+using namespace gofree;
+
+std::string Diag::str() const {
+  const char *KindStr = "error";
+  if (Kind == DiagKind::Warning)
+    KindStr = "warning";
+  else if (Kind == DiagKind::Note)
+    KindStr = "note";
+  return Loc.str() + ": " + KindStr + ": " + Message;
+}
+
+std::string DiagSink::dump() const {
+  std::string Out;
+  for (const Diag &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,65 @@
+//===- support/Diag.h - Diagnostics collection -----------------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny diagnostics engine. The frontend reports errors into a DiagSink and
+/// callers decide whether to print or assert on them; library code never
+/// writes to stderr directly and never throws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_SUPPORT_DIAG_H
+#define GOFREE_SUPPORT_DIAG_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace gofree {
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diag {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Accumulates diagnostics produced during a compilation.
+class DiagSink {
+public:
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Msg)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Msg)});
+  }
+  void note(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Msg)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diag> &all() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string dump() const;
+
+private:
+  std::vector<Diag> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace gofree
+
+#endif // GOFREE_SUPPORT_DIAG_H

@@ -1,0 +1,60 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic RNG. All workload generators and property
+/// tests seed this explicitly so every run of the benchmark harness and the
+/// test suite is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_SUPPORT_RNG_H
+#define GOFREE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace gofree {
+
+/// Deterministic 64-bit RNG (SplitMix64).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "below(0) is meaningless");
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + (int64_t)below((uint64_t)(Hi - Lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Bernoulli trial with probability \p P.
+  bool chance(double P) { return unit() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace gofree
+
+#endif // GOFREE_SUPPORT_RNG_H

@@ -1,0 +1,37 @@
+//===- support/SourceLoc.h - Source positions ------------------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column positions attached to tokens, AST nodes and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_SUPPORT_SOURCELOC_H
+#define GOFREE_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace gofree {
+
+/// A 1-based line/column pair. Line 0 means "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace gofree
+
+#endif // GOFREE_SUPPORT_SOURCELOC_H

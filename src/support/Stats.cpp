@@ -1,0 +1,119 @@
+//===- support/Stats.cpp - Sample statistics and significance ------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace gofree;
+
+Summary gofree::summarize(const std::vector<double> &Xs) {
+  Summary S;
+  S.N = Xs.size();
+  if (Xs.empty())
+    return S;
+  double Sum = 0.0;
+  S.Min = Xs[0];
+  S.Max = Xs[0];
+  for (double X : Xs) {
+    Sum += X;
+    if (X < S.Min)
+      S.Min = X;
+    if (X > S.Max)
+      S.Max = X;
+  }
+  S.Mean = Sum / (double)Xs.size();
+  if (Xs.size() < 2)
+    return S;
+  double SqDev = 0.0;
+  for (double X : Xs) {
+    double D = X - S.Mean;
+    SqDev += D * D;
+  }
+  S.Stdev = std::sqrt(SqDev / (double)(Xs.size() - 1));
+  return S;
+}
+
+/// Continued-fraction evaluation for the incomplete beta function
+/// (modified Lentz's method, cf. Numerical Recipes betacf).
+static double betaContinuedFraction(double A, double B, double X) {
+  const double Tiny = 1e-300;
+  const double Eps = 3e-14;
+  double Qab = A + B;
+  double Qap = A + 1.0;
+  double Qam = A - 1.0;
+  double C = 1.0;
+  double D = 1.0 - Qab * X / Qap;
+  if (std::fabs(D) < Tiny)
+    D = Tiny;
+  D = 1.0 / D;
+  double H = D;
+  for (int M = 1; M <= 300; ++M) {
+    int M2 = 2 * M;
+    double Aa = M * (B - M) * X / ((Qam + M2) * (A + M2));
+    D = 1.0 + Aa * D;
+    if (std::fabs(D) < Tiny)
+      D = Tiny;
+    C = 1.0 + Aa / C;
+    if (std::fabs(C) < Tiny)
+      C = Tiny;
+    D = 1.0 / D;
+    H *= D * C;
+    Aa = -(A + M) * (Qab + M) * X / ((A + M2) * (Qap + M2));
+    D = 1.0 + Aa * D;
+    if (std::fabs(D) < Tiny)
+      D = Tiny;
+    C = 1.0 + Aa / C;
+    if (std::fabs(C) < Tiny)
+      C = Tiny;
+    D = 1.0 / D;
+    double Del = D * C;
+    H *= Del;
+    if (std::fabs(Del - 1.0) < Eps)
+      break;
+  }
+  return H;
+}
+
+double gofree::regularizedIncompleteBeta(double A, double B, double X) {
+  if (X <= 0.0)
+    return 0.0;
+  if (X >= 1.0)
+    return 1.0;
+  double LnBeta = std::lgamma(A + B) - std::lgamma(A) - std::lgamma(B) +
+                  A * std::log(X) + B * std::log(1.0 - X);
+  double Front = std::exp(LnBeta);
+  // Use the continued fraction in the region where it converges quickly.
+  if (X < (A + 1.0) / (A + B + 2.0))
+    return Front * betaContinuedFraction(A, B, X) / A;
+  return 1.0 - Front * betaContinuedFraction(B, A, 1.0 - X) / B;
+}
+
+double gofree::studentTTwoSidedP(double T, double Df) {
+  assert(Df > 0.0 && "degrees of freedom must be positive");
+  double X = Df / (Df + T * T);
+  return regularizedIncompleteBeta(Df / 2.0, 0.5, X);
+}
+
+double gofree::welchTTestPValue(const std::vector<double> &A,
+                                const std::vector<double> &B) {
+  Summary Sa = summarize(A);
+  Summary Sb = summarize(B);
+  if (Sa.N < 2 || Sb.N < 2)
+    return 1.0;
+  double Va = Sa.Stdev * Sa.Stdev / (double)Sa.N;
+  double Vb = Sb.Stdev * Sb.Stdev / (double)Sb.N;
+  double Denom = Va + Vb;
+  if (Denom == 0.0)
+    return Sa.Mean == Sb.Mean ? 1.0 : 0.0;
+  double T = (Sa.Mean - Sb.Mean) / std::sqrt(Denom);
+  double DfNum = Denom * Denom;
+  double DfDen = Va * Va / (double)(Sa.N - 1) + Vb * Vb / (double)(Sb.N - 1);
+  double Df = DfDen == 0.0 ? (double)(Sa.N + Sb.N - 2) : DfNum / DfDen;
+  return studentTTwoSidedP(T, Df);
+}

@@ -1,0 +1,51 @@
+//===- support/Stats.h - Sample statistics and significance ----*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics (mean, stdev) and Welch's two-sample t-test, used by
+/// the benchmark harness to produce the ratio/stdev/p-value columns of the
+/// paper's table 7 and the compilation-speed comparison of section 6.7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_SUPPORT_STATS_H
+#define GOFREE_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace gofree {
+
+/// Summary of one sample of observations.
+struct Summary {
+  size_t N = 0;
+  double Mean = 0.0;
+  double Stdev = 0.0; ///< Sample standard deviation (N-1 denominator).
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Computes the summary statistics of \p Xs. An empty sample yields zeros.
+Summary summarize(const std::vector<double> &Xs);
+
+/// Welch's two-sample two-sided t-test. Returns the p-value for the null
+/// hypothesis that \p A and \p B have equal means. Requires both samples to
+/// have at least two observations; degenerate inputs (zero variance in both)
+/// return 1.0 when the means coincide and 0.0 otherwise.
+double welchTTestPValue(const std::vector<double> &A,
+                        const std::vector<double> &B);
+
+/// Regularized incomplete beta function I_x(a, b), exposed for testing.
+double regularizedIncompleteBeta(double A, double B, double X);
+
+/// Two-sided Student-t tail probability for statistic \p T with \p Df degrees
+/// of freedom, exposed for testing.
+double studentTTwoSidedP(double T, double Df);
+
+} // namespace gofree
+
+#endif // GOFREE_SUPPORT_STATS_H

@@ -1,0 +1,68 @@
+//===- support/UniqueQueue.h - FIFO queue with membership test -*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The work queue used by the escape-property propagation algorithm (fig. 5
+/// of the paper): a FIFO that silently drops pushes of elements already
+/// enqueued, so each location is present at most once. This is the structure
+/// behind the SPFA/queue-optimized Bellman-Ford walk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_SUPPORT_UNIQUEQUEUE_H
+#define GOFREE_SUPPORT_UNIQUEQUEUE_H
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace gofree {
+
+/// FIFO over dense indices [0, Universe) where each index can be enqueued at
+/// most once at a time. Re-pushing an element that is currently queued is a
+/// no-op; once popped it may be pushed again.
+class UniqueQueue {
+public:
+  explicit UniqueQueue(size_t Universe) : InQueue(Universe, false) {}
+
+  /// Grows the universe so indices up to \p Universe-1 become valid.
+  void growUniverse(size_t Universe) {
+    if (Universe > InQueue.size())
+      InQueue.resize(Universe, false);
+  }
+
+  bool empty() const { return Queue.empty(); }
+  size_t size() const { return Queue.size(); }
+
+  /// Enqueues \p Idx unless it is already queued. Returns true if enqueued.
+  bool push(size_t Idx) {
+    assert(Idx < InQueue.size() && "index outside queue universe");
+    if (InQueue[Idx])
+      return false;
+    InQueue[Idx] = true;
+    Queue.push_back(Idx);
+    return true;
+  }
+
+  /// Pops the oldest element. Precondition: !empty().
+  size_t pop() {
+    assert(!Queue.empty() && "pop from empty UniqueQueue");
+    size_t Idx = Queue.front();
+    Queue.pop_front();
+    InQueue[Idx] = false;
+    return Idx;
+  }
+
+private:
+  std::deque<size_t> Queue;
+  std::vector<bool> InQueue;
+};
+
+} // namespace gofree
+
+#endif // GOFREE_SUPPORT_UNIQUEQUEUE_H

@@ -1,0 +1,138 @@
+//===- workloads/Synth.cpp - Synthetic program generator ------------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Synth.h"
+
+#include "support/Rng.h"
+
+using namespace gofree;
+using namespace gofree::workloads;
+
+namespace {
+
+std::string num(int64_t V) { return std::to_string(V); }
+
+/// Emits one random statement into a function body. Statements only read
+/// variables that are guaranteed to exist: ints x0..x3, acc, loop var j,
+/// slice buf, map m (when enabled), and the parameters a and s.
+void emitStmt(std::string &Out, Rng &R, const SynthOptions &Opts,
+              [[maybe_unused]] int FuncIdx) {
+  int Kind = (int)R.below(12);
+  std::string X = "x" + num((int64_t)R.below(4));
+  std::string C = num(R.range(1, 97));
+  switch (Kind) {
+  case 0:
+  case 1:
+    Out += "    acc = acc + " + X + "*" + C + " % 65537\n";
+    return;
+  case 2:
+    Out += "    " + X + " = " + X + " + acc % " + C + " + 1\n";
+    return;
+  case 3:
+    Out += "    buf = append(buf, acc + " + C + ")\n";
+    return;
+  case 4:
+    Out += "    if acc % " + num(R.range(2, 7)) + " == 0 {\n"
+           "      acc = acc + " + C + "\n"
+           "    } else {\n"
+           "      acc = acc - " + X + " % " + C + "\n"
+           "    }\n";
+    return;
+  case 5:
+    if (Opts.UseMaps) {
+      Out += "    m[acc % " + num(R.range(16, 512)) + "] = " + X + "\n";
+      return;
+    }
+    Out += "    acc = acc + " + C + "\n";
+    return;
+  case 6:
+    if (Opts.UseMaps) {
+      Out += "    acc = acc + m[" + X + " % " +
+             num(R.range(16, 512)) + "]\n";
+      return;
+    }
+    Out += "    acc = acc * 3 % 1000003\n";
+    return;
+  case 7:
+    if (Opts.UsePointers) {
+      Out += "    {\n"
+             "      p := &" + X + "\n"
+             "      *p = *p + " + C + "\n"
+             "      acc = acc + *p % 127\n"
+             "    }\n";
+      return;
+    }
+    Out += "    acc = acc + 2\n";
+    return;
+  case 8:
+    Out += "    {\n"
+           "      t := make([]int, j % 5 + 1)\n"
+           "      t[0] = acc + " + C + "\n"
+           "      acc = acc + t[0] % 8191\n"
+           "    }\n";
+    return;
+  case 9:
+    Out += "    acc = acc + len(s) + len(buf)\n";
+    return;
+  case 10:
+    // Sub-slice of the growing buffer (guarded for emptiness).
+    Out += "    if len(buf) > 2 {\n"
+           "      sub := buf[1 : len(buf) - 1]\n"
+           "      acc = acc + len(sub) + sub[0] % " + C + "\n"
+           "    }\n";
+    return;
+  case 11:
+    Out += "    {\n"
+           "      dup := make([]int, len(buf))\n"
+           "      acc = acc + copy(dup, buf) + " + C + "\n"
+           "    }\n";
+    return;
+  }
+}
+
+} // namespace
+
+std::string gofree::workloads::synthProgram(const SynthOptions &Opts) {
+  Rng R(Opts.Seed);
+  std::string Out;
+  Out.reserve((size_t)Opts.NumFuncs * (size_t)Opts.StmtsPerFunc * 48);
+
+  for (int F = 0; F < Opts.NumFuncs; ++F) {
+    Out += "func f" + num(F) + "(a int, s []int) int {\n";
+    Out += "  acc := a\n";
+    Out += "  x0 := a + 1\n  x1 := a * 2 + 3\n  x2 := a % 7\n"
+           "  x3 := 11 - a % 5\n";
+    Out += "  buf := make([]int, 0, 4)\n";
+    if (Opts.UseMaps)
+      Out += "  m := make(map[int]int, 16)\n";
+    Out += "  for j := 0; j < a % 5 + 1; j = j + 1 {\n";
+    for (int S = 0; S < Opts.StmtsPerFunc; ++S)
+      emitStmt(Out, R, Opts, F);
+    Out += "  }\n";
+    // Exactly one call per function, outside the loop, so the dynamic call
+    // tree is a chain (linear in the number of functions).
+    if (Opts.UseCalls && F > 0)
+      Out += "  acc = acc + f" + num(F - 1) + "(acc % 13, buf) % 65521\n";
+    if (Opts.UseMaps)
+      Out += "  acc = acc + len(m)\n";
+    Out += "  if len(buf) > 0 {\n"
+           "    acc = acc + buf[len(buf) - 1] % 251\n"
+           "  }\n";
+    Out += "  return acc\n";
+    Out += "}\n\n";
+  }
+
+  Out += "func main(n int) {\n"
+         "  total := 0\n"
+         "  seed := make([]int, 4)\n"
+         "  for i := 0; i < n; i = i + 1 {\n"
+         "    total = total + f" + num(Opts.NumFuncs - 1) + "(i, seed)\n"
+         "  }\n"
+         "  sink(total % 1000000007)\n"
+         "}\n";
+  return Out;
+}

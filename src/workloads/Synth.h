@@ -1,0 +1,43 @@
+//===- workloads/Synth.h - Synthetic program generator ---------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of well-typed MiniGo programs of a chosen size.
+/// Used by the compilation-speed benchmark (section 6.7), the complexity
+/// ablation (O(N^2) vs O(N^3)), and the property-based robustness tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_WORKLOADS_SYNTH_H
+#define GOFREE_WORKLOADS_SYNTH_H
+
+#include <cstdint>
+#include <string>
+
+namespace gofree {
+namespace workloads {
+
+/// Shape of the generated program.
+struct SynthOptions {
+  int NumFuncs = 20;
+  int StmtsPerFunc = 30;
+  uint64_t Seed = 1;
+  /// Probability weights for the statement mix.
+  bool UseMaps = true;
+  bool UseCalls = true;
+  bool UsePointers = true;
+};
+
+/// Generates a well-typed program with a `main(n int)` entry. Every
+/// generated program type-checks, terminates, and sinks a deterministic
+/// checksum.
+std::string synthProgram(const SynthOptions &Opts);
+
+} // namespace workloads
+} // namespace gofree
+
+#endif // GOFREE_WORKLOADS_SYNTH_H

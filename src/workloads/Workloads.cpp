@@ -1,0 +1,451 @@
+//===- workloads/Workloads.cpp - Synthetic subject programs ---------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// Each program below stands in for one of the paper's subjects (table 6).
+// The shapes to preserve, from tables 7-9:
+//
+//   project    free-ratio  freed-bytes breakdown (slice/map/map-grow)
+//   gocompiler   ~12%        56% / 14% / 30%
+//   hugo         ~ 6%        56% / 14% / 30%
+//   badger       ~ 4%         0% /  0% / 100%
+//   gojson       ~23%         0% /  0% / 100%
+//   scheck       ~15%         2% / 50% / 48%
+//   slayout      ~25%         1% /  0% / 99%
+//
+// The knobs: short-lived slices/maps that GoFree can free, long-lived maps
+// whose growth abandons bucket arrays (GrowMapAndFreeOld), and escaping
+// allocations that only the GC reclaims (they pull the free ratio down).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <cassert>
+
+using namespace gofree;
+using namespace gofree::workloads;
+
+namespace {
+
+// The Go compiler: lots of short-lived token/IR slices per compiled
+// function, a scratch label map per function, a growing global symbol
+// table, and object code that escapes into the build result.
+const char *GoCompilerSrc = R"go(
+type Package struct {
+  nfuncs int
+  size   int
+  syms   map[int]int
+  debug  [][]int
+}
+
+type Pos struct {
+  line int
+  col  int
+}
+
+func lexFunc(id int, size int) []int {
+  toks := make([]int, 0, 8)
+  for i := 0; i < size; i++ {
+    toks = append(toks, id*31 + i*7)
+  }
+  return toks
+}
+
+func optimize(code []int) int {
+  work := make([]int, len(code))
+  for i := 0; i < len(code); i++ {
+    work[i] = code[i]*2 + 1
+  }
+  acc := 0
+  for i := 0; i < len(work); i++ {
+    acc += work[i] % 1000003
+  }
+  return acc
+}
+
+func compileFunc(id int, size int, pkg *Package) (int, []int) {
+  toks := lexFunc(id, size)
+  labels := make(map[int]int, 16)
+  code := make([]int, 0, 8)
+  syms := pkg.syms
+  for i := 0; i < len(toks); i++ {
+    t := toks[i]
+    pos := &Pos{line: id, col: i}
+    t += pos.line % 7 - pos.line % 7
+    labels[t % 31] = i
+    if t % 9 == 0 {
+      syms[(id*191 + i) % 65521] = t
+    }
+    code = append(code, t + labels[t % 31])
+  }
+  // DWARF-ish debug info escapes into the package.
+  dbg := make([]int, size * 10)
+  for i := 0; i < len(dbg); i += 10 {
+    dbg[i] = id
+    dbg[i+1] = i
+  }
+  pkg.debug = append(pkg.debug, dbg)
+  acc := optimize(code)
+  return acc, code
+}
+
+func main(nfuncs int) {
+  objects := make([][]int, 0, 8)
+  pkg := &Package{nfuncs: nfuncs, size: 0, syms: make(map[int]int),
+                  debug: make([][]int, 0, 8)}
+  total := 0
+  for f := 0; f < nfuncs; f++ {
+    fsize := f % 200 + 60
+    acc, code := compileFunc(f, fsize, pkg)
+    total += acc
+    // Object code escapes into the build output and lives to the end.
+    objects = append(objects, code)
+    pkg.size = pkg.size + len(code)
+  }
+  sink(total % 1000000007)
+  sink(pkg.size)
+  sink(len(pkg.syms))
+  sink(len(objects))
+}
+)go";
+
+// hugo: renders pages. Per-page render buffers are freeable but the
+// rendered HTML escapes into the site output; a growing taxonomy index and
+// small per-page front-matter maps add map traffic.
+const char *HugoSrc = R"go(
+type Site struct {
+  npages int
+  bytes  int
+  pages  [][]int
+}
+
+type Style struct {
+  bold   int
+  indent int
+}
+
+func renderPage(id int, words int, site *Site, taxonomy map[int]int) int {
+  buf := make([]int, 0, 8)
+  for w := 0; w < words; w++ {
+    st := &Style{bold: w % 2, indent: w % 4}
+    buf = append(buf, id*1009 + w + st.bold*0)
+  }
+  front := make(map[int]int, 12)
+  front[id % 31] = id
+  front[id % 17] = words
+  html := make([]int, len(buf) * 8)
+  for i := 0; i < len(buf); i++ {
+    html[i*8] = buf[i]
+    html[i*8+1] = buf[i] % 251
+    html[i*8+2] = front[id % 31]
+  }
+  taxonomy[(id*2654435761) % 999983] = id
+  for w := 0; w < words; w += 50 {
+    taxonomy[(id*31 + w*131) % 999983] = w
+  }
+  site.pages = append(site.pages, html)
+  site.bytes = site.bytes + len(html)
+  h := 0
+  for i := 0; i < len(html); i += 8 {
+    h += html[i] % 65537
+  }
+  return h
+}
+
+func main(npages int) {
+  site := &Site{npages: npages, bytes: 0, pages: make([][]int, 0, 8)}
+  taxonomy := make(map[int]int)
+  digest := 0
+  for p := 0; p < npages; p++ {
+    digest += renderPage(p, p % 300 + 40, site, taxonomy)
+  }
+  sink(digest % 1000000007)
+  sink(site.bytes)
+  sink(len(taxonomy))
+}
+)go";
+
+// badger: an LSM-style KV store. Nearly all reclaimable space comes from
+// the memtable's bucket arrays abandoned while it grows; the value log and
+// flushed tables escape and stay for the GC.
+const char *BadgerSrc = R"go(
+type Entry struct {
+  klen int
+  vlen int
+}
+
+type DB struct {
+  memtable map[int]int
+  vlog     []int
+  flushed  int
+  level0   [][]int
+}
+
+func open() *DB {
+  db := &DB{memtable: make(map[int]int), vlog: make([]int, 0, 8),
+            flushed: 0, level0: make([][]int, 0, 8)}
+  return db
+}
+
+func put(db *DB, key int, value int) {
+  hdr := &Entry{klen: 8, vlen: 8}
+  mt := db.memtable
+  mt[key] = len(db.vlog) + hdr.klen - 8
+  db.vlog = append(db.vlog, value)
+  db.vlog = append(db.vlog, key)
+  db.vlog = append(db.vlog, value % 257)
+  db.vlog = append(db.vlog, value * 3)
+  if value % 16 == 0 {
+    blob := make([]int, 64)
+    blob[0] = key
+    blob[63] = value
+    db.level0 = append(db.level0, blob)
+  }
+}
+
+func get(db *DB, key int) int {
+  mt := db.memtable
+  off := mt[key]
+  if off < len(db.vlog) {
+    return db.vlog[off]
+  }
+  return 0
+}
+
+func flush(db *DB) {
+  mt := db.memtable
+  sst := make([]int, len(mt))
+  db.level0 = append(db.level0, sst)
+  db.flushed = db.flushed + len(mt)
+  db.memtable = make(map[int]int)
+}
+
+func main(nops int) {
+  db := open()
+  digest := 0
+  for i := 0; i < nops; i++ {
+    key := i*2654435761 % 1000003
+    put(db, key, i)
+    if i % 7 == 0 {
+      digest += get(db, key)
+    }
+    if i % 20000 == 19999 {
+      flush(db)
+    }
+  }
+  sink(digest % 1000000007)
+  sink(db.flushed)
+  sink(len(db.level0))
+  sink(len(db.vlog))
+}
+)go";
+
+// Go/json: parses documents into object maps. Each document's map and raw
+// token buffer escape to the caller (referenced across iterations, so
+// never explicitly freed), but the maps grow aggressively while being
+// built: GrowMapAndFreeOld reclaims every abandoned bucket array.
+const char *GoJsonSrc = R"go(
+func scan(id int, fields int) []int {
+  raw := make([]int, fields * 8)
+  for i := 0; i < len(raw); i++ {
+    raw[i] = id*524287 + i
+  }
+  return raw
+}
+
+type Token struct {
+  kind int
+  off  int
+}
+
+func parseDoc(raw []int, id int) map[int]int {
+  obj := make(map[int]int)
+  for f := 0; f*8 < len(raw); f++ {
+    tok := &Token{kind: f % 5, off: f * 8}
+    obj[id*131071 + f] = raw[tok.off] % 1000003
+  }
+  return obj
+}
+
+func main(ndocs int) {
+  digest := 0
+  var lastRaw []int
+  var lastDoc map[int]int
+  for d := 0; d < ndocs; d++ {
+    fields := d % 400 + 100
+    raw := scan(d, fields)
+    doc := parseDoc(raw, d)
+    digest += doc[d*131071 + fields/2] + raw[fields]
+    lastRaw = raw
+    lastDoc = doc
+  }
+  sink(digest % 1000000007)
+  sink(len(lastRaw))
+  sink(len(lastDoc))
+}
+)go";
+
+// staticcheck: per-function fact maps are discarded after each check
+// (explicitly freeable), a global fact cache grows, temp slices contribute
+// a sliver, and diagnostics escape into the final report.
+const char *ScheckSrc = R"go(
+type Report struct {
+  ndiags int
+  diags  [][]int
+  cache  map[int]int
+}
+
+type Fact struct {
+  kind  int
+  value int
+}
+
+func checkFunc(id int, size int, rep *Report) int {
+  cache := rep.cache
+  facts := make(map[int]int, 16)
+  uses := make([]int, 0, 8)
+  for i := 0; i < size; i++ {
+    fct := &Fact{kind: i % 3, value: id}
+    v := id*69061 + i + fct.kind*0
+    facts[v % 61] = i
+    if v % 11 == 0 {
+      cache[(id*127 + i) % 999983] = v
+      uses = append(uses, v)
+    }
+  }
+  diag := make([]int, size * 8)
+  for i := 0; i < len(diag); i += 8 {
+    diag[i] = id + i
+  }
+  rep.diags = append(rep.diags, diag)
+  rep.ndiags = rep.ndiags + 1
+  score := len(uses)
+  for i := 0; i < len(uses); i++ {
+    score += facts[uses[i] % 61]
+  }
+  return score
+}
+
+func main(nfuncs int) {
+  rep := &Report{ndiags: 0, diags: make([][]int, 0, 8),
+                 cache: make(map[int]int)}
+  total := 0
+  for f := 0; f < nfuncs; f++ {
+    total += checkFunc(f, f % 250 + 80, rep)
+  }
+  sink(total % 1000000007)
+  sink(len(rep.cache))
+  sink(rep.ndiags)
+}
+)go";
+
+// structlayout: computes layouts for many struct types; almost all
+// reclaimable bytes come from one big layout table growing, while the
+// per-struct offset tables escape into the result set.
+const char *SlayoutSrc = R"go(
+type FieldInfo struct {
+  size  int
+  align int
+}
+
+func analyzeStruct(id int, nfields int, table map[int]int) []int {
+  offs := make([]int, nfields * 8)
+  offset := 0
+  for f := 0; f < nfields; f++ {
+    fi := &FieldInfo{size: (id + f) % 3 * 8 + 8, align: 8}
+    fieldSize := fi.size
+    table[id*1021 + f] = offset
+    offs[f*8] = offset
+    offset += fieldSize
+  }
+  offs[nfields*8 - 1] = offset
+  return offs
+}
+
+func main(nstructs int) {
+  table := make(map[int]int)
+  results := make([][]int, 0, 8)
+  total := 0
+  for s := 0; s < nstructs; s++ {
+    offs := analyzeStruct(s, s % 25 + 4, table)
+    total += offs[len(offs) - 1]
+    results = append(results, offs)
+  }
+  sink(total % 1000000007)
+  sink(len(table))
+  sink(len(results))
+}
+)go";
+
+// Figure 10's microbenchmark: one temp map of c entries per round; bigger
+// c means bigger explicitly deallocated objects.
+const char *MicroMapSrc = R"go(
+func micro(rounds int, c int) {
+  total := 0
+  for r := 0; r < rounds; r++ {
+    m := make(map[int]int, c)
+    for k := 0; k < c; k++ {
+      m[k*2654435761 % 100000007] = k + r
+    }
+    total += len(m)
+  }
+  sink(total)
+}
+)go";
+
+std::vector<Workload> buildSubjects() {
+  return {
+      {"gocompiler",
+       "Go-compiler-like: temp token/IR slices, scratch label maps, growing "
+       "symbol table, escaping object code",
+       GoCompilerSrc, "main", {4000}, {300}},
+      {"hugo",
+       "hugo-like page renderer: per-page buffers, output escapes into the "
+       "site, growing taxonomy",
+       HugoSrc, "main", {3000}, {200}},
+      {"badger",
+       "badger-like KV store: growing memtable dominates reclaimable space; "
+       "value log escapes",
+       BadgerSrc, "main", {120000}, {5000}},
+      {"gojson",
+       "encoding/json-like parser: escaping object maps that grow "
+       "aggressively while built",
+       GoJsonSrc, "main", {1500}, {150}},
+      {"scheck",
+       "staticcheck-like analyzer: per-function fact maps freed, global "
+       "cache grows, diagnostics escape",
+       ScheckSrc, "main", {3000}, {250}},
+      {"slayout",
+       "structlayout-like tool: one big growing layout table, escaping "
+       "offset tables",
+       SlayoutSrc, "main", {20000}, {1500}},
+  };
+}
+
+} // namespace
+
+const std::vector<Workload> &gofree::workloads::subjectWorkloads() {
+  static const std::vector<Workload> Subjects = buildSubjects();
+  return Subjects;
+}
+
+const Workload &gofree::workloads::subjectWorkload(const std::string &Name) {
+  for (const Workload &W : subjectWorkloads())
+    if (W.Name == Name)
+      return W;
+  assert(false && "unknown workload name");
+  return subjectWorkloads().front();
+}
+
+const Workload &gofree::workloads::microMapWorkload() {
+  static const Workload Micro = {
+      "micromap",
+      "fig. 10 microbenchmark: per-round temp map of c entries",
+      MicroMapSrc,
+      "micro",
+      {20000, 100},
+      {500, 50}};
+  return Micro;
+}

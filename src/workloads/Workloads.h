@@ -1,0 +1,54 @@
+//===- workloads/Workloads.h - Synthetic subject programs ------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation's subject programs (table 6). The paper measures six
+/// open-source Go programs; we cannot run those, so each is replaced by a
+/// synthetic MiniGo program whose allocation/lifetime profile matches what
+/// the paper reports for it (tables 7-9): the mix of freeable temp slices,
+/// freeable temp maps, growing long-lived maps, and escaping allocations.
+///
+/// Also provides the map microbenchmark of figure 10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_WORKLOADS_WORKLOADS_H
+#define GOFREE_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gofree {
+namespace workloads {
+
+/// One benchmarkable program.
+struct Workload {
+  std::string Name;        ///< Paper's project name (table 6).
+  std::string Description;
+  std::string Source;      ///< MiniGo source text.
+  std::string Entry = "main";
+  std::vector<int64_t> Args;      ///< Default (bench) size.
+  std::vector<int64_t> SmallArgs; ///< Quick size for tests.
+};
+
+/// The six subject programs, in table 6 order:
+/// gocompiler, hugo, badger, gojson, scheck, slayout.
+const std::vector<Workload> &subjectWorkloads();
+
+/// Looks a subject up by name; asserts on unknown names.
+const Workload &subjectWorkload(const std::string &Name);
+
+/// The figure 10 microbenchmark: entry micro(rounds, c) builds and drops
+/// one temp map of c entries per round. A bigger c means bigger deallocated
+/// objects.
+const Workload &microMapWorkload();
+
+} // namespace workloads
+} // namespace gofree
+
+#endif // GOFREE_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,319 @@
+//===- tests/AdvancedInterpTest.cpp - Deeper semantic coverage ------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// Corner-case semantics that the escape analysis and runtime must not
+// disturb: nested containers, structs with pointer-bearing fields under
+// GC, shadowing, value-vs-reference behavior, deep defer stacks, and
+// GC-through-struct-field chains.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace gofree;
+using namespace gofree::compiler;
+
+namespace {
+
+uint64_t runMode(const std::string &Src, CompileMode Mode,
+                 const std::vector<int64_t> &Args, ExecOptions EO = {}) {
+  CompileOptions CO;
+  CO.Mode = Mode;
+  Compilation C = compile(Src, CO);
+  EXPECT_TRUE(C.ok()) << C.Errors;
+  ExecOutcome O = execute(C, "main", Args, EO);
+  EXPECT_TRUE(O.Run.ok()) << O.Run.Error;
+  return O.Run.Checksum;
+}
+
+/// Runs under Go, GoFree, GoFree+tight-GC, GoFree+poison: all four must
+/// produce one checksum, returned for comparison with an expected program.
+uint64_t everyWay(const std::string &Src,
+                  const std::vector<int64_t> &Args = {}) {
+  uint64_t Go = runMode(Src, CompileMode::Go, Args);
+  uint64_t Free = runMode(Src, CompileMode::GoFree, Args);
+  ExecOptions Tight;
+  Tight.Heap.MinHeapTrigger = 16 * 1024;
+  uint64_t Stressed = runMode(Src, CompileMode::GoFree, Args, Tight);
+  ExecOptions Poison;
+  Poison.Heap.Mock = rt::MockTcfree::Flip;
+  uint64_t Poisoned = runMode(Src, CompileMode::GoFree, Args, Poison);
+  EXPECT_EQ(Go, Free);
+  EXPECT_EQ(Go, Stressed);
+  EXPECT_EQ(Go, Poisoned);
+  return Go;
+}
+
+uint64_t expect(const std::string &Sinks) {
+  return runMode("func main() {\n" + Sinks + "}\n", CompileMode::Go, {});
+}
+
+} // namespace
+
+TEST(AdvancedInterpTest, NestedMaps) {
+  EXPECT_EQ(everyWay("func main() {\n"
+                     "  outer := make(map[int]map[int]int)\n"
+                     "  for i := 0; i < 10; i = i + 1 {\n"
+                     "    inner := make(map[int]int)\n"
+                     "    for j := 0; j < 10; j = j + 1 {\n"
+                     "      inner[j] = i*10 + j\n"
+                     "    }\n"
+                     "    outer[i] = inner\n"
+                     "  }\n"
+                     "  m := outer[7]\n"
+                     "  sink(m[3])\n"
+                     "  sink(len(outer))\n"
+                     "}\n"),
+            expect("sink(73)\nsink(10)\n"));
+}
+
+TEST(AdvancedInterpTest, SliceOfSlices) {
+  EXPECT_EQ(everyWay("func main(n int) {\n"
+                     "  rows := make([][]int, 0)\n"
+                     "  for i := 0; i < n; i = i + 1 {\n"
+                     "    row := make([]int, i + 1)\n"
+                     "    row[i] = i * i\n"
+                     "    rows = append(rows, row)\n"
+                     "  }\n"
+                     "  total := 0\n"
+                     "  for i := 0; i < len(rows); i = i + 1 {\n"
+                     "    r := rows[i]\n"
+                     "    total = total + r[len(r) - 1]\n"
+                     "  }\n"
+                     "  sink(total)\n" // sum of squares 0..9 = 285
+                     "}\n",
+                     {10}),
+            expect("sink(285)\n"));
+}
+
+TEST(AdvancedInterpTest, StructsWithContainerFields) {
+  EXPECT_EQ(everyWay("type Bag struct {\n"
+                     "  items []int\n"
+                     "  index map[int]int\n"
+                     "  next  *Bag\n"
+                     "}\n"
+                     "func main(n int) {\n"
+                     "  var head *Bag\n"
+                     "  for i := 0; i < n; i = i + 1 {\n"
+                     "    b := &Bag{items: make([]int, 3),\n"
+                     "              index: make(map[int]int), next: head}\n"
+                     "    b.items[0] = i\n"
+                     "    b.index[i] = i * 2\n"
+                     "    head = b\n"
+                     "  }\n"
+                     "  total := 0\n"
+                     "  for head != nil {\n"
+                     "    total = total + head.items[0] + head.index[head.items[0]]\n"
+                     "    head = head.next\n"
+                     "  }\n"
+                     "  sink(total)\n" // sum 3i for i in 0..n-1
+                     "}\n",
+                     {100}),
+            expect("sink(14850)\n"));
+}
+
+TEST(AdvancedInterpTest, ShadowingInNestedScopes) {
+  EXPECT_EQ(everyWay("func main() {\n"
+                     "  x := 1\n"
+                     "  {\n"
+                     "    x := 2\n"
+                     "    {\n"
+                     "      x := 3\n"
+                     "      sink(x)\n"
+                     "    }\n"
+                     "    sink(x)\n"
+                     "  }\n"
+                     "  sink(x)\n"
+                     "}\n"),
+            expect("sink(3)\nsink(2)\nsink(1)\n"));
+}
+
+TEST(AdvancedInterpTest, StructValueSemanticsThroughCalls) {
+  EXPECT_EQ(everyWay("type P struct { x int\n y int\n }\n"
+                     "func bump(p P) int {\n"
+                     "  p.x = p.x + 100\n" // Callee mutates its copy only.
+                     "  return p.x\n"
+                     "}\n"
+                     "func main() {\n"
+                     "  p := P{x: 1, y: 2}\n"
+                     "  sink(bump(p))\n"
+                     "  sink(p.x)\n"
+                     "}\n"),
+            expect("sink(101)\nsink(1)\n"));
+}
+
+TEST(AdvancedInterpTest, PointerToStructFieldMutation) {
+  EXPECT_EQ(everyWay("type P struct { x int\n y int\n }\n"
+                     "func main() {\n"
+                     "  p := P{x: 1, y: 2}\n"
+                     "  px := &p.x\n"
+                     "  *px = 50\n"
+                     "  sink(p.x)\n"
+                     "}\n"),
+            expect("sink(50)\n"));
+}
+
+TEST(AdvancedInterpTest, DeferStacksAcrossLoop) {
+  EXPECT_EQ(everyWay("func note(x int) {\n  sink(x)\n}\n"
+                     "func f() {\n"
+                     "  for i := 0; i < 3; i = i + 1 {\n"
+                     "    defer note(i)\n" // Runs 2,1,0 at function exit.
+                     "  }\n"
+                     "  sink(9)\n"
+                     "}\n"
+                     "func main() {\n  f()\n}\n"),
+            expect("sink(9)\nsink(2)\nsink(1)\nsink(0)\n"));
+}
+
+TEST(AdvancedInterpTest, MapWithStructValues) {
+  EXPECT_EQ(everyWay("type Pt struct { x int\n y int\n }\n"
+                     "func main() {\n"
+                     "  m := make(map[int]Pt)\n"
+                     "  for i := 0; i < 50; i = i + 1 {\n"
+                     "    m[i] = Pt{x: i, y: i * 2}\n"
+                     "  }\n"
+                     "  p := m[20]\n"
+                     "  sink(p.x + p.y)\n"
+                     "  q := m[999]\n" // Missing: zero-valued struct.
+                     "  sink(q.x + q.y)\n"
+                     "}\n"),
+            expect("sink(60)\nsink(0)\n"));
+}
+
+TEST(AdvancedInterpTest, BigConstantSliceForcedToHeapBySize) {
+  // 100k ints = 800KB > the 64KB stack limit: heap even with const size.
+  CompileOptions CO;
+  Compilation C = compile("func main() {\n"
+                          "  big := make([]int, 100000)\n"
+                          "  big[99999] = 5\n"
+                          "  sink(big[99999])\n"
+                          "}\n",
+                          CO);
+  ASSERT_TRUE(C.ok());
+  ExecOutcome O = execute(C, "main");
+  ASSERT_TRUE(O.Run.ok());
+  EXPECT_GT(O.Stats.AllocCountByCat[(int)rt::AllocCat::Slice], 0u);
+  // And being a large object, its tcfree takes the two-step path.
+  EXPECT_GT(O.Stats.tcfreeFreedBytes(), 790000u);
+}
+
+TEST(AdvancedInterpTest, RecursiveStructOverGcPressure) {
+  // A binary-tree build/sum with churn: exercises struct pointer maps
+  // under collection.
+  ExecOptions EO;
+  EO.Heap.MinHeapTrigger = 32 * 1024;
+  const char *Src = "type Node struct { v int\n l *Node\n r *Node\n }\n"
+                    "func build(d int, v int) *Node {\n"
+                    "  if d == 0 { return nil }\n"
+                    "  n := &Node{v: v, l: build(d-1, v*2), r: build(d-1, v*2+1)}\n"
+                    "  return n\n"
+                    "}\n"
+                    "func total(n *Node) int {\n"
+                    "  if n == nil { return 0 }\n"
+                    "  return n.v + total(n.l) + total(n.r)\n"
+                    "}\n"
+                    "func main(d int) {\n"
+                    "  acc := 0\n"
+                    "  for r := 0; r < 20; r = r + 1 {\n"
+                    "    t := build(d, 1)\n"
+                    "    scratch := make([]int, r*37 + 11)\n"
+                    "    scratch[0] = total(t)\n"
+                    "    acc = acc + scratch[0]\n"
+                    "  }\n"
+                    "  sink(acc)\n"
+                    "}\n";
+  uint64_t Go = runMode(Src, CompileMode::Go, {8}, EO);
+  uint64_t Free = runMode(Src, CompileMode::GoFree, {8}, EO);
+  EXPECT_EQ(Go, Free);
+}
+
+TEST(AdvancedInterpTest, MultiAssignSwapThroughCalls) {
+  EXPECT_EQ(everyWay("func swap(a int, b int) (int, int) {\n"
+                     "  return b, a\n"
+                     "}\n"
+                     "func main() {\n"
+                     "  x, y := swap(1, 2)\n"
+                     "  x, y = swap(x, y)\n"
+                     "  sink(x*10 + y)\n"
+                     "}\n"),
+            expect("sink(12)\n"));
+}
+
+TEST(AdvancedInterpTest, BoolLogicAndComparisonChains) {
+  EXPECT_EQ(everyWay("func main() {\n"
+                     "  t := true\n"
+                     "  f := false\n"
+                     "  if t && !f || f { sink(1) }\n"
+                     "  if (1 < 2) == t { sink(2) }\n"
+                     "  b := 3 >= 3\n"
+                     "  if b != f { sink(3) }\n"
+                     "}\n"),
+            expect("sink(1)\nsink(2)\nsink(3)\n"));
+}
+
+TEST(AdvancedInterpTest, StructReturnedByValueSurvivesFrame) {
+  // The struct value is built in the callee's frame; the caller must see a
+  // stable copy after that frame dies (and after GC/poison churn).
+  EXPECT_EQ(everyWay("type P struct { x int\n y int\n }\n"
+                     "func mk(a int) P {\n"
+                     "  p := P{x: a, y: a * 2}\n"
+                     "  return p\n"
+                     "}\n"
+                     "func main() {\n"
+                     "  q := mk(7)\n"
+                     "  r := mk(9)\n"
+                     "  sink(q.x + q.y + r.x)\n"
+                     "}\n"),
+            expect("sink(7 + 14 + 9)\n"));
+}
+
+TEST(AdvancedInterpTest, StructReturnedThroughCallChain) {
+  EXPECT_EQ(everyWay("type P struct { x int\n y int\n }\n"
+                     "func inner(a int) P {\n"
+                     "  return P{x: a, y: a + 1}\n"
+                     "}\n"
+                     "func outer(a int) P {\n"
+                     "  p := inner(a)\n"
+                     "  p.x = p.x * 10\n"
+                     "  return p\n"
+                     "}\n"
+                     "func main() {\n"
+                     "  p := outer(3)\n"
+                     "  sink(p.x + p.y)\n" // 30 + 4
+                     "}\n"),
+            expect("sink(34)\n"));
+}
+
+TEST(AdvancedInterpTest, StructWithSliceFieldReturnedByValue) {
+  // The header inside the struct copy must stay GC-visible through the
+  // caller's frame scan.
+  ExecOptions Tight;
+  Tight.Heap.MinHeapTrigger = 16 * 1024;
+  CompileOptions CO;
+  Compilation C = compile("type Buf struct { data []int\n n int\n }\n"
+                          "func mk(sz int) Buf {\n"
+                          "  b := Buf{data: make([]int, sz), n: sz}\n"
+                          "  b.data[0] = sz * 3\n"
+                          "  return b\n"
+                          "}\n"
+                          "func main(n int) {\n"
+                          "  b := mk(n)\n"
+                          "  churn := 0\n"
+                          "  for i := 0; i < 1000; i = i + 1 {\n"
+                          "    t := make([]int, i%40 + 10)\n"
+                          "    t[0] = i\n"
+                          "    churn = churn + t[0]\n"
+                          "  }\n"
+                          "  sink(b.data[0] + churn % 3)\n"
+                          "}\n",
+                          CO);
+  ASSERT_TRUE(C.ok()) << C.Errors;
+  ExecOutcome O = execute(C, "main", {50}, {{}, {}});
+  ExecOutcome T = execute(C, "main", {50}, ExecOptions{Tight.Heap, {}});
+  ASSERT_TRUE(O.Run.ok() && T.Run.ok());
+  EXPECT_EQ(O.Run.Checksum, T.Run.Checksum);
+}

@@ -1,0 +1,78 @@
+//===- tests/DiagnosticsTest.cpp - Escape diagnostics tests ---------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+#include "escape/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace gofree;
+using namespace gofree::compiler;
+using namespace gofree::escape;
+
+namespace {
+
+std::string diagsFor(const std::string &Src) {
+  Compilation C = compile(Src, {});
+  EXPECT_TRUE(C.ok()) << C.Errors;
+  if (!C.ok())
+    return "";
+  return renderEscapeDiagnostics(*C.Prog, C.Analysis);
+}
+
+} // namespace
+
+TEST(DiagnosticsTest, ReportsEscapeAndFreeDecisions) {
+  std::string D = diagsFor("func f(n int) {\n"
+                           "  s := make([]int, n)\n"
+                           "  t := make([]int, 8)\n"
+                           "  sink(s[0] + t[0])\n"
+                           "}\n");
+  EXPECT_NE(D.find("make([]int) escapes to heap"), std::string::npos);
+  EXPECT_NE(D.find("make([]int) does not escape"), std::string::npos);
+  EXPECT_NE(D.find("tcfree: s (slice) at end of scope"), std::string::npos);
+  EXPECT_EQ(D.find("tcfree: t"), std::string::npos)
+      << "stack-allocated slices are not freed";
+}
+
+TEST(DiagnosticsTest, ReportsMovedToHeap) {
+  std::string D = diagsFor("func cell(v int) *int {\n"
+                           "  x := v\n"
+                           "  return &x\n"
+                           "}\n"
+                           "func main() {\n"
+                           "  sink(*cell(3))\n"
+                           "}\n");
+  EXPECT_NE(D.find("moved to heap: x"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, SortedBySourcePosition) {
+  Compilation C = compile("func f(n int) {\n"
+                          "  a := make([]int, n)\n"
+                          "  b := make([]int, n)\n"
+                          "  sink(a[0] + b[0])\n"
+                          "}\n",
+                          {});
+  ASSERT_TRUE(C.ok());
+  auto Ds = escapeDiagnostics(C.Prog->Funcs[0], C.Analysis);
+  ASSERT_GE(Ds.size(), 2u);
+  for (size_t I = 1; I < Ds.size(); ++I)
+    EXPECT_LE(Ds[I - 1].Loc.Line, Ds[I].Loc.Line);
+}
+
+TEST(DiagnosticsTest, MapDecisions) {
+  std::string D = diagsFor("func f(n int) {\n"
+                           "  small := make(map[int]int, 4)\n"
+                           "  big := make(map[int]int, n)\n"
+                           "  small[1] = 1\n"
+                           "  big[1] = 1\n"
+                           "  sink(small[1] + big[1])\n"
+                           "}\n");
+  EXPECT_NE(D.find("make(map[int]int) does not escape"), std::string::npos);
+  EXPECT_NE(D.find("make(map[int]int) escapes to heap"), std::string::npos);
+  EXPECT_NE(D.find("tcfree: big (map)"), std::string::npos);
+}

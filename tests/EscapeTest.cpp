@@ -1,0 +1,534 @@
+//===- tests/EscapeTest.cpp - Unit tests for the escape analysis ----------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// These tests pin down the behaviors the paper describes: figure 1's
+// completeness example, figure 3's stack/heap split, figure 6's nested
+// scopes, figure 7's inter-procedural content tags, and the individual
+// property definitions of section 4.
+//
+//===----------------------------------------------------------------------===//
+
+#include "escape/Analysis.h"
+#include "minigo/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace gofree;
+using namespace gofree::escape;
+using namespace gofree::minigo;
+
+namespace {
+
+struct Compiled {
+  std::unique_ptr<Program> Prog;
+  ProgramAnalysis Analysis;
+
+  const FuncDecl *func(const std::string &Name) const {
+    const FuncDecl *Fn = Prog->findFunc(Name);
+    EXPECT_NE(Fn, nullptr) << "no function " << Name;
+    return Fn;
+  }
+
+  const VarDecl *var(const std::string &FnName, const std::string &VName) const {
+    const FuncDecl *Fn = func(FnName);
+    for (const VarDecl *V : Fn->AllVars)
+      if (V->Name == VName)
+        return V;
+    ADD_FAILURE() << "no variable " << VName << " in " << FnName;
+    return nullptr;
+  }
+
+  const Location &locOf(const std::string &FnName,
+                        const std::string &VName) const {
+    const FuncDecl *Fn = func(FnName);
+    const BuildResult &B = Analysis.FuncGraphs.at(Fn);
+    return B.Graph.loc(B.VarLoc.at(var(FnName, VName)));
+  }
+
+  /// The location of the AllocId-th allocation site of the whole program.
+  const Location &allocLoc(const std::string &FnName, uint32_t AllocId) const {
+    const BuildResult &B = Analysis.FuncGraphs.at(func(FnName));
+    return B.Graph.loc(B.AllocLoc.at(AllocId));
+  }
+
+  bool toFree(const std::string &FnName, const std::string &VName) const {
+    return Analysis.ToFreeVars.count(var(FnName, VName)) != 0;
+  }
+};
+
+Compiled analyze(const std::string &Src, AnalysisOptions Opts = {}) {
+  DiagSink Diags;
+  Compiled C;
+  C.Prog = parseAndCheck(Src, Diags);
+  EXPECT_NE(C.Prog, nullptr) << Diags.dump();
+  if (C.Prog)
+    C.Analysis = analyzeProgram(*C.Prog, Opts);
+  return C;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Figure 3: stack allocation vs explicit deallocation
+//===----------------------------------------------------------------------===//
+
+TEST(EscapeTest, Fig3ConstSizeStacksVariableSizeFreed) {
+  Compiled C = analyze("func analyses(n int) {\n"
+                       "  s1 := make([]int, 335)\n"
+                       "  sink(len(s1))\n"
+                       "  for i := 1; i < n; i = i + 1 {\n"
+                       "    s2 := make([]int, i)\n"
+                       "    sink(len(s2))\n"
+                       "  }\n"
+                       "}\n");
+  // make1 is constant-size and non-escaping: stack-allocated.
+  EXPECT_FALSE(C.locOf("analyses", "s1").PointsToHeap);
+  EXPECT_TRUE(C.Analysis.SiteOnStack[0]);
+  // make2 has variable size: heap-allocated, and explicitly freeable.
+  EXPECT_FALSE(C.Analysis.SiteOnStack[1]);
+  EXPECT_TRUE(C.locOf("analyses", "s2").PointsToHeap);
+  EXPECT_TRUE(C.toFree("analyses", "s2"));
+  EXPECT_FALSE(C.toFree("analyses", "s1"));
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 1 / table 3: completeness analysis around indirect stores
+//===----------------------------------------------------------------------===//
+
+TEST(EscapeTest, Fig1IndirectStoreMakesDerivedPointerIncomplete) {
+  // Modeled after fig. 1: *ppd = pc is an untracked indirect store, so
+  // pd2 = *ppd has an incomplete points-to set and must not be freed.
+  Compiled C = analyze("type D struct { v int\n }\n"
+                       "func f() {\n"
+                       "  c := D{v: 1}\n"
+                       "  d := D{v: 2}\n"
+                       "  pd := &d\n"
+                       "  ppd := &pd\n"
+                       "  pc := &c\n"
+                       "  *ppd = pc\n"
+                       "  pd2 := *ppd\n"
+                       "  sink(pd2.v)\n"
+                       "}\n");
+  const Location &Ppd = C.locOf("f", "ppd");
+  const Location &Pc = C.locOf("f", "pc");
+  const Location &Pd = C.locOf("f", "pd");
+  const Location &Pd2 = C.locOf("f", "pd2");
+  // ppd is the destination of the indirect store: it exposes its pointees.
+  EXPECT_TRUE(Ppd.ExposesStore);
+  // pc's value went into an untracked place, exposing c.
+  EXPECT_TRUE(Pc.ExposesStore);
+  // pc itself remains complete: all writes to pc are tracked.
+  EXPECT_FALSE(Pc.incomplete());
+  // pd's cell may have been overwritten through ppd: incomplete.
+  EXPECT_TRUE(Pd.incomplete());
+  // pd2 derives its value from pd: incomplete, never freed.
+  EXPECT_TRUE(Pd2.incomplete());
+  EXPECT_FALSE(Pd2.ToFree);
+}
+
+TEST(EscapeTest, Fig1PointsToSetThroughGoGraph) {
+  // PointsTo(pd2) computed from the Go escape graph contains d (via the
+  // tracked flow) but misses c (the indirect store), cf. table 3.
+  Compiled C = analyze("type D struct { v int\n }\n"
+                       "func f() {\n"
+                       "  c := D{v: 1}\n"
+                       "  d := D{v: 2}\n"
+                       "  pd := &d\n"
+                       "  ppd := &pd\n"
+                       "  pc := &c\n"
+                       "  *ppd = pc\n"
+                       "  pd2 := *ppd\n"
+                       "  sink(pd2.v)\n"
+                       "}\n");
+  const FuncDecl *Fn = C.func("f");
+  const BuildResult &B = C.Analysis.FuncGraphs.at(Fn);
+  auto Pts = pointsToSet(B.Graph, B.VarLoc.at(C.var("f", "pd2")));
+  bool HasD = false, HasC = false;
+  for (uint32_t Id : Pts) {
+    const Location &L = B.Graph.loc(Id);
+    HasD |= L.Name == "d";
+    HasC |= L.Name == "c";
+  }
+  EXPECT_TRUE(HasD);
+  EXPECT_FALSE(HasC) << "Go's graph omits the indirect store";
+}
+
+TEST(EscapeTest, IndirectStoreForcesValueToHeap) {
+  // The stored pointer's referent must be heap allocated (it may now be
+  // reachable from anywhere).
+  Compiled C = analyze("type D struct { v int\n }\n"
+                       "func f(pp **D) {\n"
+                       "  c := D{v: 1}\n"
+                       "  *pp = &c\n"
+                       "}\n"
+                       "func main() {\n"
+                       "  d := D{v: 0}\n"
+                       "  p := &d\n"
+                       "  f(&p)\n"
+                       "  sink(p.v)\n"
+                       "}\n");
+  EXPECT_TRUE(C.locOf("f", "c").HeapAlloc);
+  EXPECT_TRUE(C.Analysis.MovedToHeap.count(C.var("f", "c")));
+}
+
+//===----------------------------------------------------------------------===//
+// Lifetime analysis (figure 6)
+//===----------------------------------------------------------------------===//
+
+TEST(EscapeTest, Fig6NestedScopes) {
+  Compiled C = analyze("func g(n int) []int {\n"
+                       "  s1 := make([]int, n)\n"
+                       "  {\n"
+                       "    s2 := make([]int, n)\n"
+                       "    sink(s2[0])\n"
+                       "  }\n"
+                       "  s3 := make([]int, n)\n"
+                       "  sink(s1[0] + s3[0])\n"
+                       "  return s3\n"
+                       "}\n");
+  // s1 and s2 are complete and not outlived: freeable at their scope ends.
+  EXPECT_TRUE(C.toFree("g", "s1"));
+  EXPECT_TRUE(C.toFree("g", "s2"));
+  // s3's array flows to the return value: outlived, not freeable.
+  EXPECT_TRUE(C.locOf("g", "s3").Outlived);
+  EXPECT_FALSE(C.toFree("g", "s3"));
+}
+
+TEST(EscapeTest, OutlivedByOuterScopeAlias) {
+  // The inner slice's array is also held by an outer-scope variable, so the
+  // inner pointer is outlived and must not free it.
+  Compiled C = analyze("func f(n int) {\n"
+                       "  var keep []int\n"
+                       "  {\n"
+                       "    s := make([]int, n)\n"
+                       "    keep = s\n"
+                       "  }\n"
+                       "  sink(keep[0])\n"
+                       "}\n");
+  EXPECT_TRUE(C.locOf("f", "s").Outlived);
+  EXPECT_FALSE(C.toFree("f", "s"));
+  // The outer alias itself is complete, not outlived, and freeable.
+  EXPECT_TRUE(C.toFree("f", "keep"));
+}
+
+TEST(EscapeTest, LoopDepthForcesHeap) {
+  // A pointer declared outside the loop keeps an object allocated inside
+  // the loop alive across iterations (definition 4.10's LoopDepth rule).
+  Compiled C = analyze("type T struct { v int\n }\n"
+                       "func f(n int) {\n"
+                       "  var keep *T\n"
+                       "  for i := 0; i < n; i = i + 1 {\n"
+                       "    t := &T{v: i}\n"
+                       "    keep = t\n"
+                       "  }\n"
+                       "  sink(keep.v)\n"
+                       "}\n");
+  // The allocation site of &T{} must be on the heap.
+  EXPECT_FALSE(C.Analysis.SiteOnStack[0]);
+}
+
+TEST(EscapeTest, NonEscapingLiteralStaysOnStack) {
+  Compiled C = analyze("type T struct { v int\n }\n"
+                       "func f() {\n"
+                       "  t := &T{v: 3}\n"
+                       "  sink(t.v)\n"
+                       "}\n");
+  EXPECT_TRUE(C.Analysis.SiteOnStack[0]);
+  EXPECT_FALSE(C.locOf("f", "t").PointsToHeap);
+}
+
+TEST(EscapeTest, ReturnedObjectIsHeap) {
+  Compiled C = analyze("type T struct { v int\n }\n"
+                       "func f() *T {\n"
+                       "  t := &T{v: 3}\n"
+                       "  return t\n"
+                       "}\n");
+  EXPECT_FALSE(C.Analysis.SiteOnStack[0]);
+  EXPECT_TRUE(C.locOf("f", "t").Outlived);
+  EXPECT_FALSE(C.toFree("f", "t"));
+}
+
+//===----------------------------------------------------------------------===//
+// Inter-procedural analysis (figure 7)
+//===----------------------------------------------------------------------===//
+
+TEST(EscapeTest, Fig7ContentTagEnablesCallerFree) {
+  Compiled C = analyze("func partialNew(ps *[]int) ([]int, []int) {\n"
+                       "  pps := &ps\n"
+                       "  *pps = ps\n"
+                       "  made := make([]int, 3)\n"
+                       "  return made, **pps\n"
+                       "}\n"
+                       "func caller(n int) {\n"
+                       "  s := make([]int, n)\n"
+                       "  fresh, old := partialNew(&s)\n"
+                       "  sink(fresh[0] + old[0])\n"
+                       "}\n");
+  // The callee's tag must advertise: r0 is a fresh heap object, r1 is not
+  // known to be complete.
+  const FuncTag &Tag = C.Analysis.Tags.at(C.func("partialNew"));
+  ASSERT_EQ(Tag.RetPointsToHeap.size(), 2u);
+  EXPECT_TRUE(Tag.RetPointsToHeap[0]);
+  // In the caller, fresh can be freed; old (an alias of s's array seen
+  // through the callee) must not be freed via `old`.
+  EXPECT_TRUE(C.toFree("caller", "fresh"));
+  EXPECT_FALSE(C.toFree("caller", "old"));
+}
+
+TEST(EscapeTest, CalleeIndirectStoreReachesCallerViaTag) {
+  // The callee stores through its parameter; the caller's object pointed to
+  // by the argument becomes incomplete.
+  Compiled C = analyze("type T struct { p *int\n }\n"
+                       "func poke(t *T, v *int) {\n"
+                       "  t.p = v\n"
+                       "}\n"
+                       "func main() {\n"
+                       "  x := 1\n"
+                       "  t := &T{p: &x}\n"
+                       "  y := 2\n"
+                       "  poke(t, &y)\n"
+                       "  sink(*t.p)\n"
+                       "}\n");
+  const FuncTag &Tag = C.Analysis.Tags.at(C.func("poke"));
+  ASSERT_EQ(Tag.ParamExposes.size(), 2u);
+  EXPECT_TRUE(Tag.ParamExposes[0]);
+}
+
+TEST(EscapeTest, FactoryThroughCallIsFreeable) {
+  Compiled C = analyze("func produce(n int) []int {\n"
+                       "  buf := make([]int, n)\n"
+                       "  return buf\n"
+                       "}\n"
+                       "func consume(n int) {\n"
+                       "  tmp := produce(n)\n"
+                       "  sink(tmp[0])\n"
+                       "}\n");
+  // Intra-procedurally buf escapes; through the content tag the caller can
+  // still free the object.
+  EXPECT_FALSE(C.toFree("produce", "buf"));
+  EXPECT_TRUE(C.toFree("consume", "tmp"));
+}
+
+TEST(EscapeTest, RecursiveCallUsesDefaultTag) {
+  Compiled C = analyze("func rec(n int) []int {\n"
+                       "  if n == 0 {\n"
+                       "    return make([]int, 1)\n"
+                       "  }\n"
+                       "  r := rec(n - 1)\n"
+                       "  return r\n"
+                       "}\n"
+                       "func main() {\n"
+                       "  q := rec(3)\n"
+                       "  sink(q[0])\n"
+                       "}\n");
+  // Inside the cycle the default tag applies: r comes "from the heap" and
+  // is incomplete.
+  EXPECT_TRUE(C.locOf("rec", "r").incomplete());
+  EXPECT_FALSE(C.toFree("rec", "r"));
+  // The caller outside the cycle still benefits from rec's extracted tag:
+  // the result points to heap...
+  EXPECT_TRUE(C.locOf("main", "q").PointsToHeap);
+  // ...but the default-tag incompleteness inside rec flows into the tag,
+  // so q stays unfreed (conservative and sound).
+  EXPECT_FALSE(C.toFree("main", "q"));
+}
+
+TEST(EscapeTest, ReturnedParamAliasingFlowsThroughTag) {
+  // identity(): a function returning its argument. The caller's points-to
+  // information must flow through the tag edge.
+  Compiled C = analyze("func identity(s []int) []int {\n"
+                       "  return s\n"
+                       "}\n"
+                       "func main(n int) {\n"
+                       "  a := make([]int, n)\n"
+                       "  b := identity(a)\n"
+                       "  sink(b[0])\n"
+                       "}\n");
+  const FuncTag &Tag = C.Analysis.Tags.at(C.func("identity"));
+  ASSERT_EQ(Tag.Edges.size(), 1u);
+  EXPECT_EQ(Tag.Edges[0].Derefs, 0);
+  // The callee must not advertise a fresh heap object for its result.
+  EXPECT_FALSE(Tag.RetPointsToHeap[0]);
+  // Both caller names alias the same array in the same scope; freeing via
+  // either is sound (tcfree tolerates the double free, section 5), and the
+  // analysis keeps both complete.
+  EXPECT_TRUE(C.locOf("main", "a").PointsToHeap);
+  EXPECT_FALSE(C.locOf("main", "a").incomplete());
+}
+
+//===----------------------------------------------------------------------===//
+// Language features (section 4.6)
+//===----------------------------------------------------------------------===//
+
+TEST(EscapeTest, AppendCreatesHeapContent) {
+  Compiled C = analyze("func f(n int) {\n"
+                       "  s := make([]int, 0, 4)\n"
+                       "  for i := 0; i < n; i = i + 1 {\n"
+                       "    s = append(s, i)\n"
+                       "  }\n"
+                       "  sink(s[0])\n"
+                       "}\n");
+  // Even though make() had constant size, appending models a possible heap
+  // reallocation, so s may point to heap and is freeable.
+  EXPECT_TRUE(C.locOf("f", "s").PointsToHeap);
+  EXPECT_TRUE(C.toFree("f", "s"));
+}
+
+TEST(EscapeTest, AppendedPointerValueEscapes) {
+  Compiled C = analyze("type T struct { v int\n }\n"
+                       "func f(n int) {\n"
+                       "  s := make([]*T, 0)\n"
+                       "  t := &T{v: 1}\n"
+                       "  s = append(s, t)\n"
+                       "  sink(s[0].v)\n"
+                       "}\n");
+  // The appended pointer goes through an untracked store: its referent is
+  // heap-allocated.
+  const FuncDecl *Fn = C.func("f");
+  const BuildResult &B = C.Analysis.FuncGraphs.at(Fn);
+  bool FoundLitOnHeap = false;
+  for (const Location &L : B.Graph.locations())
+    if (L.Kind == LocKind::Alloc && L.Name.rfind("lit@", 0) == 0)
+      FoundLitOnHeap = L.HeapAlloc;
+  EXPECT_TRUE(FoundLitOnHeap);
+}
+
+TEST(EscapeTest, SmallConstMapCanStack) {
+  Compiled C = analyze("func f() {\n"
+                       "  m := make(map[int]int, 4)\n"
+                       "  m[1] = 2\n"
+                       "  sink(m[1])\n"
+                       "}\n");
+  EXPECT_TRUE(C.Analysis.SiteOnStack[0]);
+  EXPECT_FALSE(C.toFree("f", "m"));
+}
+
+TEST(EscapeTest, LargeOrDynamicMapIsFreed) {
+  Compiled C = analyze("func f(n int) {\n"
+                       "  m := make(map[int]int, n)\n"
+                       "  m[1] = 2\n"
+                       "  sink(m[1])\n"
+                       "}\n");
+  EXPECT_FALSE(C.Analysis.SiteOnStack[0]);
+  EXPECT_TRUE(C.toFree("f", "m"));
+}
+
+TEST(EscapeTest, DeferBansFreeing) {
+  Compiled C = analyze("func use(s []int) {\n"
+                       "  sink(s[0])\n"
+                       "}\n"
+                       "func f(n int) {\n"
+                       "  s := make([]int, n)\n"
+                       "  defer use(s)\n"
+                       "  sink(s[0])\n"
+                       "}\n");
+  EXPECT_FALSE(C.toFree("f", "s"));
+}
+
+TEST(EscapeTest, MultipleReturnValuesAnalyzedIndependently) {
+  // A function that is a factory for one result but not the other
+  // (section 4.6.3).
+  Compiled C = analyze("func mixed(s []int, n int) ([]int, []int) {\n"
+                       "  fresh := make([]int, n)\n"
+                       "  return fresh, s\n"
+                       "}\n"
+                       "func main(n int) {\n"
+                       "  a := make([]int, n)\n"
+                       "  f, old := mixed(a, n)\n"
+                       "  sink(f[0] + old[0])\n"
+                       "}\n");
+  const FuncTag &Tag = C.Analysis.Tags.at(C.func("mixed"));
+  EXPECT_TRUE(Tag.RetPointsToHeap[0]);
+  EXPECT_FALSE(Tag.RetPointsToHeap[1]);
+  EXPECT_TRUE(C.toFree("main", "f"));
+}
+
+//===----------------------------------------------------------------------===//
+// Solver mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(EscapeTest, BackPropagationDisabledLosesIncompleteness) {
+  const char *Src = "type D struct { v int\n }\n"
+                    "func f() {\n"
+                    "  c := D{v: 1}\n"
+                    "  d := D{v: 2}\n"
+                    "  pd := &d\n"
+                    "  ppd := &pd\n"
+                    "  pc := &c\n"
+                    "  *ppd = pc\n"
+                    "  pd2 := *ppd\n"
+                    "  sink(pd2.v)\n"
+                    "}\n";
+  AnalysisOptions NoBack;
+  NoBack.Solve.BackPropagation = false;
+  Compiled C = analyze(Src, NoBack);
+  // Without leaf-to-root back-propagation, pd's incompleteness never
+  // reaches pd2 (the ablation the solver option exists for).
+  EXPECT_TRUE(C.locOf("f", "pd").incomplete());
+  EXPECT_FALSE(C.locOf("f", "pd2").incomplete());
+}
+
+TEST(EscapeTest, ParamsAreSeededIncomplete) {
+  Compiled C = analyze("func f(s []int) {\n"
+                       "  t := s\n"
+                       "  sink(t[0])\n"
+                       "}\n");
+  EXPECT_TRUE(C.locOf("f", "s").IncompleteParam);
+  EXPECT_TRUE(C.locOf("f", "t").IncompleteParam);
+  EXPECT_FALSE(C.toFree("f", "t"));
+}
+
+TEST(EscapeTest, SolverIsIdempotent) {
+  const char *Src = "func g(n int) []int {\n"
+                    "  s1 := make([]int, n)\n"
+                    "  s3 := make([]int, n)\n"
+                    "  sink(s1[0])\n"
+                    "  return s3\n"
+                    "}\n";
+  Compiled A = analyze(Src);
+  Compiled B = analyze(Src);
+  const BuildResult &Ba = A.Analysis.FuncGraphs.at(A.func("g"));
+  const BuildResult &Bb = B.Analysis.FuncGraphs.at(B.func("g"));
+  ASSERT_EQ(Ba.Graph.size(), Bb.Graph.size());
+  for (uint32_t I = 0; I < Ba.Graph.size(); ++I) {
+    const Location &La = Ba.Graph.loc(I);
+    const Location &Lb = Bb.Graph.loc(I);
+    EXPECT_EQ(La.HeapAlloc, Lb.HeapAlloc);
+    EXPECT_EQ(La.incomplete(), Lb.incomplete());
+    EXPECT_EQ(La.Outlived, Lb.Outlived);
+    EXPECT_EQ(La.ToFree, Lb.ToFree);
+  }
+}
+
+TEST(EscapeTest, PointerTargets) {
+  // FreeTargets::All extends freeing to plain pointers.
+  const char *Src = "type T struct { v int\n }\n"
+                    "func f(n int) {\n"
+                    "  t := new(T)\n"
+                    "  t.v = n\n"
+                    "  sink(t.v)\n"
+                    "}\n";
+  Compiled Default = analyze(Src);
+  // new(T) with constant size that does not escape is stack allocated, so
+  // even FreeTargets::All has nothing to free here.
+  EXPECT_TRUE(Default.Analysis.SiteOnStack[0]);
+
+  const char *Escaping = "type T struct { v int\n }\n"
+                         "func mk(n int) *T {\n"
+                         "  t := new(T)\n"
+                         "  t.v = n\n"
+                         "  return t\n"
+                         "}\n"
+                         "func f(n int) {\n"
+                         "  t := mk(n)\n"
+                         "  sink(t.v)\n"
+                         "}\n";
+  AnalysisOptions All;
+  All.Targets = FreeTargets::All;
+  Compiled WithAll = analyze(Escaping, All);
+  EXPECT_TRUE(WithAll.toFree("f", "t"));
+  Compiled SliceMapOnly = analyze(Escaping);
+  EXPECT_FALSE(SliceMapOnly.toFree("f", "t"));
+}

@@ -1,0 +1,152 @@
+//===- tests/FrontendFuzzTest.cpp - Frontend robustness tests -------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// The frontend must reject garbage gracefully: random byte soup, shuffled
+// token streams, truncated programs and deeply nested input must produce
+// diagnostics, never crashes or accepted-but-wrong programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+#include "minigo/Frontend.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace gofree;
+using namespace gofree::minigo;
+
+namespace {
+
+/// Parses without crashing; returns whether it was accepted.
+bool tryParse(const std::string &Src) {
+  DiagSink Diags;
+  auto Prog = parseAndCheck(Src, Diags);
+  if (!Prog) {
+    EXPECT_TRUE(Diags.hasErrors()) << "rejected without a diagnostic";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+TEST(FrontendFuzzTest, RandomAsciiSoup) {
+  Rng R(2024);
+  const char Alphabet[] = "abcxyz0123456789 \n\t(){}[]<>=+-*/%&|!.,:;_";
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    std::string Src;
+    size_t Len = R.below(400);
+    for (size_t I = 0; I < Len; ++I)
+      Src.push_back(Alphabet[R.below(sizeof(Alphabet) - 1)]);
+    tryParse(Src); // Must not crash; acceptance is fine if it checks out.
+  }
+}
+
+TEST(FrontendFuzzTest, KeywordSoup) {
+  Rng R(7);
+  const char *Words[] = {"func",   "var",   "type", "struct", "if",
+                         "else",   "for",   "return", "break", "continue",
+                         "make",   "new",   "append", "map",  "int",
+                         "bool",   "nil",   "sink",  "x",     "y",
+                         "f",      "(",     ")",     "{",     "}",
+                         "[",      "]",     ":=",    "=",     ",",
+                         "*",      "&",     "1",     "42",    "\n"};
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    std::string Src;
+    size_t Len = R.below(120);
+    for (size_t I = 0; I < Len; ++I) {
+      Src += Words[R.below(std::size(Words))];
+      Src += ' ';
+    }
+    tryParse(Src);
+  }
+}
+
+TEST(FrontendFuzzTest, TruncatedValidProgram) {
+  const std::string Full = "type Node struct { v int\n next *Node\n }\n"
+                           "func f(n int) []int {\n"
+                           "  s := make([]int, n)\n"
+                           "  for i := 0; i < n; i = i + 1 {\n"
+                           "    s[i] = i * 2\n"
+                           "  }\n"
+                           "  return s\n"
+                           "}\n"
+                           "func main(n int) {\n"
+                           "  q := f(n)\n"
+                           "  sink(q[0])\n"
+                           "}\n";
+  for (size_t Cut = 0; Cut < Full.size(); Cut += 3)
+    tryParse(Full.substr(0, Cut));
+}
+
+TEST(FrontendFuzzTest, DeeplyNestedBlocksAndExpressions) {
+  // 300 nested blocks.
+  std::string Blocks = "func main() {\n";
+  for (int I = 0; I < 300; ++I)
+    Blocks += "{\n";
+  Blocks += "sink(1)\n";
+  for (int I = 0; I < 300; ++I)
+    Blocks += "}\n";
+  Blocks += "}\n";
+  EXPECT_TRUE(tryParse(Blocks));
+
+  // 300 nested parens.
+  std::string Parens = "func main() {\n  sink(";
+  for (int I = 0; I < 300; ++I)
+    Parens += "(";
+  Parens += "1";
+  for (int I = 0; I < 300; ++I)
+    Parens += ")";
+  Parens += ")\n}\n";
+  EXPECT_TRUE(tryParse(Parens));
+}
+
+TEST(FrontendFuzzTest, HugeButValidProgramCompilesAndRuns) {
+  // A thousand tiny functions: the whole pipeline (including the SCC walk
+  // and per-function analysis) must stay robust at width.
+  std::string Src;
+  for (int I = 0; I < 1000; ++I)
+    Src += "func f" + std::to_string(I) + "(a int) int {\n  return a + " +
+           std::to_string(I) + "\n}\n";
+  Src += "func main() {\n  sink(f999(1) + f0(2))\n}\n";
+  compiler::Compilation C = compiler::compile(Src, {});
+  ASSERT_TRUE(C.ok()) << C.Errors;
+  compiler::ExecOutcome O = compiler::execute(C, "main");
+  ASSERT_TRUE(O.Run.ok());
+}
+
+TEST(FrontendFuzzTest, MutatedValidProgramsNeverCrash) {
+  const std::string Base = "func g(s []int, n int) int {\n"
+                           "  m := make(map[int]int, 8)\n"
+                           "  m[n] = len(s)\n"
+                           "  return m[n]\n"
+                           "}\n"
+                           "func main(n int) {\n"
+                           "  s := make([]int, n)\n"
+                           "  sink(g(s, n))\n"
+                           "}\n";
+  Rng R(555);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    std::string Src = Base;
+    // Apply 1-4 random single-character mutations.
+    int Muts = 1 + (int)R.below(4);
+    for (int M = 0; M < Muts; ++M) {
+      size_t Pos = R.below(Src.size());
+      switch (R.below(3)) {
+      case 0:
+        Src[Pos] = (char)(32 + R.below(95));
+        break;
+      case 1:
+        Src.erase(Pos, 1);
+        break;
+      case 2:
+        Src.insert(Pos, 1, (char)(32 + R.below(95)));
+        break;
+      }
+    }
+    tryParse(Src);
+  }
+}

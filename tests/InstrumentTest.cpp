@@ -1,0 +1,216 @@
+//===- tests/InstrumentTest.cpp - tcfree insertion tests ------------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// Verifies where the instrumentation pass splices tcfree calls (section
+// 4.5): end of the declaration scope, before safe trailing terminators,
+// after captured return values, and never where the scope tail could read
+// the freed object.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+#include "minigo/AstPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace gofree;
+using namespace gofree::compiler;
+using namespace gofree::minigo;
+
+namespace {
+
+struct Instrumented {
+  Compilation C;
+  std::string Printed;
+};
+
+Instrumented instrumentSrc(const std::string &Src) {
+  Instrumented Out;
+  Out.C = compile(Src, {});
+  EXPECT_TRUE(Out.C.ok()) << Out.C.Errors;
+  if (Out.C.ok())
+    Out.Printed = printProgram(*Out.C.Prog);
+  return Out;
+}
+
+size_t countOccurrences(const std::string &Haystack,
+                        const std::string &Needle) {
+  size_t Count = 0;
+  for (size_t Pos = Haystack.find(Needle); Pos != std::string::npos;
+       Pos = Haystack.find(Needle, Pos + 1))
+    ++Count;
+  return Count;
+}
+
+} // namespace
+
+TEST(InstrumentTest, FreesAtScopeEnd) {
+  Instrumented I = instrumentSrc("func f(n int) {\n"
+                              "  s := make([]int, n)\n"
+                              "  s[0] = 1\n"
+                              "  sink(s[0])\n"
+                              "}\n");
+  EXPECT_EQ(I.C.Instr.SliceFrees, 1u);
+  // The tcfree is the last statement of the body.
+  size_t FreePos = I.Printed.find("tcfreeSlice(s)");
+  size_t SinkPos = I.Printed.find("sink(");
+  ASSERT_NE(FreePos, std::string::npos);
+  EXPECT_LT(SinkPos, FreePos);
+}
+
+TEST(InstrumentTest, InnerScopeFreesBeforeOuter) {
+  Instrumented I = instrumentSrc("func f(n int) {\n"
+                              "  a := make([]int, n)\n"
+                              "  {\n"
+                              "    b := make([]int, n)\n"
+                              "    sink(b[0])\n"
+                              "  }\n"
+                              "  sink(a[0])\n"
+                              "}\n");
+  EXPECT_EQ(I.C.Instr.SliceFrees, 2u);
+  EXPECT_LT(I.Printed.find("tcfreeSlice(b)"),
+            I.Printed.find("tcfreeSlice(a)"));
+}
+
+TEST(InstrumentTest, LoopBodyFreesEveryIteration) {
+  Instrumented I = instrumentSrc("func f(n int) {\n"
+                              "  for i := 0; i < n; i = i + 1 {\n"
+                              "    s := make([]int, i + 1)\n"
+                              "    sink(s[0])\n"
+                              "  }\n"
+                              "}\n");
+  EXPECT_EQ(I.C.Instr.SliceFrees, 1u);
+  // Inside the loop body, i.e. before the loop's closing brace and after
+  // the sink.
+  EXPECT_LT(I.Printed.find("sink("), I.Printed.find("tcfreeSlice(s)"));
+}
+
+TEST(InstrumentTest, HoistsAboveScalarReturn) {
+  Instrumented I = instrumentSrc("func f(n int) int {\n"
+                              "  s := make([]int, n)\n"
+                              "  s[0] = n\n"
+                              "  total := s[0]\n"
+                              "  return total\n"
+                              "}\n");
+  EXPECT_EQ(I.C.Instr.SliceFrees, 1u);
+  EXPECT_EQ(I.C.Instr.SkippedUnsafeTail, 0u);
+  EXPECT_LT(I.Printed.find("tcfreeSlice(s)"), I.Printed.find("return total"));
+}
+
+TEST(InstrumentTest, SplitsMemoryReadingReturn) {
+  // `return s2[0]` reads memory, so the return value is captured into a
+  // temp first, then the frees run, then the return.
+  Instrumented I = instrumentSrc("func f(n int) int {\n"
+                              "  s := make([]int, n)\n"
+                              "  s[0] = n * 2\n"
+                              "  return s[0] + 1\n"
+                              "}\n");
+  EXPECT_EQ(I.C.Instr.SliceFrees, 1u);
+  size_t TempPos = I.Printed.find("__gofree_rv");
+  size_t FreePos = I.Printed.find("tcfreeSlice(s)");
+  ASSERT_NE(TempPos, std::string::npos);
+  ASSERT_NE(FreePos, std::string::npos);
+  EXPECT_LT(TempPos, FreePos) << "value captured before the free";
+  // The return must now return the temp, not re-read the slice.
+  EXPECT_EQ(countOccurrences(I.Printed, "return __gofree_rv"), 1u);
+}
+
+TEST(InstrumentTest, SplitReturnPreservesSemantics) {
+  const char *Src = "func f(n int) int {\n"
+                    "  s := make([]int, n)\n"
+                    "  s[0] = n * 2\n"
+                    "  return s[0] + 1\n"
+                    "}\n"
+                    "func main(n int) {\n"
+                    "  sink(f(n))\n"
+                    "}\n";
+  Compilation Go = compile(Src, CompileOptions{CompileMode::Go,
+                                               escape::FreeTargets::SlicesAndMaps,
+                                               {},
+                                               {}});
+  Compilation Free = compile(Src, {});
+  ExecOutcome A = execute(Go, "main", {7});
+  ExecOutcome B = execute(Free, "main", {7});
+  ASSERT_TRUE(A.Run.ok() && B.Run.ok());
+  EXPECT_EQ(A.Run.Checksum, B.Run.Checksum);
+  EXPECT_GT(B.Stats.tcfreeFreedBytes(), 0u);
+}
+
+TEST(InstrumentTest, MultiValueReturnIsSplit) {
+  Instrumented I = instrumentSrc("func f(n int) (int, int) {\n"
+                              "  s := make([]int, n)\n"
+                              "  s[0] = 4\n"
+                              "  return s[0], s[0] * 2\n"
+                              "}\n"
+                              "func main(n int) {\n"
+                              "  a, b := f(n)\n"
+                              "  sink(a + b)\n"
+                              "}\n");
+  EXPECT_GE(I.C.Instr.SliceFrees, 1u);
+  EXPECT_EQ(countOccurrences(I.Printed, "__gofree_rv"), 4u)
+      << "two temps: declared once, returned once each";
+}
+
+TEST(InstrumentTest, ForInitVarFreedAfterLoop) {
+  Instrumented I = instrumentSrc(
+      "func f(n int) {\n"
+      "  for s := make([]int, n); len(s) > 0; s = append(s, 1) {\n"
+      "    sink(s[0])\n"
+      "    if len(s) > 3 { break }\n"
+      "  }\n"
+      "}\n");
+  // The for-init slice's scope is the whole loop: freed after it.
+  EXPECT_EQ(I.C.Instr.SliceFrees, 1u);
+  size_t LoopEnd = I.Printed.rfind("}");
+  size_t FreePos = I.Printed.find("tcfreeSlice(s)");
+  ASSERT_NE(FreePos, std::string::npos);
+  EXPECT_LT(FreePos, LoopEnd);
+}
+
+TEST(InstrumentTest, GoModeInsertsNothing) {
+  CompileOptions CO;
+  CO.Mode = CompileMode::Go;
+  Compilation C = compile("func f(n int) {\n"
+                          "  s := make([]int, n)\n"
+                          "  sink(s[0])\n"
+                          "}\n",
+                          CO);
+  ASSERT_TRUE(C.ok());
+  EXPECT_EQ(C.Instr.total(), 0u);
+  EXPECT_EQ(printProgram(*C.Prog).find("tcfree"), std::string::npos);
+}
+
+TEST(InstrumentTest, KindMatchesType) {
+  Instrumented I = instrumentSrc("type T struct { v int\n }\n"
+                              "func mk(n int) *T {\n"
+                              "  t := new(T)\n"
+                              "  t.v = n\n"
+                              "  return t\n"
+                              "}\n"
+                              "func f(n int) {\n"
+                              "  s := make([]int, n)\n"
+                              "  m := make(map[int]int, n)\n"
+                              "  s[0] = 1\n"
+                              "  m[1] = 2\n"
+                              "  sink(s[0] + m[1])\n"
+                              "}\n");
+  EXPECT_EQ(I.C.Instr.SliceFrees, 1u);
+  EXPECT_EQ(I.C.Instr.MapFrees, 1u);
+  // Pointers are excluded by default (section 6.5).
+  EXPECT_EQ(I.C.Instr.ObjectFrees, 0u);
+  EXPECT_NE(I.Printed.find("tcfreeSlice(s)"), std::string::npos);
+  EXPECT_NE(I.Printed.find("tcfreeMap(m)"), std::string::npos);
+}
+
+TEST(InstrumentTest, PanicTailBlocksUnsafeFrees) {
+  Instrumented I = instrumentSrc("func f(n int) {\n"
+                              "  s := make([]int, n)\n"
+                              "  s[0] = 3\n"
+                              "  panic(s[0])\n"
+                              "}\n");
+  // panic(s[0]) reads the slice; the free must be skipped, not hoisted.
+  EXPECT_EQ(I.C.Instr.SliceFrees, 0u);
+  EXPECT_EQ(I.C.Instr.SkippedUnsafeTail, 1u);
+}

@@ -1,0 +1,762 @@
+//===- tests/InterpTest.cpp - End-to-end execution tests ------------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// These tests run MiniGo programs through the full pipeline (parse ->
+// analyze -> instrument -> interpret on the runtime) and check language
+// semantics, the Go/GoFree behavioral equivalence, and the interaction
+// with GC and tcfree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace gofree;
+using namespace gofree::compiler;
+
+namespace {
+
+ExecOutcome runModeRaw(const std::string &Src, CompileMode Mode,
+                       const std::vector<int64_t> &Args = {},
+                       ExecOptions EO = {}) {
+  CompileOptions CO;
+  CO.Mode = Mode;
+  Compilation C = compile(Src, CO);
+  EXPECT_TRUE(C.ok()) << C.Errors;
+  if (!C.ok())
+    return {};
+  return execute(C, "main", Args, EO);
+}
+
+ExecOutcome runMode(const std::string &Src, CompileMode Mode,
+                    const std::vector<int64_t> &Args = {},
+                    ExecOptions EO = {}) {
+  ExecOutcome O = runModeRaw(Src, Mode, Args, EO);
+  EXPECT_TRUE(O.Run.ok()) << O.Run.Error;
+  return O;
+}
+
+uint64_t checksum(const std::string &Src,
+                  const std::vector<int64_t> &Args = {}) {
+  return runMode(Src, CompileMode::GoFree, Args).Run.Checksum;
+}
+
+/// Checksum must be identical whether or not tcfree instrumentation runs.
+void expectModeEquivalence(const std::string &Src,
+                           const std::vector<int64_t> &Args = {}) {
+  ExecOutcome Go = runMode(Src, CompileMode::Go, Args);
+  ExecOutcome Free = runMode(Src, CompileMode::GoFree, Args);
+  EXPECT_EQ(Go.Run.Checksum, Free.Run.Checksum)
+      << "GoFree changed observable behavior";
+  EXPECT_EQ(Go.Run.SinkCount, Free.Run.SinkCount);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Core semantics
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, ArithmeticAndSink) {
+  uint64_t A = checksum("func main() {\n"
+                        "  sink(2 + 3*4)\n"
+                        "  sink(10 / 3)\n"
+                        "  sink(10 % 3)\n"
+                        "  sink(-5)\n"
+                        "}\n");
+  uint64_t B = checksum("func main() {\n"
+                        "  sink(14)\n  sink(3)\n  sink(1)\n  sink(-5)\n"
+                        "}\n");
+  EXPECT_EQ(A, B);
+}
+
+TEST(InterpTest, ShortCircuitEvaluation) {
+  // The right operand must not run when the left decides: division by zero
+  // in the unevaluated arm must not fault.
+  ExecOutcome O = runMode("func boom(x int) bool {\n"
+                          "  sink(1 / x)\n"
+                          "  return true\n"
+                          "}\n"
+                          "func main() {\n"
+                          "  z := 0\n"
+                          "  if false && boom(z) { sink(1) }\n"
+                          "  if true || boom(z) { sink(2) }\n"
+                          "}\n",
+                          CompileMode::GoFree);
+  EXPECT_EQ(O.Run.SinkCount, 1u);
+}
+
+TEST(InterpTest, ControlFlow) {
+  EXPECT_EQ(checksum("func main() {\n"
+                     "  total := 0\n"
+                     "  for i := 0; i < 10; i = i + 1 {\n"
+                     "    if i % 2 == 0 { continue }\n"
+                     "    if i == 9 { break }\n"
+                     "    total = total + i\n"
+                     "  }\n"
+                     "  sink(total)\n" // 1+3+5+7 = 16
+                     "}\n"),
+            checksum("func main() {\n  sink(16)\n}\n"));
+}
+
+TEST(InterpTest, PointersAndStructs) {
+  EXPECT_EQ(checksum("type P struct { x int\n y int\n }\n"
+                     "func main() {\n"
+                     "  p := P{x: 1, y: 2}\n"
+                     "  q := p\n"        // value copy
+                     "  q.x = 100\n"
+                     "  sink(p.x + q.x)\n" // 1 + 100
+                     "  r := &p\n"
+                     "  r.y = 50\n"
+                     "  sink(p.y)\n"       // through-pointer store
+                     "}\n"),
+            checksum("func main() {\n  sink(101)\n  sink(50)\n}\n"));
+}
+
+TEST(InterpTest, PointerChains) {
+  EXPECT_EQ(checksum("func main() {\n"
+                     "  x := 5\n"
+                     "  p := &x\n"
+                     "  pp := &p\n"
+                     "  **pp = 9\n"
+                     "  sink(x)\n"
+                     "  sink(*p)\n"
+                     "}\n"),
+            checksum("func main() {\n  sink(9)\n  sink(9)\n}\n"));
+}
+
+TEST(InterpTest, SlicesBasics) {
+  EXPECT_EQ(checksum("func main() {\n"
+                     "  s := make([]int, 3)\n"
+                     "  s[0] = 10\n  s[1] = 20\n  s[2] = 30\n"
+                     "  sink(s[0] + s[1] + s[2])\n"
+                     "  sink(len(s))\n"
+                     "  t := s\n" // Shared backing array.
+                     "  t[0] = 99\n"
+                     "  sink(s[0])\n"
+                     "}\n"),
+            checksum("func main() {\n  sink(60)\n  sink(3)\n  sink(99)\n}\n"));
+}
+
+TEST(InterpTest, AppendGrowsAndCopies) {
+  EXPECT_EQ(checksum("func main() {\n"
+                     "  s := make([]int, 0)\n"
+                     "  for i := 0; i < 100; i = i + 1 {\n"
+                     "    s = append(s, i*i)\n"
+                     "  }\n"
+                     "  sink(len(s))\n"
+                     "  sink(s[0] + s[50] + s[99])\n"
+                     "  sink(cap(s) >= 100)\n"
+                     "}\n"),
+            checksum("func main() {\n"
+                     "  sink(100)\n  sink(0 + 2500 + 9801)\n  sink(true)\n"
+                     "}\n"));
+}
+
+TEST(InterpTest, AppendAliasingSemantics) {
+  // Appending within capacity writes through the shared array; growth
+  // detaches, exactly like Go.
+  EXPECT_EQ(checksum("func main() {\n"
+                     "  s := make([]int, 1, 2)\n"
+                     "  s[0] = 7\n"
+                     "  t := append(s, 8)\n"
+                     "  sink(t[0] + t[1])\n"
+                     "  u := append(t, 9)\n" // t is full: u detaches
+                     "  u[0] = 100\n"
+                     "  sink(t[0])\n"        // unchanged
+                     "  sink(u[0] + u[2])\n"
+                     "}\n"),
+            checksum("func main() {\n"
+                     "  sink(15)\n  sink(7)\n  sink(109)\n"
+                     "}\n"));
+}
+
+TEST(InterpTest, MapsBasics) {
+  EXPECT_EQ(checksum("func main() {\n"
+                     "  m := make(map[int]int)\n"
+                     "  for i := 0; i < 200; i = i + 1 {\n"
+                     "    m[i] = i * 2\n"
+                     "  }\n"
+                     "  sink(len(m))\n"
+                     "  sink(m[13] + m[199])\n"
+                     "  sink(m[12345])\n" // missing -> zero
+                     "  delete(m, 13)\n"
+                     "  sink(m[13])\n"
+                     "  sink(len(m))\n"
+                     "}\n"),
+            checksum("func main() {\n"
+                     "  sink(200)\n  sink(26 + 398)\n  sink(0)\n  sink(0)\n"
+                     "  sink(199)\n"
+                     "}\n"));
+}
+
+TEST(InterpTest, MapWithSliceValues) {
+  EXPECT_EQ(checksum("func main() {\n"
+                     "  m := make(map[int][]int)\n"
+                     "  for i := 0; i < 20; i = i + 1 {\n"
+                     "    s := make([]int, 2)\n"
+                     "    s[0] = i\n    s[1] = i * 10\n"
+                     "    m[i] = s\n"
+                     "  }\n"
+                     "  v := m[7]\n"
+                     "  sink(v[0] + v[1])\n"
+                     "}\n"),
+            checksum("func main() {\n  sink(77)\n}\n"));
+}
+
+TEST(InterpTest, NilMapReadsAreZeroWritesFault) {
+  ExecOutcome O = runMode("func main() {\n"
+                          "  var m map[int]int\n"
+                          "  sink(len(m))\n"
+                          "  sink(m[5])\n"
+                          "}\n",
+                          CompileMode::GoFree);
+  EXPECT_EQ(O.Run.SinkCount, 2u);
+
+  CompileOptions CO;
+  Compilation C = compile("func main() {\n"
+                          "  var m map[int]int\n"
+                          "  m[1] = 2\n"
+                          "}\n",
+                          CO);
+  ASSERT_TRUE(C.ok());
+  ExecOutcome Bad = execute(C, "main");
+  EXPECT_NE(Bad.Run.Error.find("nil map"), std::string::npos);
+}
+
+TEST(InterpTest, FunctionsAndMultiReturn) {
+  EXPECT_EQ(checksum("func divmod(a int, b int) (int, int) {\n"
+                     "  return a / b, a % b\n"
+                     "}\n"
+                     "func main() {\n"
+                     "  q, r := divmod(17, 5)\n"
+                     "  sink(q)\n  sink(r)\n"
+                     "  a, b := divmod(9, 2)\n"
+                     "  a, _ = divmod(a+b, 2)\n"
+                     "  sink(a)\n"
+                     "}\n"),
+            checksum("func main() {\n  sink(3)\n  sink(2)\n  sink(2)\n}\n"));
+}
+
+TEST(InterpTest, RecursionFibonacci) {
+  EXPECT_EQ(checksum("func fib(n int) int {\n"
+                     "  if n < 2 { return n }\n"
+                     "  return fib(n-1) + fib(n-2)\n"
+                     "}\n"
+                     "func main() {\n  sink(fib(15))\n}\n"),
+            checksum("func main() {\n  sink(610)\n}\n"));
+}
+
+TEST(InterpTest, ReturnForwardsMultipleResults) {
+  EXPECT_EQ(checksum("func two() (int, int) { return 3, 4 }\n"
+                     "func fwd() (int, int) { return two() }\n"
+                     "func main() {\n"
+                     "  a, b := fwd()\n"
+                     "  sink(a*10 + b)\n"
+                     "}\n"),
+            checksum("func main() {\n  sink(34)\n}\n"));
+}
+
+TEST(InterpTest, DeferRunsInReverseOrderAtExit) {
+  EXPECT_EQ(checksum("func note(x int) {\n  sink(x)\n}\n"
+                     "func f() {\n"
+                     "  defer note(1)\n"
+                     "  defer note(2)\n"
+                     "  sink(0)\n"
+                     "}\n"
+                     "func main() {\n  f()\n  sink(3)\n}\n"),
+            checksum("func main() {\n"
+                     "  sink(0)\n  sink(2)\n  sink(1)\n  sink(3)\n"
+                     "}\n"));
+}
+
+TEST(InterpTest, DeferArgsEvaluatedAtDeferTime) {
+  EXPECT_EQ(checksum("func note(x int) {\n  sink(x)\n}\n"
+                     "func main() {\n"
+                     "  x := 1\n"
+                     "  defer note(x)\n"
+                     "  x = 99\n"
+                     "  sink(x)\n"
+                     "}\n"),
+            checksum("func main() {\n  sink(99)\n  sink(1)\n}\n"));
+}
+
+TEST(InterpTest, PanicUnwindsAndRunsDefers) {
+  ExecOutcome O = runModeRaw("func note(x int) {\n  sink(x)\n}\n"
+                          "func inner() {\n"
+                          "  defer note(7)\n"
+                          "  panic(42)\n"
+                          "}\n"
+                          "func main() {\n"
+                          "  defer note(8)\n"
+                          "  inner()\n"
+                          "  sink(999)\n" // Never reached.
+                          "}\n",
+                          CompileMode::GoFree);
+  EXPECT_TRUE(O.Run.Panicked);
+  EXPECT_EQ(O.Run.PanicValue, 42);
+  EXPECT_EQ(O.Run.SinkCount, 2u); // note(7) then note(8).
+}
+
+TEST(InterpTest, PanicInsideExpressionUnwinds) {
+  ExecOutcome O = runModeRaw("func boom() int {\n  panic(5)\n}\n"
+                          "func main() {\n"
+                          "  x := 1 + boom()\n"
+                          "  sink(x)\n"
+                          "}\n",
+                          CompileMode::GoFree);
+  EXPECT_TRUE(O.Run.Panicked);
+  EXPECT_EQ(O.Run.SinkCount, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Faults
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::string runExpectError(const std::string &Src) {
+  Compilation C = compile(Src, {});
+  EXPECT_TRUE(C.ok()) << C.Errors;
+  ExecOutcome O = execute(C, "main");
+  EXPECT_FALSE(O.Run.ok());
+  return O.Run.Error;
+}
+} // namespace
+
+TEST(InterpTest, NilDerefFaults) {
+  EXPECT_NE(runExpectError("type T struct { v int\n }\n"
+                           "func main() {\n"
+                           "  var p *T\n"
+                           "  sink(p.v)\n"
+                           "}\n")
+                .find("nil pointer"),
+            std::string::npos);
+}
+
+TEST(InterpTest, BoundsCheckFaults) {
+  EXPECT_NE(runExpectError("func main() {\n"
+                           "  s := make([]int, 3)\n"
+                           "  i := 5\n"
+                           "  sink(s[i])\n"
+                           "}\n")
+                .find("out of range"),
+            std::string::npos);
+}
+
+TEST(InterpTest, DivideByZeroFaults) {
+  EXPECT_NE(runExpectError("func main() {\n"
+                           "  z := 0\n"
+                           "  sink(1 / z)\n"
+                           "}\n")
+                .find("divide by zero"),
+            std::string::npos);
+}
+
+TEST(InterpTest, FuelLimitStopsRunawayLoops) {
+  Compilation C = compile("func main() {\n  for {\n  }\n}\n", {});
+  ASSERT_TRUE(C.ok());
+  ExecOptions EO;
+  EO.Interp.MaxSteps = 10000;
+  ExecOutcome O = execute(C, "main", {}, EO);
+  EXPECT_TRUE(O.Run.OutOfFuel);
+}
+
+TEST(InterpTest, StackOverflowIsCaught) {
+  Compilation C = compile("func down(n int) int {\n"
+                          "  return down(n + 1)\n"
+                          "}\n"
+                          "func main() {\n  sink(down(0))\n}\n",
+                          {});
+  ASSERT_TRUE(C.ok());
+  ExecOutcome O = execute(C, "main");
+  EXPECT_TRUE(O.Run.OutOfFuel);
+}
+
+//===----------------------------------------------------------------------===//
+// Escape interactions: boxing, stack allocation, GC
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, EscapedLocalIsBoxedAndSurvives) {
+  // &local escapes through the return value; the callee frame dies but the
+  // box lives on (Go's "moved to heap").
+  EXPECT_EQ(checksum("func cell(v int) *int {\n"
+                     "  x := v\n"
+                     "  return &x\n"
+                     "}\n"
+                     "func main() {\n"
+                     "  a := cell(5)\n"
+                     "  b := cell(6)\n"
+                     "  *a = *a + *b\n"
+                     "  sink(*a)\n"
+                     "}\n"),
+            checksum("func main() {\n  sink(11)\n}\n"));
+}
+
+TEST(InterpTest, BoxedLoopVariablesKeepIdentity) {
+  // Each iteration's variable is a distinct box, like Go closures would see.
+  EXPECT_EQ(checksum("func main() {\n"
+                     "  s := make([]*int, 0)\n"
+                     "  for i := 0; i < 5; i = i + 1 {\n"
+                     "    v := i * 10\n"
+                     "    s = append(s, &v)\n"
+                     "  }\n"
+                     "  total := 0\n"
+                     "  for j := 0; j < 5; j = j + 1 {\n"
+                     "    total = total + *s[j]\n"
+                     "  }\n"
+                     "  sink(total)\n" // 0+10+20+30+40
+                     "}\n"),
+            checksum("func main() {\n  sink(100)\n}\n"));
+}
+
+TEST(InterpTest, StackAllocatedSlicesWorkInLoops) {
+  // Constant-size non-escaping slices reuse one stack slot per site.
+  ExecOutcome O = runMode("func main() {\n"
+                          "  total := 0\n"
+                          "  for i := 0; i < 1000; i = i + 1 {\n"
+                          "    buf := make([]int, 8)\n"
+                          "    buf[0] = i\n"
+                          "    buf[7] = i * 2\n"
+                          "    total = total + buf[0] + buf[7]\n"
+                          "  }\n"
+                          "  sink(total)\n"
+                          "}\n",
+                          CompileMode::GoFree);
+  EXPECT_EQ(O.Stats.AllocCountByCat[(int)rt::AllocCat::Slice], 0u)
+      << "constant-size non-escaping slice must not touch the heap";
+  EXPECT_EQ(O.Stats.StackAllocCountByCat[(int)rt::AllocCat::Slice], 1000u);
+}
+
+TEST(InterpTest, GcCollectsGarbageMidRun) {
+  ExecOptions EO;
+  EO.Heap.MinHeapTrigger = 64 * 1024;
+  ExecOutcome O = runMode("func main(n int) {\n"
+                          "  total := 0\n"
+                          "  for i := 0; i < n; i = i + 1 {\n"
+                          "    s := make([]int, i%100 + 50)\n"
+                          "    s[0] = i\n"
+                          "    total = total + s[0]\n"
+                          "  }\n"
+                          "  sink(total)\n"
+                          "}\n",
+                          CompileMode::Go, {3000}, EO);
+  EXPECT_GT(O.Stats.GcCycles, 0u);
+  EXPECT_LT(O.Stats.PeakLive, 4u << 20);
+  EXPECT_EQ(O.Run.Checksum,
+            checksum("func main() {\n  sink(4498500)\n}\n"));
+}
+
+TEST(InterpTest, LiveDataSurvivesGc) {
+  // A long-lived linked structure built while garbage churns: GC must keep
+  // every reachable node intact.
+  ExecOptions EO;
+  EO.Heap.MinHeapTrigger = 32 * 1024;
+  ExecOutcome O = runMode(
+      "type Node struct { v int\n next *Node\n }\n"
+      "func main(n int) {\n"
+      "  var head *Node\n"
+      "  for i := 0; i < n; i = i + 1 {\n"
+      "    tmp := make([]int, i%64 + 64)\n" // churn
+      "    tmp[0] = i\n"
+      "    node := &Node{v: tmp[0], next: head}\n"
+      "    head = node\n"
+      "  }\n"
+      "  total := 0\n"
+      "  for head != nil {\n"
+      "    total = total + head.v\n"
+      "    head = head.next\n"
+      "  }\n"
+      "  sink(total)\n"
+      "}\n",
+      CompileMode::Go, {2000}, EO);
+  EXPECT_GT(O.Stats.GcCycles, 0u);
+  EXPECT_EQ(O.Run.Checksum,
+            checksum("func main() {\n  sink(1999000)\n}\n"));
+}
+
+//===----------------------------------------------------------------------===//
+// Go vs GoFree equivalence and tcfree effectiveness
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, ModeEquivalenceOnSliceChurn) {
+  expectModeEquivalence("func main(n int) {\n"
+                        "  total := 0\n"
+                        "  for i := 1; i < n; i = i + 1 {\n"
+                        "    s := make([]int, i%50 + 10)\n"
+                        "    s[0] = i\n"
+                        "    s[i%10] = i * 2\n"
+                        "    total = total + s[0] + s[i%10]\n"
+                        "  }\n"
+                        "  sink(total)\n"
+                        "}\n",
+                        {2000});
+}
+
+TEST(InterpTest, ModeEquivalenceOnMaps) {
+  expectModeEquivalence("func main(n int) {\n"
+                        "  total := 0\n"
+                        "  for round := 0; round < n; round = round + 1 {\n"
+                        "    m := make(map[int]int, round%20)\n"
+                        "    for k := 0; k < 50; k = k + 1 {\n"
+                        "      m[k*round] = k + round\n"
+                        "    }\n"
+                        "    total = total + m[round] + len(m)\n"
+                        "  }\n"
+                        "  sink(total)\n"
+                        "}\n",
+                        {200});
+}
+
+TEST(InterpTest, ModeEquivalenceAcrossCalls) {
+  expectModeEquivalence("func produce(n int) []int {\n"
+                        "  buf := make([]int, n)\n"
+                        "  for i := 0; i < n; i = i + 1 {\n"
+                        "    buf[i] = i * i\n"
+                        "  }\n"
+                        "  return buf\n"
+                        "}\n"
+                        "func total(s []int) int {\n"
+                        "  t := 0\n"
+                        "  for i := 0; i < len(s); i = i + 1 {\n"
+                        "    t = t + s[i]\n"
+                        "  }\n"
+                        "  return t\n"
+                        "}\n"
+                        "func main(n int) {\n"
+                        "  acc := 0\n"
+                        "  for r := 1; r < n; r = r + 1 {\n"
+                        "    tmp := produce(r % 64)\n"
+                        "    acc = acc + total(tmp)\n"
+                        "  }\n"
+                        "  sink(acc)\n"
+                        "}\n",
+                        {500});
+}
+
+TEST(InterpTest, TcfreeActuallyFreesSliceChurn) {
+  ExecOptions EO;
+  EO.Heap.MinHeapTrigger = 128 * 1024;
+  const char *Src = "func main(n int) {\n"
+                    "  total := 0\n"
+                    "  for i := 1; i < n; i = i + 1 {\n"
+                    "    s := make([]int, i%100 + 100)\n"
+                    "    s[0] = i\n"
+                    "    total = total + s[0]\n"
+                    "  }\n"
+                    "  sink(total)\n"
+                    "}\n";
+  ExecOutcome Go = runMode(Src, CompileMode::Go, {5000}, EO);
+  ExecOutcome Free = runMode(Src, CompileMode::GoFree, {5000}, EO);
+  // The loop slice is freed every iteration.
+  EXPECT_GT(Free.Stats.freeRatio(), 0.9);
+  EXPECT_EQ(Go.Stats.tcfreeFreedBytes(), 0u);
+  // Fewer (here: zero vs several) GC cycles.
+  EXPECT_LT(Free.Stats.GcCycles, Go.Stats.GcCycles);
+  EXPECT_LE(Free.Stats.PeakLive, Go.Stats.PeakLive);
+}
+
+TEST(InterpTest, MapGrowthFreesOldBuckets) {
+  ExecOutcome O = runMode("func main() {\n"
+                          "  m := make(map[int]int)\n"
+                          "  for i := 0; i < 10000; i = i + 1 {\n"
+                          "    m[i] = i\n"
+                          "  }\n"
+                          "  sink(len(m))\n"
+                          "}\n",
+                          CompileMode::GoFree);
+  EXPECT_GT(O.Stats.FreedBytesBySource[(int)rt::FreeSource::MapGrowOld], 0u);
+}
+
+TEST(InterpTest, InstrumentationInsertsExpectedFrees) {
+  CompileOptions CO;
+  Compilation C = compile("func main(n int) {\n"
+                          "  s := make([]int, n)\n"
+                          "  m := make(map[int]int, n)\n"
+                          "  s[0] = 1\n"
+                          "  m[1] = 2\n"
+                          "  sink(s[0] + m[1])\n"
+                          "}\n",
+                          CO);
+  ASSERT_TRUE(C.ok());
+  EXPECT_EQ(C.Instr.SliceFrees, 1u);
+  EXPECT_EQ(C.Instr.MapFrees, 1u);
+}
+
+TEST(InterpTest, DoubleAliasFreeIsHarmless) {
+  // Two same-scope aliases both eligible: the second tcfree is a benign
+  // double free (section 5).
+  expectModeEquivalence("func main(n int) {\n"
+                        "  s := make([]int, n)\n"
+                        "  t := s\n"
+                        "  s[0] = 3\n"
+                        "  sink(t[0])\n"
+                        "}\n",
+                        {100});
+}
+
+TEST(InterpTest, CompoundAssignAndIncDecSemantics) {
+  expectModeEquivalence("func main() {\n"
+                        "  x := 10\n"
+                        "  x += 5\n"
+                        "  x *= 2\n"
+                        "  x -= 3\n"
+                        "  x /= 2\n"
+                        "  x %= 7\n"
+                        "  x++\n"
+                        "  x++\n"
+                        "  x--\n"
+                        "  sink(x)\n" // ((10+5)*2-3)/2%7 = 27%7=6; +2-1 = 7
+                        "  s := make([]int, 3)\n"
+                        "  s[1] += 41\n"
+                        "  s[1]++\n"
+                        "  sink(s[1])\n"
+                        "}\n");
+  uint64_t Got = checksum("func main() {\n"
+                          "  x := 10\n  x += 5\n  x *= 2\n  x -= 3\n"
+                          "  x /= 2\n  x %= 7\n  x++\n  x++\n  x--\n"
+                          "  sink(x)\n"
+                          "  s := make([]int, 3)\n  s[1] += 41\n  s[1]++\n"
+                          "  sink(s[1])\n"
+                          "}\n");
+  EXPECT_EQ(Got, checksum("func main() {\n  sink(7)\n  sink(42)\n}\n"));
+}
+
+TEST(InterpTest, IfInitScopesOverBothBranches) {
+  EXPECT_EQ(checksum("func f(n int) int { return n * 3 }\n"
+                     "func main() {\n"
+                     "  v := 100\n"
+                     "  if v := f(2); v > 5 {\n"
+                     "    sink(v)\n" // Inner v = 6.
+                     "  } else {\n"
+                     "    sink(-v)\n"
+                     "  }\n"
+                     "  sink(v)\n" // Outer v untouched.
+                     "}\n"),
+            checksum("func main() {\n  sink(6)\n  sink(100)\n}\n"));
+}
+
+TEST(InterpTest, RangeOverSlice) {
+  expectModeEquivalence("func main(n int) {\n"
+                        "  s := make([]int, n)\n"
+                        "  for i := range s {\n"
+                        "    s[i] = i * i\n"
+                        "  }\n"
+                        "  total := 0\n"
+                        "  for _, v := range s {\n"
+                        "    total += v\n"
+                        "  }\n"
+                        "  sink(total)\n"
+                        "}\n",
+                        {10});
+  EXPECT_EQ(checksum("func main(n int) {\n"
+                     "  s := make([]int, n)\n"
+                     "  for i := range s { s[i] = i * i }\n"
+                     "  total := 0\n"
+                     "  for _, v := range s { total += v }\n"
+                     "  sink(total)\n"
+                     "}\n",
+                     {10}),
+            checksum("func main() {\n  sink(285)\n}\n"));
+}
+
+TEST(InterpTest, RangeEvaluatesExpressionOnce) {
+  // Appending inside the loop must not extend the iteration (the range
+  // expression and its length are captured up front, like Go).
+  EXPECT_EQ(checksum("func main() {\n"
+                     "  s := make([]int, 3)\n"
+                     "  s[0] = 1\n  s[1] = 2\n  s[2] = 3\n"
+                     "  count := 0\n"
+                     "  for i, v := range s {\n"
+                     "    s = append(s, v + i)\n"
+                     "    count++\n"
+                     "  }\n"
+                     "  sink(count)\n"
+                     "  sink(len(s))\n"
+                     "}\n"),
+            checksum("func main() {\n  sink(3)\n  sink(6)\n}\n"));
+}
+
+TEST(InterpTest, SwitchTaggedWithMultiValueCases) {
+  EXPECT_EQ(checksum("func classify(x int) int {\n"
+                     "  switch x % 5 {\n"
+                     "  case 0:\n"
+                     "    return 100\n"
+                     "  case 1, 2:\n"
+                     "    return 200\n"
+                     "  default:\n"
+                     "    return 300\n"
+                     "  }\n"
+                     "}\n"
+                     "func main() {\n"
+                     "  total := 0\n"
+                     "  for i := 0; i < 10; i++ {\n"
+                     "    total += classify(i)\n"
+                     "  }\n"
+                     "  sink(total)\n" // 0,5->100x2; 1,2,6,7->200x4; rest 300x4
+                     "}\n"),
+            checksum("func main() {\n  sink(2200)\n}\n"));
+}
+
+TEST(InterpTest, SwitchTaglessActsAsIfChain) {
+  EXPECT_EQ(checksum("func main() {\n"
+                     "  x := 7\n"
+                     "  switch {\n"
+                     "  case x < 5:\n"
+                     "    sink(1)\n"
+                     "  case x < 10:\n"
+                     "    sink(2)\n"
+                     "  default:\n"
+                     "    sink(3)\n"
+                     "  }\n"
+                     "}\n"),
+            checksum("func main() {\n  sink(2)\n}\n"));
+}
+
+TEST(InterpTest, SwitchDefaultInMiddle) {
+  // Go allows default anywhere; it still runs only when no case matches.
+  EXPECT_EQ(checksum("func main() {\n"
+                     "  x := 42\n"
+                     "  switch x {\n"
+                     "  case 1:\n"
+                     "    sink(1)\n"
+                     "  default:\n"
+                     "    sink(99)\n"
+                     "  case 2:\n"
+                     "    sink(2)\n"
+                     "  }\n"
+                     "}\n"),
+            checksum("func main() {\n  sink(99)\n}\n"));
+}
+
+TEST(InterpTest, SwitchTagEvaluatedOnce) {
+  EXPECT_EQ(checksum("func bump() int {\n"
+                     "  sink(7)\n" // Observable side effect, exactly once.
+                     "  return 2\n"
+                     "}\n"
+                     "func main() {\n"
+                     "  switch bump() {\n"
+                     "  case 1:\n    sink(1)\n"
+                     "  case 2:\n    sink(2)\n"
+                     "  case 3:\n    sink(3)\n"
+                     "  }\n"
+                     "}\n"),
+            checksum("func main() {\n  sink(7)\n  sink(2)\n}\n"));
+}
+
+TEST(InterpTest, RangeBreakAndContinue) {
+  EXPECT_EQ(checksum("func main() {\n"
+                     "  s := make([]int, 10)\n"
+                     "  for i := range s { s[i] = i }\n"
+                     "  total := 0\n"
+                     "  for _, v := range s {\n"
+                     "    if v % 2 == 0 { continue }\n"
+                     "    if v > 7 { break }\n"
+                     "    total += v\n" // 1+3+5+7 = 16
+                     "  }\n"
+                     "  sink(total)\n"
+                     "}\n"),
+            checksum("func main() {\n  sink(16)\n}\n"));
+}

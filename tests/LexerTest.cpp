@@ -1,0 +1,138 @@
+//===- tests/LexerTest.cpp - Unit tests for the MiniGo lexer --------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minigo/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace gofree;
+using namespace gofree::minigo;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src) {
+  DiagSink Diags;
+  Lexer L(Src, Diags);
+  std::vector<Token> Toks = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.dump();
+  return Toks;
+}
+
+std::vector<TokKind> kinds(const std::string &Src) {
+  std::vector<TokKind> Out;
+  for (const Token &T : lex(Src))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(LexerTest, EmptyInput) {
+  auto Ks = kinds("");
+  ASSERT_EQ(Ks.size(), 1u);
+  EXPECT_EQ(Ks[0], TokKind::Eof);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto Ts = lex("func foo make x_1");
+  EXPECT_EQ(Ts[0].Kind, TokKind::KwFunc);
+  EXPECT_EQ(Ts[1].Kind, TokKind::Ident);
+  EXPECT_EQ(Ts[1].Text, "foo");
+  EXPECT_EQ(Ts[2].Kind, TokKind::KwMake);
+  EXPECT_EQ(Ts[3].Kind, TokKind::Ident);
+  EXPECT_EQ(Ts[3].Text, "x_1");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto Ts = lex("0 42 123456789");
+  EXPECT_EQ(Ts[0].IntValue, 0);
+  EXPECT_EQ(Ts[1].IntValue, 42);
+  EXPECT_EQ(Ts[2].IntValue, 123456789);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto Ks = kinds(":= == != <= >= && ||");
+  std::vector<TokKind> Want = {TokKind::Define, TokKind::EqEq, TokKind::NotEq,
+                               TokKind::Le,     TokKind::Ge,   TokKind::AndAnd,
+                               TokKind::OrOr,   TokKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(LexerTest, AutomaticSemicolonInsertion) {
+  auto Ks = kinds("x := 1\ny := 2\n");
+  std::vector<TokKind> Want = {
+      TokKind::Ident, TokKind::Define, TokKind::IntLit, TokKind::Semi,
+      TokKind::Ident, TokKind::Define, TokKind::IntLit, TokKind::Semi,
+      TokKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(LexerTest, NoSemicolonAfterOperators) {
+  // A newline after '+' must not insert a semicolon.
+  auto Ks = kinds("x = 1 +\n2\n");
+  std::vector<TokKind> Want = {TokKind::Ident,  TokKind::Assign,
+                               TokKind::IntLit, TokKind::Plus,
+                               TokKind::IntLit, TokKind::Semi,
+                               TokKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(LexerTest, SemicolonAfterRBrace) {
+  auto Ks = kinds("{ x }\n");
+  std::vector<TokKind> Want = {TokKind::LBrace, TokKind::Ident, TokKind::Semi,
+                               TokKind::RBrace, TokKind::Semi, TokKind::Eof};
+  // Note: "x }" has no newline between x and }, so no semi after x... but the
+  // lexer only inserts semicolons at newlines.
+  Want = {TokKind::LBrace, TokKind::Ident, TokKind::RBrace, TokKind::Semi,
+          TokKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  auto Ks = kinds("x // the variable\ny");
+  std::vector<TokKind> Want = {TokKind::Ident, TokKind::Semi, TokKind::Ident,
+                               TokKind::Semi, TokKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(LexerTest, BlockCommentsAreSkipped) {
+  auto Ks = kinds("a /* b c d */ e");
+  std::vector<TokKind> Want = {TokKind::Ident, TokKind::Ident, TokKind::Semi,
+                               TokKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(LexerTest, BlockCommentWithNewlineInsertsSemi) {
+  auto Ks = kinds("a /* multi\nline */ e");
+  std::vector<TokKind> Want = {TokKind::Ident, TokKind::Semi, TokKind::Ident,
+                               TokKind::Semi, TokKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(LexerTest, SourceLocationsAreTracked) {
+  auto Ts = lex("x\n  yy");
+  EXPECT_EQ(Ts[0].Loc.Line, 1u);
+  EXPECT_EQ(Ts[0].Loc.Col, 1u);
+  // Ts[1] is the inserted semicolon.
+  EXPECT_EQ(Ts[2].Loc.Line, 2u);
+  EXPECT_EQ(Ts[2].Loc.Col, 3u);
+}
+
+TEST(LexerTest, UnknownCharacterIsReported) {
+  DiagSink Diags;
+  Lexer L("x @ y", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, AmpersandVsLogicalAnd) {
+  auto Ks = kinds("&x && &y");
+  std::vector<TokKind> Want = {TokKind::Amp,    TokKind::Ident,
+                               TokKind::AndAnd, TokKind::Amp,
+                               TokKind::Ident,  TokKind::Semi, TokKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}

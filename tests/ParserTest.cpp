@@ -1,0 +1,293 @@
+//===- tests/ParserTest.cpp - Unit tests for the MiniGo parser ------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minigo/Lexer.h"
+#include "minigo/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace gofree;
+using namespace gofree::minigo;
+
+namespace {
+
+std::unique_ptr<Program> parse(const std::string &Src, bool ExpectOk = true) {
+  DiagSink Diags;
+  Lexer L(Src, Diags);
+  auto Prog = std::make_unique<Program>();
+  Parser P(L.lexAll(), *Prog, Diags);
+  bool Ok = P.parseProgram();
+  if (ExpectOk)
+    EXPECT_TRUE(Ok) << Diags.dump();
+  else
+    EXPECT_FALSE(Ok);
+  return Prog;
+}
+
+} // namespace
+
+TEST(ParserTest, EmptyFunction) {
+  auto Prog = parse("func main() {\n}\n");
+  ASSERT_EQ(Prog->Funcs.size(), 1u);
+  EXPECT_EQ(Prog->Funcs[0]->Name, "main");
+  EXPECT_TRUE(Prog->Funcs[0]->Params.empty());
+  EXPECT_TRUE(Prog->Funcs[0]->Results.empty());
+}
+
+TEST(ParserTest, ParamsAndResults) {
+  auto Prog = parse("func f(a int, b *int, c []int) (int, bool) {\n"
+                    "  return a, true\n"
+                    "}\n");
+  FuncDecl *F = Prog->Funcs[0];
+  ASSERT_EQ(F->Params.size(), 3u);
+  EXPECT_EQ(F->Params[0]->Name, "a");
+  EXPECT_TRUE(F->Params[1]->Ty->isPointer());
+  EXPECT_TRUE(F->Params[2]->Ty->isSlice());
+  ASSERT_EQ(F->Results.size(), 2u);
+  EXPECT_TRUE(F->Results[0]->isInt());
+  EXPECT_TRUE(F->Results[1]->isBool());
+}
+
+TEST(ParserTest, NamedResultsAreAccepted) {
+  auto Prog = parse("func f() (r0 []int, r1 []int) {\n"
+                    "  s := make([]int, 3)\n"
+                    "  return s, s\n"
+                    "}\n");
+  FuncDecl *F = Prog->Funcs[0];
+  ASSERT_EQ(F->Results.size(), 2u);
+  EXPECT_TRUE(F->Results[0]->isSlice());
+  EXPECT_TRUE(F->Results[1]->isSlice());
+}
+
+TEST(ParserTest, StructDeclaration) {
+  auto Prog = parse("type Node struct {\n"
+                    "  val int\n"
+                    "  next *Node\n"
+                    "}\n"
+                    "func main() {\n}\n");
+  Type *T = Prog->Types->findStruct("Node");
+  ASSERT_NE(T, nullptr);
+  ASSERT_EQ(T->fields().size(), 2u);
+  EXPECT_EQ(T->fields()[0].Name, "val");
+  EXPECT_EQ(T->fields()[1].Offset, 8u);
+  EXPECT_TRUE(T->fields()[1].Ty->isPointer());
+  EXPECT_EQ(T->size(), 16u);
+  EXPECT_TRUE(T->hasPointers());
+}
+
+TEST(ParserTest, ShortVarDecl) {
+  auto Prog = parse("func main() {\n  x := 1 + 2*3\n}\n");
+  auto *B = Prog->Funcs[0]->Body;
+  ASSERT_EQ(B->Stmts.size(), 1u);
+  auto *DS = cast<VarDeclStmt>(B->Stmts[0]);
+  ASSERT_EQ(DS->Vars.size(), 1u);
+  EXPECT_EQ(DS->Vars[0]->Name, "x");
+  ASSERT_EQ(DS->Inits.size(), 1u);
+  // 1 + 2*3 must parse with * binding tighter.
+  auto *Add = cast<BinaryExpr>(DS->Inits[0]);
+  EXPECT_EQ(Add->Op, BinaryOp::Add);
+  EXPECT_EQ(cast<BinaryExpr>(Add->Rhs)->Op, BinaryOp::Mul);
+}
+
+TEST(ParserTest, MultiValueDefine) {
+  auto Prog = parse("func f() (int, int) { return 1, 2 }\n"
+                    "func main() {\n  a, b := f()\n  sink(a + b)\n}\n");
+  auto *DS = cast<VarDeclStmt>(Prog->Funcs[1]->Body->Stmts[0]);
+  EXPECT_EQ(DS->Vars.size(), 2u);
+  EXPECT_EQ(DS->Inits.size(), 1u);
+  EXPECT_EQ(DS->Inits[0]->kind(), ExprKind::Call);
+}
+
+TEST(ParserTest, PointerChainsAndDeref) {
+  auto Prog = parse("func main() {\n"
+                    "  x := 5\n"
+                    "  p := &x\n"
+                    "  pp := &p\n"
+                    "  **pp = 7\n"
+                    "}\n");
+  auto *AS = cast<AssignStmt>(Prog->Funcs[0]->Body->Stmts[3]);
+  auto *Outer = cast<DerefExpr>(AS->Lhs[0]);
+  EXPECT_EQ(Outer->Sub->kind(), ExprKind::Deref);
+}
+
+TEST(ParserTest, ForThreeClause) {
+  auto Prog = parse("func main() {\n"
+                    "  for i := 0; i < 10; i = i + 1 {\n"
+                    "    sink(i)\n"
+                    "  }\n"
+                    "}\n");
+  auto *FS = cast<ForStmt>(Prog->Funcs[0]->Body->Stmts[0]);
+  EXPECT_NE(FS->Init, nullptr);
+  EXPECT_NE(FS->Cond, nullptr);
+  EXPECT_NE(FS->Post, nullptr);
+}
+
+TEST(ParserTest, ForCondOnly) {
+  auto Prog = parse("func main() {\n  x := 0\n  for x < 3 { x = x + 1 }\n}\n");
+  auto *FS = cast<ForStmt>(Prog->Funcs[0]->Body->Stmts[1]);
+  EXPECT_EQ(FS->Init, nullptr);
+  EXPECT_NE(FS->Cond, nullptr);
+  EXPECT_EQ(FS->Post, nullptr);
+}
+
+TEST(ParserTest, ForInfinite) {
+  auto Prog = parse("func main() {\n  for {\n    break\n  }\n}\n");
+  auto *FS = cast<ForStmt>(Prog->Funcs[0]->Body->Stmts[0]);
+  EXPECT_EQ(FS->Cond, nullptr);
+  ASSERT_EQ(FS->Body->Stmts.size(), 1u);
+  EXPECT_EQ(FS->Body->Stmts[0]->kind(), StmtKind::Break);
+}
+
+TEST(ParserTest, IfElseChain) {
+  auto Prog = parse("func main() {\n"
+                    "  x := 1\n"
+                    "  if x < 0 {\n    sink(0)\n"
+                    "  } else if x == 0 {\n    sink(1)\n"
+                    "  } else {\n    sink(2)\n  }\n"
+                    "}\n");
+  auto *IS = cast<IfStmt>(Prog->Funcs[0]->Body->Stmts[1]);
+  ASSERT_NE(IS->Else, nullptr);
+  EXPECT_EQ(IS->Else->kind(), StmtKind::If);
+}
+
+TEST(ParserTest, MakeSliceAndMap) {
+  auto Prog = parse("func main() {\n"
+                    "  s := make([]int, 10)\n"
+                    "  t := make([]int, 5, 20)\n"
+                    "  m := make(map[int]int)\n"
+                    "  sink(len(s) + len(t) + len(m))\n"
+                    "}\n");
+  auto *S0 = cast<VarDeclStmt>(Prog->Funcs[0]->Body->Stmts[0]);
+  auto *ME = cast<MakeExpr>(S0->Inits[0]);
+  EXPECT_TRUE(ME->MadeTy->isSlice());
+  EXPECT_NE(ME->Len, nullptr);
+  EXPECT_EQ(ME->CapExpr, nullptr);
+  auto *S2 = cast<VarDeclStmt>(Prog->Funcs[0]->Body->Stmts[2]);
+  EXPECT_TRUE(cast<MakeExpr>(S2->Inits[0])->MadeTy->isMap());
+}
+
+TEST(ParserTest, CompositeLiteralAndAddrOf) {
+  auto Prog = parse("type P struct { x int\n y int\n }\n"
+                    "func main() {\n"
+                    "  a := P{x: 1, y: 2}\n"
+                    "  b := &P{x: 3, y: 4}\n"
+                    "  sink(a.x + b.y)\n"
+                    "}\n");
+  auto *S0 = cast<VarDeclStmt>(Prog->Funcs[0]->Body->Stmts[0]);
+  auto *C0 = cast<CompositeExpr>(S0->Inits[0]);
+  EXPECT_FALSE(C0->TakeAddr);
+  EXPECT_EQ(C0->Inits.size(), 2u);
+  auto *S1 = cast<VarDeclStmt>(Prog->Funcs[0]->Body->Stmts[1]);
+  EXPECT_TRUE(cast<CompositeExpr>(S1->Inits[0])->TakeAddr);
+}
+
+TEST(ParserTest, CompositeLiteralNotInForHeader) {
+  // `for p == q {` must treat `{` as the loop body, not a literal.
+  parse("type T struct { x int\n }\n"
+        "func main() {\n"
+        "  p := &T{x: 1}\n"
+        "  q := p\n"
+        "  for p == q {\n    break\n  }\n"
+        "}\n");
+}
+
+TEST(ParserTest, DeferAndPanic) {
+  auto Prog = parse("func g(x int) {\n  sink(x)\n}\n"
+                    "func main() {\n"
+                    "  defer g(1)\n"
+                    "  panic(3)\n"
+                    "}\n");
+  auto *Body = Prog->Funcs[1]->Body;
+  EXPECT_EQ(Body->Stmts[0]->kind(), StmtKind::Defer);
+  EXPECT_EQ(Body->Stmts[1]->kind(), StmtKind::Panic);
+}
+
+TEST(ParserTest, AppendAndIndex) {
+  auto Prog = parse("func main() {\n"
+                    "  s := make([]int, 0)\n"
+                    "  s = append(s, 4)\n"
+                    "  s[0] = 5\n"
+                    "  sink(s[0])\n"
+                    "}\n");
+  auto *AS = cast<AssignStmt>(Prog->Funcs[0]->Body->Stmts[1]);
+  EXPECT_EQ(AS->Rhs[0]->kind(), ExprKind::Append);
+}
+
+TEST(ParserTest, DeleteStatement) {
+  auto Prog = parse("func main() {\n"
+                    "  m := make(map[int]int)\n"
+                    "  m[1] = 2\n"
+                    "  delete(m, 1)\n"
+                    "}\n");
+  EXPECT_EQ(Prog->Funcs[0]->Body->Stmts[2]->kind(), StmtKind::Delete);
+}
+
+TEST(ParserTest, SyntaxErrorIsReported) {
+  parse("func main( {\n}\n", /*ExpectOk=*/false);
+}
+
+TEST(ParserTest, RedefinedFunctionIsReported) {
+  parse("func f() {\n}\nfunc f() {\n}\n", /*ExpectOk=*/false);
+}
+
+TEST(ParserTest, FieldChainThroughPointers) {
+  auto Prog = parse("type Inner struct { v int\n }\n"
+                    "type Outer struct { in *Inner\n }\n"
+                    "func main() {\n"
+                    "  o := &Outer{in: &Inner{v: 3}}\n"
+                    "  sink(o.in.v)\n"
+                    "}\n");
+  auto *SS = cast<SinkStmt>(Prog->Funcs[0]->Body->Stmts[1]);
+  auto *FE = cast<FieldExpr>(SS->Value);
+  EXPECT_EQ(FE->FieldName, "v");
+  EXPECT_EQ(cast<FieldExpr>(FE->Base)->FieldName, "in");
+}
+
+TEST(ParserTest, CompoundAssignmentDesugars) {
+  auto Prog = parse("func main() {\n"
+                    "  x := 1\n"
+                    "  x += 2\n"
+                    "  x -= 1\n"
+                    "  x *= 3\n"
+                    "  x /= 2\n"
+                    "  x %= 5\n"
+                    "  sink(x)\n"
+                    "}\n");
+  auto *Body = Prog->Funcs[0]->Body;
+  auto *AS = cast<AssignStmt>(Body->Stmts[1]);
+  auto *BE = cast<BinaryExpr>(AS->Rhs[0]);
+  EXPECT_EQ(BE->Op, BinaryOp::Add);
+  EXPECT_EQ(BE->Lhs, AS->Lhs[0]) << "desugaring shares the lvalue node";
+}
+
+TEST(ParserTest, IncrementDecrementDesugar) {
+  auto Prog = parse("func main() {\n"
+                    "  x := 1\n"
+                    "  x++\n"
+                    "  x--\n"
+                    "  sink(x)\n"
+                    "}\n");
+  auto *Body = Prog->Funcs[0]->Body;
+  EXPECT_EQ(Body->Stmts[1]->kind(), StmtKind::Assign);
+  EXPECT_EQ(Body->Stmts[2]->kind(), StmtKind::Assign);
+}
+
+TEST(ParserTest, IfWithInitStatement) {
+  auto Prog = parse("func f() int { return 4 }\n"
+                    "func main() {\n"
+                    "  if v := f(); v > 2 {\n"
+                    "    sink(v)\n"
+                    "  } else {\n"
+                    "    sink(-v)\n"
+                    "  }\n"
+                    "}\n");
+  // Desugars to a block wrapping {init; if}.
+  auto *Wrapper = cast<BlockStmt>(Prog->Funcs[1]->Body->Stmts[0]);
+  ASSERT_EQ(Wrapper->Stmts.size(), 2u);
+  EXPECT_EQ(Wrapper->Stmts[0]->kind(), StmtKind::VarDecl);
+  EXPECT_EQ(Wrapper->Stmts[1]->kind(), StmtKind::If);
+}

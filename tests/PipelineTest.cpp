@@ -1,0 +1,113 @@
+//===- tests/PipelineTest.cpp - Public API contract tests -----------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// The compile()/execute() entry points are the library's public surface;
+// these tests pin their error handling and option plumbing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace gofree;
+using namespace gofree::compiler;
+
+TEST(PipelineTest, CompileErrorsAreReportedNotThrown) {
+  Compilation C = compile("func main( {\n}\n", {});
+  EXPECT_FALSE(C.ok());
+  EXPECT_FALSE(C.Errors.empty());
+  EXPECT_NE(C.Errors.find("expected"), std::string::npos);
+}
+
+TEST(PipelineTest, SemanticErrorsIncludePositions) {
+  Compilation C = compile("func main() {\n  sink(q)\n}\n", {});
+  EXPECT_FALSE(C.ok());
+  EXPECT_NE(C.Errors.find("2:"), std::string::npos)
+      << "diagnostics carry line numbers: " << C.Errors;
+}
+
+TEST(PipelineTest, MissingEntryFunction) {
+  Compilation C = compile("func helper() {\n  sink(1)\n}\n", {});
+  ASSERT_TRUE(C.ok());
+  ExecOutcome O = execute(C, "main");
+  EXPECT_FALSE(O.Run.ok());
+  EXPECT_NE(O.Run.Error.find("no entry function"), std::string::npos);
+}
+
+TEST(PipelineTest, EntryArgumentCountChecked) {
+  Compilation C = compile("func main(a int, b int) {\n  sink(a + b)\n}\n", {});
+  ASSERT_TRUE(C.ok());
+  EXPECT_FALSE(execute(C, "main", {1}).Run.ok());
+  EXPECT_TRUE(execute(C, "main", {1, 2}).Run.ok());
+}
+
+TEST(PipelineTest, NonMainEntryPoints) {
+  Compilation C = compile("func alpha(x int) {\n  sink(x)\n}\n"
+                          "func beta(x int) {\n  sink(x * 2)\n}\n",
+                          {});
+  ASSERT_TRUE(C.ok());
+  ExecOutcome A = execute(C, "alpha", {21});
+  ExecOutcome B = execute(C, "beta", {21});
+  ASSERT_TRUE(A.Run.ok() && B.Run.ok());
+  EXPECT_NE(A.Run.Checksum, B.Run.Checksum);
+}
+
+TEST(PipelineTest, OneCompilationManyExecutions) {
+  // A Compilation is immutable after compile(); executions are isolated
+  // (fresh heap each) and deterministic.
+  Compilation C = compile("func main(n int) {\n"
+                          "  s := make([]int, n)\n"
+                          "  for i := range s { s[i] = i }\n"
+                          "  total := 0\n"
+                          "  for _, v := range s { total += v }\n"
+                          "  sink(total)\n"
+                          "}\n",
+                          {});
+  ASSERT_TRUE(C.ok());
+  ExecOutcome First = execute(C, "main", {100});
+  for (int I = 0; I < 5; ++I) {
+    ExecOutcome Again = execute(C, "main", {100});
+    EXPECT_EQ(Again.Run.Checksum, First.Run.Checksum);
+    EXPECT_EQ(Again.Stats.AllocCount, First.Stats.AllocCount);
+  }
+  ExecOutcome Different = execute(C, "main", {101});
+  EXPECT_NE(Different.Run.Checksum, First.Run.Checksum);
+}
+
+TEST(PipelineTest, GoModeNeverRunsGoFreeRuntimeFrees) {
+  CompileOptions CO;
+  CO.Mode = CompileMode::Go;
+  Compilation C = compile("func main() {\n"
+                          "  m := make(map[int]int)\n"
+                          "  for i := 0; i < 5000; i++ { m[i] = i }\n"
+                          "  sink(len(m))\n"
+                          "}\n",
+                          CO);
+  ASSERT_TRUE(C.ok());
+  // Even if the caller asks for the GoFree runtime knobs, Go mode strips
+  // them: stock Go has no tcfree at all.
+  ExecOptions EO;
+  EO.Interp.Map.GrowFreeOld = true;
+  EO.Interp.Slice.FreeOldOnGrow = true;
+  ExecOutcome O = execute(C, "main", {}, EO);
+  ASSERT_TRUE(O.Run.ok());
+  EXPECT_EQ(O.Stats.TcfreeCalls, 0u);
+  EXPECT_EQ(O.Stats.tcfreeFreedBytes(), 0u);
+}
+
+TEST(PipelineTest, WallSecondsAndStatsPopulated) {
+  // Variable size keeps the slice on the heap so allocation stats move.
+  Compilation C = compile("func main(n int) {\n"
+                          "  s := make([]int, n)\n"
+                          "  sink(len(s))\n"
+                          "}\n",
+                          {});
+  ASSERT_TRUE(C.ok());
+  ExecOutcome O = execute(C, "main", {1000});
+  EXPECT_GT(O.WallSeconds, 0.0);
+  EXPECT_GT(O.Stats.AllocedBytes, 0u);
+  EXPECT_EQ(O.Run.SinkCount, 1u);
+}

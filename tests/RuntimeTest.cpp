@@ -1,0 +1,679 @@
+//===- tests/RuntimeTest.cpp - Allocator, GC and tcfree tests -------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+#include "runtime/MapRt.h"
+#include "runtime/SizeClasses.h"
+#include "runtime/SliceRt.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+
+using namespace gofree;
+using namespace gofree::rt;
+
+namespace {
+
+/// Root scanner driven by explicit lists, for GC tests.
+class TestRoots : public RootScanner {
+public:
+  std::vector<uintptr_t> Direct;
+  std::vector<std::tuple<uintptr_t, const TypeDesc *, size_t>> Regions;
+
+  void scanRoots(Heap &H) override {
+    for (uintptr_t A : Direct)
+      H.gcMarkAddr(A);
+    for (auto &[Addr, Desc, Bytes] : Regions)
+      H.gcScanRegion(Addr, Desc, Bytes);
+  }
+};
+
+/// {int64 value, Node *next}
+const TypeDesc *nodeDesc() {
+  static const TypeDesc D{"Node", 16, false, nullptr, {{8, SlotKind::Raw}}};
+  return &D;
+}
+
+const TypeDesc *ptrArrayDesc() {
+  static const TypeDesc Elem{"ptr", 8, false, nullptr, {{0, SlotKind::Raw}}};
+  static const TypeDesc D{"[]ptr", 8, true, &Elem, {}};
+  return &D;
+}
+
+const TypeDesc *intArrayDesc() {
+  static const TypeDesc D{"[]int", 8, true, scalarDesc(), {}};
+  return &D;
+}
+
+uint64_t readWord(uintptr_t A) {
+  uint64_t V;
+  std::memcpy(&V, reinterpret_cast<void *>(A), 8);
+  return V;
+}
+
+void writeWord(uintptr_t A, uint64_t V) {
+  std::memcpy(reinterpret_cast<void *>(A), &V, 8);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Size classes
+//===----------------------------------------------------------------------===//
+
+TEST(SizeClassTest, CoversAllSmallSizes) {
+  for (size_t Bytes = 8; Bytes <= MaxSmallSize; Bytes += 8) {
+    int Cls = sizeClassFor(Bytes);
+    ASSERT_GE(Cls, 0);
+    ASSERT_LT(Cls, numSizeClasses());
+    EXPECT_GE(classSize(Cls), Bytes);
+    // Bounded internal fragmentation: class size < 2x requested.
+    EXPECT_LT(classSize(Cls), 2 * Bytes + 16);
+  }
+}
+
+TEST(SizeClassTest, ClassesAreMonotone) {
+  for (int C = 1; C < numSizeClasses(); ++C)
+    EXPECT_GT(classSize(C), classSize(C - 1));
+}
+
+TEST(SizeClassTest, SpanHoldsSeveralElements) {
+  for (int C = 0; C < numSizeClasses(); ++C) {
+    size_t Elems = classSpanPages(C) * PageSize / classSize(C);
+    EXPECT_GE(Elems, 4u) << "class " << C;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation
+//===----------------------------------------------------------------------===//
+
+TEST(HeapTest, SmallAllocationsAreDistinctAndZeroed) {
+  Heap H;
+  std::set<uintptr_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    uintptr_t A = H.allocate(24, scalarDesc(), AllocCat::Other, 0);
+    ASSERT_NE(A, 0u);
+    EXPECT_TRUE(Seen.insert(A).second);
+    EXPECT_EQ(readWord(A), 0u);
+    EXPECT_EQ(readWord(A + 16), 0u);
+    writeWord(A, 0xDEADBEEF); // Dirty it for the zeroing check on reuse.
+  }
+  EXPECT_EQ(H.stats().AllocCount.load(), 1000u);
+  EXPECT_GE(H.stats().AllocedBytes.load(), 24000u);
+}
+
+TEST(HeapTest, LargeAllocationGetsDedicatedSpan) {
+  Heap H;
+  uintptr_t A = H.allocate(100000, scalarDesc(), AllocCat::Slice, 0);
+  MSpan *S = H.spanOf(A);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->SizeClass, -1);
+  EXPECT_EQ(S->NElems, 1u);
+  EXPECT_GE(S->NPages * PageSize, 100000u);
+  EXPECT_TRUE(H.isLiveObject(A));
+}
+
+TEST(HeapTest, SpanLookupCoversInteriorPointers) {
+  Heap H;
+  uintptr_t A = H.allocate(64, scalarDesc(), AllocCat::Other, 0);
+  MSpan *S = H.spanOf(A + 40);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->slotAddr(S->slotOf(A + 40)), A);
+}
+
+TEST(HeapTest, StackAddressIsNotInHeap) {
+  Heap H;
+  int Local = 0;
+  EXPECT_EQ(H.spanOf(reinterpret_cast<uintptr_t>(&Local)), nullptr);
+  EXPECT_FALSE(H.isLiveObject(reinterpret_cast<uintptr_t>(&Local)));
+}
+
+TEST(HeapTest, PerCacheSpansAreIndependent) {
+  Heap H;
+  uintptr_t A = H.allocate(32, scalarDesc(), AllocCat::Other, 0);
+  uintptr_t B = H.allocate(32, scalarDesc(), AllocCat::Other, 1);
+  EXPECT_NE(H.spanOf(A), H.spanOf(B));
+  EXPECT_EQ(H.spanOf(A)->OwnerCache, 0);
+  EXPECT_EQ(H.spanOf(B)->OwnerCache, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// tcfree
+//===----------------------------------------------------------------------===//
+
+TEST(TcfreeTest, SmallFreeAllowsSlotReuse) {
+  Heap H;
+  uintptr_t A = H.allocate(48, scalarDesc(), AllocCat::Slice, 0);
+  writeWord(A, 123);
+  EXPECT_TRUE(H.tcfreeObject(A, 0, FreeSource::TcfreeSlice));
+  EXPECT_FALSE(H.isLiveObject(A));
+  // The very next allocation of the same class reuses the slot, zeroed.
+  uintptr_t B = H.allocate(48, scalarDesc(), AllocCat::Slice, 0);
+  EXPECT_EQ(B, A);
+  EXPECT_EQ(readWord(B), 0u);
+  EXPECT_EQ(H.stats().FreedCountBySource[(int)FreeSource::TcfreeSlice].load(),
+            1u);
+}
+
+TEST(TcfreeTest, GivesUpOnNullAndStackAddresses) {
+  Heap H;
+  EXPECT_FALSE(H.tcfreeObject(0, 0, FreeSource::TcfreeObject));
+  int Local;
+  EXPECT_FALSE(H.tcfreeObject(reinterpret_cast<uintptr_t>(&Local), 0,
+                              FreeSource::TcfreeObject));
+  EXPECT_EQ(H.stats().TcfreeGiveUps.load(), 2u);
+}
+
+TEST(TcfreeTest, GivesUpWhenSpanOwnedElsewhere) {
+  Heap H;
+  uintptr_t A = H.allocate(32, scalarDesc(), AllocCat::Other, 0);
+  // Simulate the span migrating to another thread's cache between
+  // allocation and tcfree (section 5's ownership-change give-up).
+  H.reassignSpanOwner(A, 2);
+  EXPECT_FALSE(H.tcfreeObject(A, 0, FreeSource::TcfreeObject));
+  EXPECT_TRUE(H.isLiveObject(A));
+}
+
+TEST(TcfreeTest, DoubleFreeIsBenign) {
+  Heap H;
+  uintptr_t A = H.allocate(32, scalarDesc(), AllocCat::Other, 0);
+  EXPECT_TRUE(H.tcfreeObject(A, 0, FreeSource::TcfreeObject));
+  EXPECT_FALSE(H.tcfreeObject(A, 0, FreeSource::TcfreeObject));
+  EXPECT_EQ(
+      H.stats().FreedCountBySource[(int)FreeSource::TcfreeObject].load(), 1u);
+}
+
+TEST(TcfreeTest, LargeFreeIsTwoStep) {
+  Heap H;
+  uintptr_t A = H.allocate(200000, scalarDesc(), AllocCat::Slice, 0);
+  uint64_t CommittedBefore = H.stats().Committed.load();
+  EXPECT_TRUE(H.tcfreeObject(A, 0, FreeSource::TcfreeSlice));
+  // Step 1: pages returned immediately, control block dangling.
+  EXPECT_LT(H.stats().Committed.load(), CommittedBefore);
+  EXPECT_EQ(H.danglingSpanCount(), 1u);
+  EXPECT_EQ(H.spanOf(A), nullptr) << "pages must leave the page map";
+  // Step 2: the next GC cycle retires the control block.
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  H.runGc();
+  EXPECT_EQ(H.danglingSpanCount(), 0u);
+}
+
+TEST(TcfreeTest, LargeDoubleFreeIsBenign) {
+  Heap H;
+  uintptr_t A = H.allocate(200000, scalarDesc(), AllocCat::Slice, 0);
+  EXPECT_TRUE(H.tcfreeObject(A, 0, FreeSource::TcfreeSlice));
+  EXPECT_FALSE(H.tcfreeObject(A, 0, FreeSource::TcfreeSlice));
+}
+
+TEST(TcfreeTest, GivesUpDuringGc) {
+  // A root scanner that calls tcfree re-entrantly: the call must give up
+  // because the collector is running.
+  class HostileRoots : public RootScanner {
+  public:
+    uintptr_t Target = 0;
+    bool Result = true;
+    void scanRoots(Heap &H) override {
+      Result = H.tcfreeObject(Target, 0, FreeSource::TcfreeObject);
+      H.gcMarkAddr(Target);
+    }
+  };
+  Heap H;
+  HostileRoots Roots;
+  Roots.Target = H.allocate(32, scalarDesc(), AllocCat::Other, 0);
+  H.setRootScanner(&Roots);
+  H.runGc();
+  EXPECT_FALSE(Roots.Result);
+  EXPECT_TRUE(H.isLiveObject(Roots.Target));
+}
+
+TEST(TcfreeTest, FreedBytesCountedBySource) {
+  Heap H;
+  uintptr_t A = H.allocate(64, scalarDesc(), AllocCat::Map, 0);
+  uintptr_t B = H.allocate(64, scalarDesc(), AllocCat::Map, 0);
+  H.tcfreeObject(A, 0, FreeSource::TcfreeMap);
+  H.tcfreeObject(B, 0, FreeSource::MapGrowOld);
+  EXPECT_EQ(H.stats().FreedBytesBySource[(int)FreeSource::TcfreeMap].load(),
+            64u);
+  EXPECT_EQ(H.stats().FreedBytesBySource[(int)FreeSource::MapGrowOld].load(),
+            64u);
+}
+
+//===----------------------------------------------------------------------===//
+// Garbage collection
+//===----------------------------------------------------------------------===//
+
+TEST(GcTest, UnreachableObjectsAreSwept) {
+  Heap H;
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  uintptr_t Kept = H.allocate(32, scalarDesc(), AllocCat::Other, 0);
+  uintptr_t Dead = H.allocate(32, scalarDesc(), AllocCat::Other, 0);
+  Roots.Direct.push_back(Kept);
+  H.runGc();
+  EXPECT_TRUE(H.isLiveObject(Kept));
+  EXPECT_FALSE(H.isLiveObject(Dead));
+  EXPECT_EQ(H.stats().GcSweptCount.load(), 1u);
+}
+
+TEST(GcTest, MarkFollowsPointerChains) {
+  Heap H;
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  // Build a 100-node list; root only the head.
+  uintptr_t Head = 0;
+  std::vector<uintptr_t> Nodes;
+  for (int I = 0; I < 100; ++I) {
+    uintptr_t N = H.allocate(16, nodeDesc(), AllocCat::Other, 0);
+    writeWord(N, (uint64_t)I);
+    writeWord(N + 8, Head);
+    Head = N;
+    Nodes.push_back(N);
+  }
+  Roots.Direct.push_back(Head);
+  H.runGc();
+  for (uintptr_t N : Nodes)
+    EXPECT_TRUE(H.isLiveObject(N));
+  // Cutting node 50's next pointer frees everything below it (the chain
+  // runs head = Nodes[99] -> Nodes[98] -> ... -> Nodes[0]).
+  writeWord(Nodes[50] + 8, 0);
+  H.runGc();
+  for (int I = 0; I < 50; ++I)
+    EXPECT_FALSE(H.isLiveObject(Nodes[(size_t)I])) << I;
+  for (int I = 50; I < 100; ++I)
+    EXPECT_TRUE(H.isLiveObject(Nodes[(size_t)I])) << I;
+}
+
+TEST(GcTest, PointerArraysAreScannedElementWise) {
+  Heap H;
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  uintptr_t Arr = H.allocate(10 * 8, ptrArrayDesc(), AllocCat::Slice, 0);
+  std::vector<uintptr_t> Targets;
+  for (int I = 0; I < 10; ++I) {
+    uintptr_t T = H.allocate(16, nodeDesc(), AllocCat::Other, 0);
+    writeWord(Arr + (size_t)I * 8, T);
+    Targets.push_back(T);
+  }
+  Roots.Direct.push_back(Arr);
+  H.runGc();
+  for (uintptr_t T : Targets)
+    EXPECT_TRUE(H.isLiveObject(T));
+}
+
+TEST(GcTest, RootRegionsScanSliceHeaders) {
+  Heap H;
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  uintptr_t Arr = H.allocate(64, intArrayDesc(), AllocCat::Slice, 0);
+  // A fake stack frame holding one slice header.
+  static const TypeDesc FrameDesc{
+      "frame", 24, false, nullptr, {{0, SlotKind::Slice}}};
+  SliceHeader Frame{Arr, 8, 8};
+  Roots.Regions.emplace_back(reinterpret_cast<uintptr_t>(&Frame), &FrameDesc,
+                             sizeof(Frame));
+  H.runGc();
+  EXPECT_TRUE(H.isLiveObject(Arr));
+  Frame.Data = 0;
+  H.runGc();
+  EXPECT_FALSE(H.isLiveObject(Arr));
+}
+
+TEST(GcTest, InteriorPointerKeepsWholeObject) {
+  Heap H;
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  uintptr_t Arr = H.allocate(80, intArrayDesc(), AllocCat::Slice, 0);
+  Roots.Direct.push_back(Arr + 40); // &arr[5]
+  H.runGc();
+  EXPECT_TRUE(H.isLiveObject(Arr));
+}
+
+TEST(GcTest, PacingTriggersCollection) {
+  HeapOptions O;
+  O.MinHeapTrigger = 64 * 1024;
+  Heap H(O);
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  // Allocate 1 MiB of garbage: several cycles must fire and the live heap
+  // must stay bounded.
+  for (int I = 0; I < 1024; ++I)
+    H.allocate(1024, scalarDesc(), AllocCat::Other, 0);
+  EXPECT_GE(H.stats().GcCycles.load(), 2u);
+  EXPECT_LT(H.stats().HeapLive.load(), 256u * 1024);
+}
+
+TEST(GcTest, GcOffNeverCollects) {
+  HeapOptions O;
+  O.Gogc = -1;
+  O.MinHeapTrigger = 4096;
+  Heap H(O);
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  for (int I = 0; I < 1000; ++I)
+    H.allocate(1024, scalarDesc(), AllocCat::Other, 0);
+  EXPECT_EQ(H.stats().GcCycles.load(), 0u);
+}
+
+TEST(GcTest, TcfreeReducesGcFrequency) {
+  // The core effect of the paper: explicitly freeing short-lived garbage
+  // delays heap growth and reduces GC cycles.
+  auto Run = [](bool UseTcfree) {
+    HeapOptions O;
+    O.MinHeapTrigger = 64 * 1024;
+    Heap H(O);
+    TestRoots Roots;
+    H.setRootScanner(&Roots);
+    for (int I = 0; I < 4096; ++I) {
+      uintptr_t A = H.allocate(512, scalarDesc(), AllocCat::Slice, 0);
+      if (UseTcfree)
+        H.tcfreeObject(A, 0, FreeSource::TcfreeSlice);
+    }
+    return H.stats().GcCycles.load();
+  };
+  uint64_t WithFree = Run(true);
+  uint64_t WithoutFree = Run(false);
+  EXPECT_LT(WithFree, WithoutFree);
+  EXPECT_EQ(WithFree, 0u) << "perfectly freed workload needs no GC";
+}
+
+//===----------------------------------------------------------------------===//
+// Mock (poisoning) tcfree for the robustness methodology
+//===----------------------------------------------------------------------===//
+
+TEST(MockTcfreeTest, PoisonsInsteadOfFreeing) {
+  HeapOptions O;
+  O.Mock = MockTcfree::Flip;
+  Heap H(O);
+  uintptr_t A = H.allocate(32, scalarDesc(), AllocCat::Other, 0);
+  writeWord(A, 0x00FF00FF00FF00FFull);
+  EXPECT_TRUE(H.tcfreeObject(A, 0, FreeSource::TcfreeObject));
+  // Object still allocated, but its contents were corrupted.
+  EXPECT_TRUE(H.isLiveObject(A));
+  EXPECT_EQ(readWord(A), 0xFF00FF00FF00FF00ull);
+  EXPECT_EQ(H.stats().MockPoisonedCount.load(), 1u);
+  EXPECT_EQ(H.stats().tcfreeFreedBytes(), 0u);
+}
+
+TEST(MockTcfreeTest, ZeroModeZeroes) {
+  HeapOptions O;
+  O.Mock = MockTcfree::Zero;
+  Heap H(O);
+  uintptr_t A = H.allocate(32, scalarDesc(), AllocCat::Other, 0);
+  writeWord(A, 42);
+  H.tcfreeObject(A, 0, FreeSource::TcfreeObject);
+  EXPECT_EQ(readWord(A), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Slice runtime
+//===----------------------------------------------------------------------===//
+
+TEST(SliceRtTest, GrowPreservesContents) {
+  Heap H;
+  SliceHeader Hdr{sliceAllocArray(H, intArrayDesc(), 4, 8, 0), 0, 4};
+  SliceRtOptions Opts;
+  for (int64_t I = 0; I < 100; ++I) {
+    sliceGrowForAppend(H, Hdr, intArrayDesc(), 8, 0, Opts);
+    ASSERT_LT(Hdr.Len, Hdr.Cap);
+    writeWord(Hdr.Data + (size_t)Hdr.Len * 8, (uint64_t)(I * 7));
+    ++Hdr.Len;
+  }
+  for (int64_t I = 0; I < 100; ++I)
+    EXPECT_EQ(readWord(Hdr.Data + (size_t)I * 8), (uint64_t)(I * 7));
+}
+
+TEST(SliceRtTest, FreeOldOnGrowReclaims) {
+  Heap H;
+  SliceRtOptions Opts;
+  Opts.FreeOldOnGrow = true;
+  SliceHeader Hdr{sliceAllocArray(H, intArrayDesc(), 4, 8, 0), 4, 4};
+  uintptr_t Old = Hdr.Data;
+  sliceGrowForAppend(H, Hdr, intArrayDesc(), 8, 0, Opts);
+  EXPECT_NE(Hdr.Data, Old);
+  EXPECT_FALSE(H.isLiveObject(Old));
+}
+
+TEST(SliceRtTest, TcfreeSliceUnwraps) {
+  Heap H;
+  SliceHeader Hdr{sliceAllocArray(H, intArrayDesc(), 16, 8, 0), 16, 16};
+  EXPECT_TRUE(tcfreeSlice(H, Hdr, 0));
+  EXPECT_FALSE(H.isLiveObject(Hdr.Data));
+}
+
+//===----------------------------------------------------------------------===//
+// Map runtime
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+MapCtx makeIntMapCtx(Heap &H) {
+  static const TypeDesc Entry{"entry", 24, false, nullptr, {}};
+  static const TypeDesc Buckets{"buckets", 8, true, &Entry, {}};
+  MapCtx Ctx;
+  Ctx.H = &H;
+  Ctx.BucketArrayDesc = &Buckets;
+  Ctx.ValueSize = 8;
+  Ctx.CacheId = 0;
+  return Ctx;
+}
+
+const TypeDesc *hmapDesc() {
+  static const TypeDesc D{
+      "hmap", HMapHeaderSize, false, nullptr, {{HMapBucketsOff, SlotKind::Raw}}};
+  return &D;
+}
+
+} // namespace
+
+TEST(MapRtTest, InsertLookupDelete) {
+  Heap H;
+  MapCtx Ctx = makeIntMapCtx(H);
+  uintptr_t M = mapMakeHeap(Ctx, hmapDesc(), 0);
+  for (int64_t K = 0; K < 50; ++K) {
+    int64_t V = K * K;
+    mapAssign(Ctx, M, K, &V);
+  }
+  EXPECT_EQ(mapLen(M), 50);
+  int64_t Out = 0;
+  EXPECT_TRUE(mapLookup(M, 7, &Out, 8));
+  EXPECT_EQ(Out, 49);
+  EXPECT_FALSE(mapLookup(M, 999, &Out, 8));
+  EXPECT_EQ(Out, 0) << "missing key yields zero value";
+  EXPECT_TRUE(mapDelete(M, 7));
+  EXPECT_FALSE(mapDelete(M, 7));
+  EXPECT_EQ(mapLen(M), 49);
+  EXPECT_FALSE(mapLookup(M, 7, &Out, 8));
+}
+
+TEST(MapRtTest, UpdateOverwritesInPlace) {
+  Heap H;
+  MapCtx Ctx = makeIntMapCtx(H);
+  uintptr_t M = mapMakeHeap(Ctx, hmapDesc(), 0);
+  int64_t V = 1;
+  mapAssign(Ctx, M, 5, &V);
+  V = 2;
+  mapAssign(Ctx, M, 5, &V);
+  EXPECT_EQ(mapLen(M), 1);
+  int64_t Out;
+  mapLookup(M, 5, &Out, 8);
+  EXPECT_EQ(Out, 2);
+}
+
+TEST(MapRtTest, GrowthKeepsAllEntriesAndFreesOldBuckets) {
+  Heap H;
+  MapCtx Ctx = makeIntMapCtx(H);
+  uintptr_t M = mapMakeHeap(Ctx, hmapDesc(), 0);
+  for (int64_t K = 0; K < 1000; ++K) {
+    int64_t V = K * 3 + 1;
+    mapAssign(Ctx, M, K, &V);
+  }
+  EXPECT_EQ(mapLen(M), 1000);
+  for (int64_t K = 0; K < 1000; ++K) {
+    int64_t Out = 0;
+    ASSERT_TRUE(mapLookup(M, K, &Out, 8)) << K;
+    EXPECT_EQ(Out, K * 3 + 1);
+  }
+  // Growth happened and GrowMapAndFreeOld reclaimed the abandoned arrays.
+  EXPECT_GT(
+      H.stats().FreedCountBySource[(int)FreeSource::MapGrowOld].load(), 2u);
+}
+
+TEST(MapRtTest, GrowFreeOldDisabledLeavesGarbageToGc) {
+  Heap H;
+  MapCtx Ctx = makeIntMapCtx(H);
+  Ctx.Opts.GrowFreeOld = false;
+  uintptr_t M = mapMakeHeap(Ctx, hmapDesc(), 0);
+  for (int64_t K = 0; K < 1000; ++K)
+    mapAssign(Ctx, M, K, &K);
+  EXPECT_EQ(
+      H.stats().FreedCountBySource[(int)FreeSource::MapGrowOld].load(), 0u);
+}
+
+TEST(MapRtTest, ManyDeletesViaTombstonesStillWork) {
+  Heap H;
+  MapCtx Ctx = makeIntMapCtx(H);
+  uintptr_t M = mapMakeHeap(Ctx, hmapDesc(), 0);
+  for (int64_t Round = 0; Round < 20; ++Round) {
+    for (int64_t K = 0; K < 64; ++K) {
+      int64_t V = Round * 100 + K;
+      mapAssign(Ctx, M, K, &V);
+    }
+    for (int64_t K = 0; K < 64; K += 2)
+      mapDelete(Ctx.H ? M : M, K);
+  }
+  EXPECT_EQ(mapLen(M), 32);
+  int64_t Out;
+  EXPECT_TRUE(mapLookup(M, 1, &Out, 8));
+  EXPECT_FALSE(mapLookup(M, 2, &Out, 8));
+}
+
+TEST(MapRtTest, TcfreeMapFreesBucketsAndHeader) {
+  Heap H;
+  MapCtx Ctx = makeIntMapCtx(H);
+  uintptr_t M = mapMakeHeap(Ctx, hmapDesc(), 4);
+  int64_t V = 9;
+  mapAssign(Ctx, M, 1, &V);
+  EXPECT_TRUE(tcfreeMap(H, M, 0));
+  EXPECT_FALSE(H.isLiveObject(M));
+  EXPECT_GE(
+      H.stats().FreedCountBySource[(int)FreeSource::TcfreeMap].load(), 2u);
+}
+
+TEST(MapRtTest, GcScansMapValues) {
+  // map[int]*Node: values must keep their targets alive.
+  Heap H;
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  static const TypeDesc Entry{
+      "entryP", 24, false, nullptr, {{16, SlotKind::Raw}}};
+  static const TypeDesc Buckets{"bucketsP", 8, true, &Entry, {}};
+  MapCtx Ctx;
+  Ctx.H = &H;
+  Ctx.BucketArrayDesc = &Buckets;
+  Ctx.ValueSize = 8;
+  uintptr_t M = mapMakeHeap(Ctx, hmapDesc(), 0);
+  uintptr_t Target = H.allocate(16, nodeDesc(), AllocCat::Other, 0);
+  mapAssign(Ctx, M, 42, &Target);
+  Roots.Direct.push_back(M);
+  H.runGc();
+  EXPECT_TRUE(H.isLiveObject(M));
+  EXPECT_TRUE(H.isLiveObject(Target));
+  // Dropping the map frees the chain.
+  Roots.Direct.clear();
+  H.runGc();
+  EXPECT_FALSE(H.isLiveObject(M));
+  EXPECT_FALSE(H.isLiveObject(Target));
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency
+//===----------------------------------------------------------------------===//
+
+TEST(HeapThreadTest, ParallelAllocateAndFree) {
+  Heap H; // No root scanner: GC stays off, caches operate independently.
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 20000;
+  std::vector<std::thread> Threads;
+  std::atomic<uint64_t> Sum{0};
+  for (int T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&H, T, &Sum] {
+      uint64_t Local = 0;
+      for (int I = 0; I < PerThread; ++I) {
+        size_t Bytes = 16 + (size_t)(I % 13) * 24;
+        uintptr_t A = H.allocate(Bytes, scalarDesc(), AllocCat::Other, T);
+        writeWord(A, (uint64_t)I);
+        Local += readWord(A);
+        if (I % 3 == 0)
+          H.tcfreeObject(A, T, FreeSource::TcfreeObject);
+      }
+      Sum.fetch_add(Local);
+    });
+  }
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(H.stats().AllocCount.load(), (uint64_t)NumThreads * PerThread);
+  // Every thread read back exactly what it wrote.
+  uint64_t Expected =
+      (uint64_t)NumThreads * ((uint64_t)PerThread * (PerThread - 1) / 2);
+  EXPECT_EQ(Sum.load(), Expected);
+}
+
+//===----------------------------------------------------------------------===//
+// Batched tcfree (section 5's batching discussion)
+//===----------------------------------------------------------------------===//
+
+TEST(TcfreeBatchTest, FreesAllEligibleObjects) {
+  Heap H;
+  std::vector<uintptr_t> Addrs;
+  for (int I = 0; I < 32; ++I)
+    Addrs.push_back(H.allocate(64, scalarDesc(), AllocCat::Other, 0));
+  size_t Freed =
+      H.tcfreeBatch(Addrs.data(), Addrs.size(), 0, FreeSource::TcfreeObject);
+  EXPECT_EQ(Freed, 32u);
+  for (uintptr_t A : Addrs)
+    EXPECT_FALSE(H.isLiveObject(A));
+}
+
+TEST(TcfreeBatchTest, MixedBatchFreesOnlyEligible) {
+  Heap H;
+  uintptr_t Good = H.allocate(64, scalarDesc(), AllocCat::Other, 0);
+  uintptr_t Foreign = H.allocate(64, scalarDesc(), AllocCat::Other, 1);
+  int Local = 0;
+  uintptr_t Addrs[3] = {Good, Foreign, reinterpret_cast<uintptr_t>(&Local)};
+  size_t Freed = H.tcfreeBatch(Addrs, 3, 0, FreeSource::TcfreeObject);
+  EXPECT_EQ(Freed, 1u);
+  EXPECT_FALSE(H.isLiveObject(Good));
+  EXPECT_TRUE(H.isLiveObject(Foreign));
+}
+
+TEST(TcfreeBatchTest, WholeBatchGivesUpDuringGc) {
+  class BatchingRoots : public RootScanner {
+  public:
+    std::vector<uintptr_t> Targets;
+    size_t FreedDuringGc = 0;
+    void scanRoots(Heap &H) override {
+      FreedDuringGc = H.tcfreeBatch(Targets.data(), Targets.size(), 0,
+                                    FreeSource::TcfreeObject);
+      for (uintptr_t A : Targets)
+        H.gcMarkAddr(A);
+    }
+  };
+  Heap H;
+  BatchingRoots Roots;
+  for (int I = 0; I < 8; ++I)
+    Roots.Targets.push_back(H.allocate(32, scalarDesc(), AllocCat::Other, 0));
+  H.setRootScanner(&Roots);
+  H.runGc();
+  EXPECT_EQ(Roots.FreedDuringGc, 0u);
+  for (uintptr_t A : Roots.Targets)
+    EXPECT_TRUE(H.isLiveObject(A));
+}

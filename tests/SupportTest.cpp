@@ -1,0 +1,197 @@
+//===- tests/SupportTest.cpp - Unit tests for support utilities ----------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "support/UniqueQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+
+using namespace gofree;
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(ArenaTest, AllocatesAlignedMemory) {
+  Arena A;
+  for (size_t Align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    void *P = A.allocate(10, Align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u)
+        << "misaligned for align " << Align;
+  }
+}
+
+TEST(ArenaTest, CreateConstructsObjects) {
+  Arena A;
+  struct Pair {
+    int X;
+    int Y;
+    Pair(int X, int Y) : X(X), Y(Y) {}
+  };
+  Pair *P = A.create<Pair>(3, 4);
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+}
+
+TEST(ArenaTest, ManySmallAllocationsAreDistinct) {
+  Arena A;
+  std::set<void *> Seen;
+  for (int I = 0; I < 10000; ++I) {
+    void *P = A.allocate(16, 8);
+    std::memset(P, 0xAB, 16);
+    EXPECT_TRUE(Seen.insert(P).second) << "allocation reused";
+  }
+  EXPECT_GE(A.bytesAllocated(), 160000u);
+}
+
+TEST(ArenaTest, LargeAllocationExceedingSlab) {
+  Arena A;
+  void *P = A.allocate(10 << 20, 8);
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 0, 10 << 20);
+}
+
+//===----------------------------------------------------------------------===//
+// UniqueQueue
+//===----------------------------------------------------------------------===//
+
+TEST(UniqueQueueTest, FifoOrder) {
+  UniqueQueue Q(10);
+  Q.push(3);
+  Q.push(1);
+  Q.push(7);
+  EXPECT_EQ(Q.pop(), 3u);
+  EXPECT_EQ(Q.pop(), 1u);
+  EXPECT_EQ(Q.pop(), 7u);
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(UniqueQueueTest, DuplicatePushIsDropped) {
+  UniqueQueue Q(4);
+  EXPECT_TRUE(Q.push(2));
+  EXPECT_FALSE(Q.push(2));
+  EXPECT_EQ(Q.size(), 1u);
+  EXPECT_EQ(Q.pop(), 2u);
+  // After popping, the element may be queued again.
+  EXPECT_TRUE(Q.push(2));
+}
+
+TEST(UniqueQueueTest, GrowUniverse) {
+  UniqueQueue Q(2);
+  Q.growUniverse(100);
+  EXPECT_TRUE(Q.push(99));
+  EXPECT_EQ(Q.pop(), 99u);
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, UnitInHalfOpenInterval) {
+  Rng R(11);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.unit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+TEST(StatsTest, SummaryBasics) {
+  Summary S = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(S.Mean, 5.0);
+  EXPECT_NEAR(S.Stdev, 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(S.Min, 2.0);
+  EXPECT_DOUBLE_EQ(S.Max, 9.0);
+}
+
+TEST(StatsTest, EmptySample) {
+  Summary S = summarize({});
+  EXPECT_EQ(S.N, 0u);
+  EXPECT_EQ(S.Mean, 0.0);
+}
+
+TEST(StatsTest, IncompleteBetaEndpoints) {
+  EXPECT_DOUBLE_EQ(regularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+  // I_{0.5}(a, a) = 0.5 by symmetry.
+  EXPECT_NEAR(regularizedIncompleteBeta(4.0, 4.0, 0.5), 0.5, 1e-9);
+}
+
+TEST(StatsTest, StudentTKnownValues) {
+  // For df -> large, t = 1.96 should give p close to 0.05.
+  EXPECT_NEAR(studentTTwoSidedP(1.96, 1000.0), 0.0503, 2e-3);
+  // t = 0 is maximally insignificant.
+  EXPECT_NEAR(studentTTwoSidedP(0.0, 10.0), 1.0, 1e-12);
+}
+
+TEST(StatsTest, WelchDistinguishesSeparatedSamples) {
+  std::vector<double> A, B;
+  Rng R(123);
+  for (int I = 0; I < 50; ++I) {
+    A.push_back(10.0 + R.unit());
+    B.push_back(12.0 + R.unit());
+  }
+  EXPECT_LT(welchTTestPValue(A, B), 0.001);
+}
+
+TEST(StatsTest, WelchSameDistributionIsInsignificant) {
+  std::vector<double> A, B;
+  Rng R(321);
+  for (int I = 0; I < 50; ++I) {
+    A.push_back(10.0 + R.unit());
+    B.push_back(10.0 + R.unit());
+  }
+  EXPECT_GT(welchTTestPValue(A, B), 0.01);
+}
+
+TEST(StatsTest, WelchDegenerateEqualConstants) {
+  std::vector<double> A = {5.0, 5.0, 5.0};
+  std::vector<double> B = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(welchTTestPValue(A, B), 1.0);
+}
+
+TEST(StatsTest, WelchDegenerateDifferentConstants) {
+  std::vector<double> A = {5.0, 5.0, 5.0};
+  std::vector<double> B = {6.0, 6.0, 6.0};
+  EXPECT_DOUBLE_EQ(welchTTestPValue(A, B), 0.0);
+}

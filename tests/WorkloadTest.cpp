@@ -1,0 +1,168 @@
+//===- tests/WorkloadTest.cpp - Subject workload tests --------------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// Verifies that every synthetic subject program (table 6 stand-ins)
+// compiles, runs identically under Go and GoFree, and exhibits the
+// allocation profile the paper reports for its counterpart (tables 7-9).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace gofree;
+using namespace gofree::compiler;
+using namespace gofree::workloads;
+
+namespace {
+
+struct Pair {
+  ExecOutcome Go;
+  ExecOutcome Free;
+};
+
+Pair runBoth(const Workload &W, const std::vector<int64_t> &Args) {
+  Pair P;
+  Compilation CGo = compile(W.Source, CompileOptions{CompileMode::Go, escape::FreeTargets::SlicesAndMaps, {}, {}});
+  Compilation CFree = compile(W.Source, CompileOptions{CompileMode::GoFree, escape::FreeTargets::SlicesAndMaps, {}, {}});
+  EXPECT_TRUE(CGo.ok()) << W.Name << ": " << CGo.Errors;
+  EXPECT_TRUE(CFree.ok()) << W.Name << ": " << CFree.Errors;
+  if (!CGo.ok() || !CFree.ok())
+    return P;
+  P.Go = execute(CGo, W.Entry, Args);
+  P.Free = execute(CFree, W.Entry, Args);
+  EXPECT_TRUE(P.Go.Run.ok()) << W.Name << ": " << P.Go.Run.Error;
+  EXPECT_TRUE(P.Free.Run.ok()) << W.Name << ": " << P.Free.Run.Error;
+  return P;
+}
+
+double sourceShare(const rt::StatsSnapshot &S, rt::FreeSource Src) {
+  uint64_t Total = S.tcfreeFreedBytes();
+  return Total == 0
+             ? 0.0
+             : (double)S.FreedBytesBySource[(int)Src] / (double)Total;
+}
+
+} // namespace
+
+class SubjectWorkloadTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SubjectWorkloadTest, GoAndGoFreeAgree) {
+  const Workload &W = subjectWorkloads()[GetParam()];
+  Pair P = runBoth(W, W.SmallArgs);
+  EXPECT_EQ(P.Go.Run.Checksum, P.Free.Run.Checksum)
+      << W.Name << ": GoFree changed observable behavior";
+  EXPECT_EQ(P.Go.Run.SinkCount, P.Free.Run.SinkCount);
+  // Go mode never calls tcfree.
+  EXPECT_EQ(P.Go.Stats.tcfreeFreedBytes(), 0u);
+}
+
+TEST_P(SubjectWorkloadTest, GoFreeReclaimsMemory) {
+  const Workload &W = subjectWorkloads()[GetParam()];
+  Pair P = runBoth(W, W.SmallArgs);
+  EXPECT_GT(P.Free.Stats.freeRatio(), 0.02)
+      << W.Name << " must reclaim a visible share of its allocation";
+  EXPECT_LE(P.Free.Stats.PeakLive, P.Go.Stats.PeakLive)
+      << W.Name << " must not grow the live heap";
+}
+
+TEST_P(SubjectWorkloadTest, RobustUnderPoisoningTcfree) {
+  // Section 6.8: a mock tcfree that flips the bits of "freed" memory must
+  // not change the program's observable behavior if the analysis is sound.
+  const Workload &W = subjectWorkloads()[GetParam()];
+  Compilation C = compile(W.Source, CompileOptions{CompileMode::GoFree, escape::FreeTargets::SlicesAndMaps, {}, {}});
+  ASSERT_TRUE(C.ok());
+  ExecOutcome Clean = execute(C, W.Entry, W.SmallArgs);
+  ExecOptions Poison;
+  Poison.Heap.Mock = rt::MockTcfree::Flip;
+  ExecOutcome Mock = execute(C, W.Entry, W.SmallArgs, Poison);
+  ASSERT_TRUE(Mock.Run.ok()) << W.Name << ": " << Mock.Run.Error;
+  EXPECT_EQ(Clean.Run.Checksum, Mock.Run.Checksum)
+      << W.Name << ": a live object was explicitly freed";
+  EXPECT_GT(Mock.Stats.AllocedBytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubjects, SubjectWorkloadTest,
+                         ::testing::Range<size_t>(0, 6),
+                         [](const ::testing::TestParamInfo<size_t> &Info) {
+                           return subjectWorkloads()[Info.param].Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Per-project profile shapes (tables 7 and 9)
+//===----------------------------------------------------------------------===//
+
+TEST(WorkloadProfileTest, BadgerAndJsonAreGrowDominated) {
+  for (const char *Name : {"badger", "gojson"}) {
+    const Workload &W = subjectWorkload(Name);
+    Pair P = runBoth(W, W.SmallArgs);
+    EXPECT_GT(sourceShare(P.Free.Stats, rt::FreeSource::MapGrowOld), 0.9)
+        << Name << " must reclaim almost everything from map growth";
+  }
+}
+
+TEST(WorkloadProfileTest, CompilerAndHugoAreSliceDominated) {
+  for (const char *Name : {"gocompiler", "hugo"}) {
+    const Workload &W = subjectWorkload(Name);
+    Pair P = runBoth(W, W.Args); // Full size: small runs under-grow maps.
+    double Slice = sourceShare(P.Free.Stats, rt::FreeSource::TcfreeSlice);
+    double Map = sourceShare(P.Free.Stats, rt::FreeSource::TcfreeMap);
+    double Grow = sourceShare(P.Free.Stats, rt::FreeSource::MapGrowOld);
+    EXPECT_GT(Slice, Map) << Name;
+    EXPECT_GT(Slice, Grow) << Name;
+  }
+}
+
+TEST(WorkloadProfileTest, ScheckSplitsBetweenMapAndGrow) {
+  const Workload &W = subjectWorkload("scheck");
+  Pair P = runBoth(W, W.Args);
+  double Slice = sourceShare(P.Free.Stats, rt::FreeSource::TcfreeSlice);
+  double Map = sourceShare(P.Free.Stats, rt::FreeSource::TcfreeMap);
+  double Grow = sourceShare(P.Free.Stats, rt::FreeSource::MapGrowOld);
+  EXPECT_LT(Slice, 0.1);
+  EXPECT_GT(Map, 0.3);
+  EXPECT_GT(Grow, 0.3);
+}
+
+TEST(WorkloadProfileTest, SlayoutIsAlmostAllGrow) {
+  const Workload &W = subjectWorkload("slayout");
+  Pair P = runBoth(W, W.Args);
+  EXPECT_GT(sourceShare(P.Free.Stats, rt::FreeSource::MapGrowOld), 0.85);
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 10 microbenchmark behavior
+//===----------------------------------------------------------------------===//
+
+TEST(MicroMapTest, FreesNearlyEverything) {
+  const Workload &W = microMapWorkload();
+  Compilation C = compile(W.Source, CompileOptions{CompileMode::GoFree, escape::FreeTargets::SlicesAndMaps, {}, {}});
+  ASSERT_TRUE(C.ok()) << C.Errors;
+  ExecOutcome O = execute(C, W.Entry, {2000, 64});
+  ASSERT_TRUE(O.Run.ok()) << O.Run.Error;
+  EXPECT_GT(O.Stats.freeRatio(), 0.9)
+      << "the per-round temp map is the only allocation";
+}
+
+TEST(MicroMapTest, BiggerCMeansBiggerFreedObjects) {
+  const Workload &W = microMapWorkload();
+  Compilation C = compile(W.Source, CompileOptions{CompileMode::GoFree, escape::FreeTargets::SlicesAndMaps, {}, {}});
+  ASSERT_TRUE(C.ok());
+  auto MeanFreedObject = [&](int64_t Rounds, int64_t CParam) {
+    ExecOutcome O = execute(C, W.Entry, {Rounds, CParam});
+    EXPECT_TRUE(O.Run.ok());
+    uint64_t Bytes = 0, Count = 0;
+    for (int I = 0; I < rt::NumFreeSources; ++I) {
+      Bytes += O.Stats.FreedBytesBySource[I];
+      Count += O.Stats.FreedCountBySource[I];
+    }
+    return Count == 0 ? 0.0 : (double)Bytes / (double)Count;
+  };
+  double SmallC = MeanFreedObject(2000, 8);
+  double LargeC = MeanFreedObject(200, 800);
+  EXPECT_GT(LargeC, 10 * SmallC);
+}

@@ -1,0 +1,224 @@
+//===- tools/gofree.cpp - Command-line driver ------------------------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// The `gofree` command: compile and run a MiniGo file under the stock-Go or
+// GoFree pipeline, with the runtime knobs exposed as flags. The closest
+// analogue of invoking the paper's modified Go toolchain.
+//
+//   gofree run prog.minigo [args...]      compile with GoFree and run main
+//   gofree compare prog.minigo [args...]  run under Go and GoFree, diff stats
+//   gofree dump prog.minigo               print analysis + instrumented code
+//
+// Flags (before the file):
+//   --mode=go|gofree      pipeline to use for `run` (default gofree)
+//   --entry=NAME          entry function (default main)
+//   --gogc=N              GOGC pacing percent; -1 disables GC
+//   --mock=zero|flip      poisoning tcfree (robustness testing)
+//   --targets=all|sm|none free targets (default sm = slices and maps)
+//   --stats               print runtime statistics after the run
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+#include "escape/Diagnostics.h"
+#include "minigo/AstPrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace gofree;
+using namespace gofree::compiler;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gofree [flags] run|compare|dump <file> [int args...]\n"
+               "flags: --mode=go|gofree --entry=NAME --gogc=N "
+               "--mock=zero|flip --targets=all|sm|none --stats\n");
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::stringstream Ss;
+  Ss << In.rdbuf();
+  Out = Ss.str();
+  return true;
+}
+
+void printStats(const rt::StatsSnapshot &S, double WallSeconds) {
+  std::printf("--- runtime statistics ---\n");
+  std::printf("wall time       %.4f s (GC %.4f s)\n", WallSeconds,
+              S.GcNanos * 1e-9);
+  std::printf("heap allocated  %.2f MB in %llu objects\n",
+              S.AllocedBytes / 1048576.0, (unsigned long long)S.AllocCount);
+  std::printf("tcfree          %llu calls, %llu give-ups, %.2f MB freed "
+              "(ratio %.1f%%)\n",
+              (unsigned long long)S.TcfreeCalls,
+              (unsigned long long)S.TcfreeGiveUps,
+              S.tcfreeFreedBytes() / 1048576.0, 100.0 * S.freeRatio());
+  std::printf("GC              %llu cycles, %.2f MB swept\n",
+              (unsigned long long)S.GcCycles, S.GcSweptBytes / 1048576.0);
+  std::printf("peak heap       %.2f MB committed, %.2f MB live\n",
+              S.PeakCommitted / 1048576.0, S.PeakLive / 1048576.0);
+}
+
+int runOnce(const Compilation &C, const std::string &Entry,
+            const std::vector<int64_t> &Args, const ExecOptions &EO,
+            bool Stats) {
+  ExecOutcome O = execute(C, Entry, Args, EO);
+  if (O.Run.Panicked) {
+    std::printf("panic: %lld\n", (long long)O.Run.PanicValue);
+  } else if (!O.Run.ok()) {
+    std::fprintf(stderr, "runtime error: %s\n", O.Run.Error.c_str());
+    return 1;
+  }
+  std::printf("checksum %016llx over %llu sink() calls\n",
+              (unsigned long long)O.Run.Checksum,
+              (unsigned long long)O.Run.SinkCount);
+  if (Stats)
+    printStats(O.Stats, O.WallSeconds);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CompileOptions CO;
+  ExecOptions EO;
+  std::string Entry = "main";
+  bool Stats = false;
+
+  int I = 1;
+  for (; I < Argc && std::strncmp(Argv[I], "--", 2) == 0; ++I) {
+    std::string Flag = Argv[I];
+    if (Flag == "--stats") {
+      Stats = true;
+    } else if (Flag.rfind("--mode=", 0) == 0) {
+      std::string V = Flag.substr(7);
+      if (V == "go")
+        CO.Mode = CompileMode::Go;
+      else if (V == "gofree")
+        CO.Mode = CompileMode::GoFree;
+      else
+        return usage();
+    } else if (Flag.rfind("--entry=", 0) == 0) {
+      Entry = Flag.substr(8);
+    } else if (Flag.rfind("--gogc=", 0) == 0) {
+      EO.Heap.Gogc = std::atoi(Flag.c_str() + 7);
+    } else if (Flag.rfind("--mock=", 0) == 0) {
+      std::string V = Flag.substr(7);
+      if (V == "zero")
+        EO.Heap.Mock = rt::MockTcfree::Zero;
+      else if (V == "flip")
+        EO.Heap.Mock = rt::MockTcfree::Flip;
+      else
+        return usage();
+    } else if (Flag.rfind("--targets=", 0) == 0) {
+      std::string V = Flag.substr(10);
+      if (V == "all")
+        CO.Targets = escape::FreeTargets::All;
+      else if (V == "sm")
+        CO.Targets = escape::FreeTargets::SlicesAndMaps;
+      else if (V == "none")
+        CO.Targets = escape::FreeTargets::None;
+      else
+        return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (Argc - I < 2)
+    return usage();
+  std::string Command = Argv[I++];
+  std::string Path = Argv[I++];
+  std::vector<int64_t> Args;
+  for (; I < Argc; ++I)
+    Args.push_back(std::atoll(Argv[I]));
+
+  std::string Source;
+  if (!readFile(Path, Source)) {
+    std::fprintf(stderr, "gofree: cannot open %s\n", Path.c_str());
+    return 1;
+  }
+
+  if (Command == "dump") {
+    Compilation C = compile(Source, CO);
+    if (!C.ok()) {
+      std::fprintf(stderr, "%s", C.Errors.c_str());
+      return 1;
+    }
+    std::printf("tcfree inserted: %u slice, %u map, %u object "
+                "(%u skipped at unsafe tails)\n",
+                C.Instr.SliceFrees, C.Instr.MapFrees, C.Instr.ObjectFrees,
+                C.Instr.SkippedUnsafeTail);
+    std::printf("stack sites: ");
+    for (size_t S = 0; S < C.Analysis.SiteOnStack.size(); ++S)
+      if (C.Analysis.SiteOnStack[S])
+        std::printf("#%zu ", S);
+    std::printf("\nmoved to heap: ");
+    for (const minigo::VarDecl *V : C.Analysis.MovedToHeap)
+      std::printf("%s ", V->Name.c_str());
+    std::printf("\n\n--- escape diagnostics (-m) ---\n%s",
+                escape::renderEscapeDiagnostics(*C.Prog, C.Analysis).c_str());
+    std::printf("\n--- instrumented program ---\n%s",
+                minigo::printProgram(*C.Prog).c_str());
+    return 0;
+  }
+
+  if (Command == "run") {
+    Compilation C = compile(Source, CO);
+    if (!C.ok()) {
+      std::fprintf(stderr, "%s", C.Errors.c_str());
+      return 1;
+    }
+    return runOnce(C, Entry, Args, EO, Stats);
+  }
+
+  if (Command == "compare") {
+    CompileOptions GoOpts = CO;
+    GoOpts.Mode = CompileMode::Go;
+    CompileOptions FreeOpts = CO;
+    FreeOpts.Mode = CompileMode::GoFree;
+    Compilation Go = compile(Source, GoOpts);
+    Compilation Free = compile(Source, FreeOpts);
+    if (!Go.ok() || !Free.ok()) {
+      std::fprintf(stderr, "%s", (Go.ok() ? Free : Go).Errors.c_str());
+      return 1;
+    }
+    ExecOutcome OGo = execute(Go, Entry, Args, EO);
+    ExecOutcome OFree = execute(Free, Entry, Args, EO);
+    if (!OGo.Run.ok() || !OFree.Run.ok()) {
+      std::fprintf(stderr, "runtime error: %s\n",
+                   (OGo.Run.ok() ? OFree : OGo).Run.Error.c_str());
+      return 1;
+    }
+    bool Same = OGo.Run.Checksum == OFree.Run.Checksum;
+    std::printf("%-9s %10s %12s %8s %9s %10s\n", "", "time", "alloc MB",
+                "GCs", "free%", "peak MB");
+    std::printf("%-9s %9.3fs %12.2f %8llu %8.1f%% %10.2f\n", "Go",
+                OGo.WallSeconds, OGo.Stats.AllocedBytes / 1048576.0,
+                (unsigned long long)OGo.Stats.GcCycles,
+                100.0 * OGo.Stats.freeRatio(),
+                OGo.Stats.PeakCommitted / 1048576.0);
+    std::printf("%-9s %9.3fs %12.2f %8llu %8.1f%% %10.2f\n", "GoFree",
+                OFree.WallSeconds, OFree.Stats.AllocedBytes / 1048576.0,
+                (unsigned long long)OFree.Stats.GcCycles,
+                100.0 * OFree.Stats.freeRatio(),
+                OFree.Stats.PeakCommitted / 1048576.0);
+    std::printf("checksums %s\n", Same ? "match" : "DIFFER (bug!)");
+    return Same ? 0 : 1;
+  }
+
+  return usage();
+}
