@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compile_speed.dir/bench_compile_speed.cpp.o"
+  "CMakeFiles/bench_compile_speed.dir/bench_compile_speed.cpp.o.d"
+  "bench_compile_speed"
+  "bench_compile_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compile_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

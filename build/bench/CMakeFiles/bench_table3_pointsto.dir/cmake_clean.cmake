@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pointsto.dir/bench_table3_pointsto.cpp.o"
+  "CMakeFiles/bench_table3_pointsto.dir/bench_table3_pointsto.cpp.o.d"
+  "bench_table3_pointsto"
+  "bench_table3_pointsto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pointsto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

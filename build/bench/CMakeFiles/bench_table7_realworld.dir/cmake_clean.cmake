@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_realworld.dir/bench_table7_realworld.cpp.o"
+  "CMakeFiles/bench_table7_realworld.dir/bench_table7_realworld.cpp.o.d"
+  "bench_table7_realworld"
+  "bench_table7_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_decisions.dir/bench_table8_decisions.cpp.o"
+  "CMakeFiles/bench_table8_decisions.dir/bench_table8_decisions.cpp.o.d"
+  "bench_table8_decisions"
+  "bench_table8_decisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_decisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_explorer.dir/escape_explorer.cpp.o"
+  "CMakeFiles/escape_explorer.dir/escape_explorer.cpp.o.d"
+  "escape_explorer"
+  "escape_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

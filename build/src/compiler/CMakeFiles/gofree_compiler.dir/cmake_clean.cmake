@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gofree_compiler.dir/Pipeline.cpp.o"
+  "CMakeFiles/gofree_compiler.dir/Pipeline.cpp.o.d"
+  "libgofree_compiler.a"
+  "libgofree_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gofree_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/escape/Analysis.cpp" "src/escape/CMakeFiles/gofree_escape.dir/Analysis.cpp.o" "gcc" "src/escape/CMakeFiles/gofree_escape.dir/Analysis.cpp.o.d"
+  "/root/repo/src/escape/Baselines.cpp" "src/escape/CMakeFiles/gofree_escape.dir/Baselines.cpp.o" "gcc" "src/escape/CMakeFiles/gofree_escape.dir/Baselines.cpp.o.d"
+  "/root/repo/src/escape/Diagnostics.cpp" "src/escape/CMakeFiles/gofree_escape.dir/Diagnostics.cpp.o" "gcc" "src/escape/CMakeFiles/gofree_escape.dir/Diagnostics.cpp.o.d"
+  "/root/repo/src/escape/GraphBuilder.cpp" "src/escape/CMakeFiles/gofree_escape.dir/GraphBuilder.cpp.o" "gcc" "src/escape/CMakeFiles/gofree_escape.dir/GraphBuilder.cpp.o.d"
+  "/root/repo/src/escape/Solver.cpp" "src/escape/CMakeFiles/gofree_escape.dir/Solver.cpp.o" "gcc" "src/escape/CMakeFiles/gofree_escape.dir/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minigo/CMakeFiles/gofree_minigo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gofree_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gofree_escape.dir/Analysis.cpp.o"
+  "CMakeFiles/gofree_escape.dir/Analysis.cpp.o.d"
+  "CMakeFiles/gofree_escape.dir/Baselines.cpp.o"
+  "CMakeFiles/gofree_escape.dir/Baselines.cpp.o.d"
+  "CMakeFiles/gofree_escape.dir/Diagnostics.cpp.o"
+  "CMakeFiles/gofree_escape.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/gofree_escape.dir/GraphBuilder.cpp.o"
+  "CMakeFiles/gofree_escape.dir/GraphBuilder.cpp.o.d"
+  "CMakeFiles/gofree_escape.dir/Solver.cpp.o"
+  "CMakeFiles/gofree_escape.dir/Solver.cpp.o.d"
+  "libgofree_escape.a"
+  "libgofree_escape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gofree_escape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

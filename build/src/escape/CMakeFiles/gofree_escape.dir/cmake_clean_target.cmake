@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgofree_escape.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gofree_instrument.dir/FreeInserter.cpp.o"
+  "CMakeFiles/gofree_instrument.dir/FreeInserter.cpp.o.d"
+  "libgofree_instrument.a"
+  "libgofree_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gofree_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gofree_interp.dir/Interp.cpp.o"
+  "CMakeFiles/gofree_interp.dir/Interp.cpp.o.d"
+  "CMakeFiles/gofree_interp.dir/TypeLower.cpp.o"
+  "CMakeFiles/gofree_interp.dir/TypeLower.cpp.o.d"
+  "libgofree_interp.a"
+  "libgofree_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gofree_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minigo/AstPrinter.cpp" "src/minigo/CMakeFiles/gofree_minigo.dir/AstPrinter.cpp.o" "gcc" "src/minigo/CMakeFiles/gofree_minigo.dir/AstPrinter.cpp.o.d"
+  "/root/repo/src/minigo/Frontend.cpp" "src/minigo/CMakeFiles/gofree_minigo.dir/Frontend.cpp.o" "gcc" "src/minigo/CMakeFiles/gofree_minigo.dir/Frontend.cpp.o.d"
+  "/root/repo/src/minigo/Lexer.cpp" "src/minigo/CMakeFiles/gofree_minigo.dir/Lexer.cpp.o" "gcc" "src/minigo/CMakeFiles/gofree_minigo.dir/Lexer.cpp.o.d"
+  "/root/repo/src/minigo/Parser.cpp" "src/minigo/CMakeFiles/gofree_minigo.dir/Parser.cpp.o" "gcc" "src/minigo/CMakeFiles/gofree_minigo.dir/Parser.cpp.o.d"
+  "/root/repo/src/minigo/Sema.cpp" "src/minigo/CMakeFiles/gofree_minigo.dir/Sema.cpp.o" "gcc" "src/minigo/CMakeFiles/gofree_minigo.dir/Sema.cpp.o.d"
+  "/root/repo/src/minigo/Type.cpp" "src/minigo/CMakeFiles/gofree_minigo.dir/Type.cpp.o" "gcc" "src/minigo/CMakeFiles/gofree_minigo.dir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gofree_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gofree_minigo.dir/AstPrinter.cpp.o"
+  "CMakeFiles/gofree_minigo.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/gofree_minigo.dir/Frontend.cpp.o"
+  "CMakeFiles/gofree_minigo.dir/Frontend.cpp.o.d"
+  "CMakeFiles/gofree_minigo.dir/Lexer.cpp.o"
+  "CMakeFiles/gofree_minigo.dir/Lexer.cpp.o.d"
+  "CMakeFiles/gofree_minigo.dir/Parser.cpp.o"
+  "CMakeFiles/gofree_minigo.dir/Parser.cpp.o.d"
+  "CMakeFiles/gofree_minigo.dir/Sema.cpp.o"
+  "CMakeFiles/gofree_minigo.dir/Sema.cpp.o.d"
+  "CMakeFiles/gofree_minigo.dir/Type.cpp.o"
+  "CMakeFiles/gofree_minigo.dir/Type.cpp.o.d"
+  "libgofree_minigo.a"
+  "libgofree_minigo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gofree_minigo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gofree_minigo.
+# This may be replaced when dependencies are built.

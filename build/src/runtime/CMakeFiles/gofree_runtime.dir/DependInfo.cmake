@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Gc.cpp" "src/runtime/CMakeFiles/gofree_runtime.dir/Gc.cpp.o" "gcc" "src/runtime/CMakeFiles/gofree_runtime.dir/Gc.cpp.o.d"
+  "/root/repo/src/runtime/Heap.cpp" "src/runtime/CMakeFiles/gofree_runtime.dir/Heap.cpp.o" "gcc" "src/runtime/CMakeFiles/gofree_runtime.dir/Heap.cpp.o.d"
+  "/root/repo/src/runtime/MapRt.cpp" "src/runtime/CMakeFiles/gofree_runtime.dir/MapRt.cpp.o" "gcc" "src/runtime/CMakeFiles/gofree_runtime.dir/MapRt.cpp.o.d"
+  "/root/repo/src/runtime/SizeClasses.cpp" "src/runtime/CMakeFiles/gofree_runtime.dir/SizeClasses.cpp.o" "gcc" "src/runtime/CMakeFiles/gofree_runtime.dir/SizeClasses.cpp.o.d"
+  "/root/repo/src/runtime/SliceRt.cpp" "src/runtime/CMakeFiles/gofree_runtime.dir/SliceRt.cpp.o" "gcc" "src/runtime/CMakeFiles/gofree_runtime.dir/SliceRt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gofree_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

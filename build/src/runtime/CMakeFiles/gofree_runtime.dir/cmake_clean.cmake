@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gofree_runtime.dir/Gc.cpp.o"
+  "CMakeFiles/gofree_runtime.dir/Gc.cpp.o.d"
+  "CMakeFiles/gofree_runtime.dir/Heap.cpp.o"
+  "CMakeFiles/gofree_runtime.dir/Heap.cpp.o.d"
+  "CMakeFiles/gofree_runtime.dir/MapRt.cpp.o"
+  "CMakeFiles/gofree_runtime.dir/MapRt.cpp.o.d"
+  "CMakeFiles/gofree_runtime.dir/SizeClasses.cpp.o"
+  "CMakeFiles/gofree_runtime.dir/SizeClasses.cpp.o.d"
+  "CMakeFiles/gofree_runtime.dir/SliceRt.cpp.o"
+  "CMakeFiles/gofree_runtime.dir/SliceRt.cpp.o.d"
+  "libgofree_runtime.a"
+  "libgofree_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gofree_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

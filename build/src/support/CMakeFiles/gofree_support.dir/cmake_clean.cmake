@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gofree_support.dir/Diag.cpp.o"
+  "CMakeFiles/gofree_support.dir/Diag.cpp.o.d"
+  "CMakeFiles/gofree_support.dir/Stats.cpp.o"
+  "CMakeFiles/gofree_support.dir/Stats.cpp.o.d"
+  "libgofree_support.a"
+  "libgofree_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gofree_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gofree_workloads.dir/Synth.cpp.o"
+  "CMakeFiles/gofree_workloads.dir/Synth.cpp.o.d"
+  "CMakeFiles/gofree_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/gofree_workloads.dir/Workloads.cpp.o.d"
+  "libgofree_workloads.a"
+  "libgofree_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gofree_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

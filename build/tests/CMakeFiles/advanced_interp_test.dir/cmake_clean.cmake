@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_interp_test.dir/AdvancedInterpTest.cpp.o"
+  "CMakeFiles/advanced_interp_test.dir/AdvancedInterpTest.cpp.o.d"
+  "advanced_interp_test"
+  "advanced_interp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_test.dir/EscapeTest.cpp.o"
+  "CMakeFiles/escape_test.dir/EscapeTest.cpp.o.d"
+  "escape_test"
+  "escape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

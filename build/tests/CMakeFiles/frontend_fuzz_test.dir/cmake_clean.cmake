@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_fuzz_test.dir/FrontendFuzzTest.cpp.o"
+  "CMakeFiles/frontend_fuzz_test.dir/FrontendFuzzTest.cpp.o.d"
+  "frontend_fuzz_test"
+  "frontend_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_shape_test.dir/GraphShapeTest.cpp.o"
+  "CMakeFiles/graph_shape_test.dir/GraphShapeTest.cpp.o.d"
+  "graph_shape_test"
+  "graph_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

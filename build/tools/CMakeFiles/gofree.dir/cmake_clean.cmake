@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gofree.dir/gofree.cpp.o"
+  "CMakeFiles/gofree.dir/gofree.cpp.o.d"
+  "gofree"
+  "gofree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gofree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
