@@ -114,6 +114,6 @@ int main() {
               "tcfree give-ups (all safe)\n",
               H.stats().AllocedBytes.load() / 1048576.0,
               H.stats().tcfreeFreedBytes() / 1048576.0,
-              (unsigned long long)H.stats().TcfreeGiveUps.load());
+              (unsigned long long)H.stats().snap().TcfreeGiveUps);
   return 0;
 }

@@ -18,8 +18,17 @@ Compilation gofree::compiler::compile(const std::string &Source,
                                       CompileOptions Opts) {
   Compilation C;
   C.Mode = Opts.Mode;
+  auto SetPass = [&](trace::Pass P, uint64_t Nanos) {
+    C.Passes.Nanos[(int)P] = Nanos;
+    if (Opts.Trace)
+      Opts.Trace->emit(trace::EventKind::PassTime, (uint8_t)P, Nanos);
+  };
   DiagSink Diags;
-  C.Prog = minigo::parseAndCheck(Source, Diags);
+  minigo::FrontendTimes FT;
+  C.Prog = minigo::parseAndCheck(Source, Diags, &FT);
+  SetPass(trace::Pass::Lex, FT.LexNanos);
+  SetPass(trace::Pass::Parse, FT.ParseNanos);
+  SetPass(trace::Pass::Sema, FT.SemaNanos);
   if (!C.Prog) {
     C.Errors = Diags.dump();
     return C;
@@ -30,8 +39,17 @@ Compilation gofree::compiler::compile(const std::string &Source,
   AO.Targets = Opts.Mode == CompileMode::GoFree ? Opts.Targets
                                                 : escape::FreeTargets::None;
   C.Analysis = escape::analyzeProgram(*C.Prog, AO);
-  if (Opts.Mode == CompileMode::GoFree)
+  SetPass(trace::Pass::EscapeBuild, C.Analysis.Stats.BuildNanos);
+  SetPass(trace::Pass::EscapeSolve, C.Analysis.Stats.PropagateNanos);
+  SetPass(trace::Pass::Lifetime, C.Analysis.Stats.LifetimeNanos);
+  if (Opts.Mode == CompileMode::GoFree) {
+    auto InsertStart = std::chrono::steady_clock::now();
     C.Instr = instrument::insertFrees(*C.Prog, C.Analysis);
+    SetPass(trace::Pass::Insert,
+            (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - InsertStart)
+                .count());
+  }
   return C;
 }
 

@@ -49,6 +49,15 @@ struct CompileOptions {
   /// Solver/build knobs, for ablations.
   escape::BuildOptions Build;
   escape::SolverOptions Solve;
+  /// Optional event sink receiving per-pass timing events. Not owned.
+  trace::TraceSink *Trace = nullptr;
+};
+
+/// Wall time of each compiler pass, indexed by trace::Pass. Always
+/// collected (timing the passes is cheap); also emitted as PassTime events
+/// when a trace sink is attached.
+struct PassTimes {
+  uint64_t Nanos[trace::NumPasses] = {};
 };
 
 /// A compiled program ready to execute.
@@ -57,6 +66,7 @@ struct Compilation {
   std::unique_ptr<minigo::Program> Prog;
   escape::ProgramAnalysis Analysis;
   instrument::InstrumentStats Instr;
+  PassTimes Passes;
   std::string Errors;
 
   bool ok() const { return Prog != nullptr; }

@@ -8,6 +8,7 @@
 #include "escape/Analysis.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 
 using namespace gofree;
@@ -263,11 +264,18 @@ ProgramAnalysis gofree::escape::analyzeProgram(const Program &Prog,
   for (const auto &Scc : callGraphSccs(Prog)) {
     std::vector<std::pair<const FuncDecl *, BuildResult>> Solved;
     for (const FuncDecl *Fn : Scc) {
+      auto BuildStart = std::chrono::steady_clock::now();
       BuildResult Build = buildEscapeGraph(Fn, Out.Tags, Opts.Build);
+      Out.Stats.BuildNanos +=
+          (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - BuildStart)
+              .count();
       SolverStats S = solve(Build.Graph, Opts.Solve);
       Out.Stats.RootWalks += S.RootWalks;
       Out.Stats.Relaxations += S.Relaxations;
       Out.Stats.LeafVisits += S.LeafVisits;
+      Out.Stats.PropagateNanos += S.PropagateNanos;
+      Out.Stats.LifetimeNanos += S.LifetimeNanos;
       Solved.emplace_back(Fn, std::move(Build));
     }
     for (auto &[Fn, Build] : Solved) {

@@ -10,6 +10,7 @@
 #include "support/UniqueQueue.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 
 using namespace gofree;
@@ -129,6 +130,16 @@ bool applyToRoot(Location &Root, const Location &Leaf, int D) {
 
 SolverStats gofree::escape::solve(EscapeGraph &G, const SolverOptions &Opts) {
   SolverStats Stats;
+  auto StageStart = std::chrono::steady_clock::now();
+  auto TakeStageNanos = [&StageStart] {
+    auto Now = std::chrono::steady_clock::now();
+    uint64_t Ns =
+        (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Now - StageStart)
+            .count();
+    StageStart = Now;
+    return Ns;
+  };
   size_t N = G.size();
   // Initialize OutermostRef to DeclDepth (definition 4.14's first bound).
   for (Location &L : G.locations())
@@ -163,6 +174,8 @@ SolverStats gofree::escape::solve(EscapeGraph &G, const SolverOptions &Opts) {
     }
   }
 
+  Stats.PropagateNanos = TakeStageNanos();
+
   // Final sweep: Outlived (definition 4.15), PointsToHeap (definition 4.16)
   // and ToFree (definition 4.17) consume the fixpoint and do not propagate.
   for (uint32_t RootId = 0; RootId < N; ++RootId) {
@@ -179,5 +192,6 @@ SolverStats gofree::escape::solve(EscapeGraph &G, const SolverOptions &Opts) {
     }
     Root.ToFree = !Root.incomplete() && !Root.Outlived && Root.PointsToHeap;
   }
+  Stats.LifetimeNanos = TakeStageNanos();
   return Stats;
 }

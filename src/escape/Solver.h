@@ -37,6 +37,12 @@ struct SolverStats {
   uint64_t RootWalks = 0;   ///< Pops from the work queue.
   uint64_t Relaxations = 0; ///< SPFA edge relaxations across all walks.
   uint64_t LeafVisits = 0;  ///< Constraint applications.
+  // Wall time per stage, for the compiler's pass timing trace. BuildNanos
+  // is filled by the analysis driver (graph construction happens outside
+  // solve()).
+  uint64_t BuildNanos = 0;     ///< Escape-graph construction.
+  uint64_t PropagateNanos = 0; ///< Fixpoint loop, incl. back-propagation.
+  uint64_t LifetimeNanos = 0;  ///< Final Outlived/PointsToHeap/ToFree sweep.
 };
 
 /// Tuning knobs for the solver.

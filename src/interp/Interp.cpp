@@ -274,6 +274,13 @@ uintptr_t Interp::evalLvalueAddr(const Expr *E, const Type **TyOut) {
   }
 }
 
+void Interp::noteStackAlloc(rt::AllocCat Cat, size_t Bytes) {
+  Heap.stats().StackAllocCountByCat[(int)Cat].fetch_add(
+      1, std::memory_order_relaxed);
+  if (trace::TraceSink *T = Heap.options().Trace)
+    T->emit(trace::EventKind::StackAlloc, (uint8_t)Cat, Bytes);
+}
+
 Value Interp::evalMake(const MakeExpr *ME) {
   int64_t Len = 0, Cap = 0;
   if (ME->Len) {
@@ -313,8 +320,7 @@ Value Interp::evalMake(const MakeExpr *ME) {
         F.SiteMem[ME->AllocId] = V.S.Data;
         F.StackObjs.push_back({V.S.Data, Types.arrayOf(Elem), Bytes});
       }
-      Heap.stats().StackAllocCountByCat[(int)rt::AllocCat::Slice].fetch_add(
-          1, std::memory_order_relaxed);
+      noteStackAlloc(rt::AllocCat::Slice, (size_t)ME->ConstSize * Elem->size());
     } else {
       V.S.Data = rt::sliceAllocArray(Heap, Types.arrayOf(Elem), Cap,
                                      Elem->size(), Opts.CacheId);
@@ -349,8 +355,7 @@ Value Interp::evalMake(const MakeExpr *ME) {
     rt::mapInit(Block, NBuckets, Block + rt::HMapHeaderSize,
                 ME->MadeTy->elem()->size());
     V.A = Block;
-    Heap.stats().StackAllocCountByCat[(int)rt::AllocCat::Map].fetch_add(
-        1, std::memory_order_relaxed);
+    noteStackAlloc(rt::AllocCat::Map, rt::HMapHeaderSize + BucketBytes);
   } else {
     V.A = rt::mapMakeHeap(mapCtxFor(ME->MadeTy), Types.hmap(), Hint);
   }
@@ -375,8 +380,7 @@ Value Interp::evalComposite(const CompositeExpr *CE) {
       F.StackObjs.push_back({Storage, Types.lower(StructTy), Bytes});
     }
     if (CE->TakeAddr)
-      Heap.stats().StackAllocCountByCat[(int)rt::AllocCat::Other].fetch_add(
-          1, std::memory_order_relaxed);
+      noteStackAlloc(rt::AllocCat::Other, Bytes);
   } else {
     Storage = Heap.allocate(Bytes, Types.lower(StructTy), rt::AllocCat::Other,
                             Opts.CacheId);
@@ -644,8 +648,7 @@ Value Interp::evalExpr(const Expr *E) {
         F.SiteMem[NE->AllocId] = Storage;
         F.StackObjs.push_back({Storage, Types.lower(NE->AllocTy), Bytes});
       }
-      Heap.stats().StackAllocCountByCat[(int)rt::AllocCat::Other].fetch_add(
-          1, std::memory_order_relaxed);
+      noteStackAlloc(rt::AllocCat::Other, Bytes);
     } else {
       Storage = Heap.allocate(Bytes, Types.lower(NE->AllocTy),
                               rt::AllocCat::Other, Opts.CacheId);

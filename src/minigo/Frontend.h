@@ -22,10 +22,20 @@
 namespace gofree {
 namespace minigo {
 
+/// Per-stage wall time of a parseAndCheck call, for the compiler's pass
+/// timing trace. Stages that did not run (earlier stage failed) stay 0.
+struct FrontendTimes {
+  uint64_t LexNanos = 0;
+  uint64_t ParseNanos = 0;
+  uint64_t SemaNanos = 0;
+};
+
 /// Lexes, parses and checks \p Source. On failure returns nullptr with the
-/// errors recorded in \p Diags.
+/// errors recorded in \p Diags. \p Times, when non-null, receives per-stage
+/// wall times.
 std::unique_ptr<Program> parseAndCheck(const std::string &Source,
-                                       DiagSink &Diags);
+                                       DiagSink &Diags,
+                                       FrontendTimes *Times = nullptr);
 
 } // namespace minigo
 } // namespace gofree

@@ -24,8 +24,11 @@ using namespace gofree::rt;
 void Heap::maybeTriggerGc() {
   if (InGc || Opts.Gogc < 0 || !Scanner)
     return;
-  if (Stats.HeapLive.load(std::memory_order_relaxed) < NextTrigger)
+  uint64_t Live = Stats.HeapLive.load(std::memory_order_relaxed);
+  if (Live < NextTrigger)
     return;
+  if (trace::TraceSink *T = Opts.Trace)
+    T->emit(trace::EventKind::GcPaceTrigger, 0, Live, NextTrigger);
   runGc();
 }
 
@@ -33,10 +36,25 @@ void Heap::runGc() {
   if (InGc)
     return;
   InGc = true;
+  trace::TraceSink *T = Opts.Trace;
   auto Start = std::chrono::steady_clock::now();
+  // Sweep deltas for the trace come from the stats counters bracketing the
+  // sweep phase.
+  uint64_t SweptBytesBefore = Stats.GcSweptBytes.load(std::memory_order_relaxed);
+  uint64_t SweptCountBefore = Stats.GcSweptCount.load(std::memory_order_relaxed);
 
   Phase = GcPhase::Marking;
+  if (T)
+    T->emit(trace::EventKind::GcMarkStart, 0,
+            Stats.HeapLive.load(std::memory_order_relaxed));
   markPhase();
+  if (T) {
+    auto MarkEnd = std::chrono::steady_clock::now();
+    T->emit(trace::EventKind::GcMarkEnd, 0,
+            (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+                MarkEnd - Start)
+                .count());
+  }
   // TcfreeLarge step 2 (fig. 9): dangling control blocks are returned to
   // the idle pool after the mark phase, like any unmarked span.
   {
@@ -49,6 +67,12 @@ void Heap::runGc() {
   Phase = GcPhase::Sweeping;
   sweepPhase();
   Phase = GcPhase::Idle;
+  if (T)
+    T->emit(trace::EventKind::GcSweepEnd, 0,
+            Stats.GcSweptBytes.load(std::memory_order_relaxed) -
+                SweptBytesBefore,
+            Stats.GcSweptCount.load(std::memory_order_relaxed) -
+                SweptCountBefore);
 
   // Pacing: next cycle when the live heap grows by GOGC percent.
   uint64_t Live = Stats.HeapLive.load(std::memory_order_relaxed);
@@ -56,12 +80,14 @@ void Heap::runGc() {
       Opts.MinHeapTrigger, Live + Live * (uint64_t)Opts.Gogc / 100);
 
   auto End = std::chrono::steady_clock::now();
-  Stats.GcCycles.fetch_add(1, std::memory_order_relaxed);
-  Stats.GcNanos.fetch_add(
+  uint64_t CycleNanos =
       (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(End -
                                                                      Start)
-          .count(),
-      std::memory_order_relaxed);
+          .count();
+  Stats.GcCycles.fetch_add(1, std::memory_order_relaxed);
+  Stats.GcNanos.fetch_add(CycleNanos, std::memory_order_relaxed);
+  if (T)
+    T->emit(trace::EventKind::GcCycleEnd, 0, CycleNanos, Live);
   InGc = false;
 }
 
@@ -75,7 +101,11 @@ void Heap::markPhase() {
   // cover objects mid-construction (see Heap::InternalRoot).
   for (uintptr_t Addr : InternalRoots)
     gcMarkAddr(Addr);
-  Scanner->scanRoots(*this);
+  // A heap without a registered scanner has no mutator roots: everything
+  // not internally rooted is garbage. (Forced runGc() must not crash on
+  // such a heap; pacing already refuses to trigger without a scanner.)
+  if (Scanner)
+    Scanner->scanRoots(*this);
   while (!MarkStack.empty()) {
     MarkItem Item = MarkStack.back();
     MarkStack.pop_back();

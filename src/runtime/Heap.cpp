@@ -13,6 +13,20 @@
 using namespace gofree;
 using namespace gofree::rt;
 
+// support/Trace.cpp keeps its own name tables for these runtime enums
+// (support cannot link against runtime); pin the values so the tables and
+// the enums cannot drift apart.
+static_assert((int)AllocCat::Other == 0 && (int)AllocCat::Slice == 1 &&
+                  (int)AllocCat::Map == 2 &&
+                  NumAllocCats == trace::NumAllocCats,
+              "trace::allocCatName is out of sync with rt::AllocCat");
+static_assert((int)FreeSource::TcfreeObject == 0 &&
+                  (int)FreeSource::TcfreeSlice == 1 &&
+                  (int)FreeSource::TcfreeMap == 2 &&
+                  (int)FreeSource::MapGrowOld == 3 &&
+                  NumFreeSources == trace::NumFreeSources,
+              "trace::freeSourceName is out of sync with rt::FreeSource");
+
 RootScanner::~RootScanner() = default;
 
 Heap::Heap(HeapOptions O) : Opts(O), NextTrigger(O.MinHeapTrigger) {
@@ -186,6 +200,8 @@ uintptr_t Heap::allocSmall(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
                                             std::memory_order_relaxed);
   Stats.HeapLive.fetch_add(ElemSize, std::memory_order_relaxed);
   Stats.notePeaks();
+  if (trace::TraceSink *T = Opts.Trace)
+    T->emit(trace::EventKind::HeapAlloc, (uint8_t)Cat, ElemSize, 0);
   return Addr;
 }
 
@@ -231,6 +247,8 @@ uintptr_t Heap::allocLarge(size_t Bytes, const TypeDesc *Desc, AllocCat Cat) {
                                             std::memory_order_relaxed);
   Stats.HeapLive.fetch_add(S->ElemSize, std::memory_order_relaxed);
   Stats.notePeaks();
+  if (trace::TraceSink *T = Opts.Trace)
+    T->emit(trace::EventKind::HeapAlloc, (uint8_t)Cat, S->ElemSize, 1);
   return Base;
 }
 
@@ -240,64 +258,80 @@ uintptr_t Heap::allocLarge(size_t Bytes, const TypeDesc *Desc, AllocCat Cat) {
 
 bool Heap::tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source) {
   Stats.TcfreeCalls.fetch_add(1, std::memory_order_relaxed);
-  auto GiveUp = [&] {
-    Stats.TcfreeGiveUps.fetch_add(1, std::memory_order_relaxed);
+  auto GiveUp = [&](trace::GiveUpReason R) {
+    Stats.TcfreeGiveUpsByReason[(int)R].fetch_add(1,
+                                                  std::memory_order_relaxed);
+    if (trace::TraceSink *T = Opts.Trace)
+      T->emit(trace::EventKind::TcfreeGiveUp, (uint8_t)R, 1);
     return false;
   };
+  // Mock mode poisons instead of freeing. The call still "succeeds" (no
+  // give-up counted) but nothing returns to the allocator, so it is traced
+  // and bucketed under the Mock reason for table 9.
+  auto MockPoison = [&](uintptr_t P, size_t Bytes) {
+    poison(P, Bytes);
+    Stats.TcfreeGiveUpsByReason[(int)trace::GiveUpReason::Mock].fetch_add(
+        1, std::memory_order_relaxed);
+    if (trace::TraceSink *T = Opts.Trace)
+      T->emit(trace::EventKind::TcfreeGiveUp,
+              (uint8_t)trace::GiveUpReason::Mock, 1);
+    return true;
+  };
+  auto Freed = [&](size_t Bytes) {
+    Stats.FreedBytesBySource[(int)Source].fetch_add(Bytes,
+                                                    std::memory_order_relaxed);
+    Stats.FreedCountBySource[(int)Source].fetch_add(1,
+                                                    std::memory_order_relaxed);
+    Stats.HeapLive.fetch_sub(Bytes, std::memory_order_relaxed);
+    if (trace::TraceSink *T = Opts.Trace)
+      T->emit(trace::EventKind::TcfreeFreed, (uint8_t)Source, Bytes);
+    return true;
+  };
   if (!Addr)
-    return GiveUp();
+    return GiveUp(trace::GiveUpReason::NullAddr);
   // Never race the collector (section 5).
   if (Phase != GcPhase::Idle)
-    return GiveUp();
+    return GiveUp(trace::GiveUpReason::GcRunning);
   MSpan *S = spanOf(Addr);
   if (!S)
-    return GiveUp(); // Stack or foreign address: tcfree ignores it.
+    return GiveUp(
+        trace::GiveUpReason::UnknownAddr); // Stack or foreign address.
 
   if (S->SizeClass < 0) {
     // TcfreeLarge, step 1 (fig. 9): lock, return the pages, leave the
     // control block dangling until after the next GC mark phase.
     std::lock_guard<std::mutex> Lock(Mu);
-    if (Phase != GcPhase::Idle || S->State != SpanState::InUse)
-      return GiveUp(); // Double free or raced retirement.
-    if (Opts.Mock != MockTcfree::Off) {
-      poison(S->Base, S->ElemSize);
-      return true;
-    }
+    if (Phase != GcPhase::Idle)
+      return GiveUp(trace::GiveUpReason::GcRunning);
+    if (S->State != SpanState::InUse)
+      return GiveUp(
+          trace::GiveUpReason::DoubleFree); // Raced retirement.
+    if (Opts.Mock != MockTcfree::Off)
+      return MockPoison(S->Base, S->ElemSize);
     S->clearAllocBit(0);
     unregisterSpan(S);
     freePages(S->Base, S->NPages);
     Stats.Committed.fetch_sub(S->NPages * PageSize, std::memory_order_relaxed);
     S->State = SpanState::Dangling;
     Dangling.push_back(S);
-    Stats.FreedBytesBySource[(int)Source].fetch_add(S->ElemSize,
-                                                    std::memory_order_relaxed);
-    Stats.FreedCountBySource[(int)Source].fetch_add(1,
-                                                    std::memory_order_relaxed);
-    Stats.HeapLive.fetch_sub(S->ElemSize, std::memory_order_relaxed);
-    return true;
+    return Freed(S->ElemSize);
   }
 
   // TcfreeSmall: only on spans cached by the calling thread; if the span
   // was filled and swapped out (or stolen by another cache), give up.
   if (S->State != SpanState::InUse || S->OwnerCache != CacheId)
-    return GiveUp();
+    return GiveUp(trace::GiveUpReason::ForeignSpan);
   size_t Slot = S->slotOf(Addr);
   if (!S->allocBit(Slot))
-    return GiveUp(); // Benign double free (section 5): ignored.
-  if (Opts.Mock != MockTcfree::Off) {
-    poison(S->slotAddr(Slot), S->ElemSize);
-    return true;
-  }
+    return GiveUp(
+        trace::GiveUpReason::DoubleFree); // Benign double free (section 5).
+  if (Opts.Mock != MockTcfree::Off)
+    return MockPoison(S->slotAddr(Slot), S->ElemSize);
   S->clearAllocBit(Slot);
   S->SlotDescs[Slot] = nullptr;
   if (Slot < S->FreeIndex)
     S->FreeIndex = Slot; // Revert the allocator pointer (section 5).
-  Stats.FreedBytesBySource[(int)Source].fetch_add(S->ElemSize,
-                                                  std::memory_order_relaxed);
-  Stats.FreedCountBySource[(int)Source].fetch_add(1,
-                                                  std::memory_order_relaxed);
-  Stats.HeapLive.fetch_sub(S->ElemSize, std::memory_order_relaxed);
-  return true;
+  return Freed(S->ElemSize);
 }
 
 size_t Heap::tcfreeBatch(const uintptr_t *Addrs, size_t N, int CacheId,
@@ -307,7 +341,11 @@ size_t Heap::tcfreeBatch(const uintptr_t *Addrs, size_t N, int CacheId,
   // per-object checks, so a batch is never less safe than N single calls.
   if (Phase != GcPhase::Idle) {
     Stats.TcfreeCalls.fetch_add(N, std::memory_order_relaxed);
-    Stats.TcfreeGiveUps.fetch_add(N, std::memory_order_relaxed);
+    Stats.TcfreeGiveUpsByReason[(int)trace::GiveUpReason::GcRunning].fetch_add(
+        N, std::memory_order_relaxed);
+    if (trace::TraceSink *T = Opts.Trace)
+      T->emit(trace::EventKind::TcfreeGiveUp,
+              (uint8_t)trace::GiveUpReason::GcRunning, N);
     return 0;
   }
   size_t Freed = 0;

@@ -60,6 +60,9 @@ struct HeapOptions {
   MockTcfree Mock = MockTcfree::Off;
   /// Number of thread caches ("P"s).
   int NumCaches = 4;
+  /// Optional event sink; null disables tracing (the only cost left on the
+  /// hot paths is this null check). Not owned; must outlive the heap.
+  trace::TraceSink *Trace = nullptr;
 };
 
 /// GC phase; tcfree gives up whenever the collector is active (section 5).

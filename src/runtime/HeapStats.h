@@ -15,6 +15,8 @@
 #ifndef GOFREE_RUNTIME_HEAPSTATS_H
 #define GOFREE_RUNTIME_HEAPSTATS_H
 
+#include "support/Trace.h"
+
 #include <atomic>
 #include <cstdint>
 
@@ -46,6 +48,10 @@ struct StatsSnapshot {
   uint64_t StackAllocCountByCat[NumAllocCats] = {};
   uint64_t TcfreeCalls = 0;
   uint64_t TcfreeGiveUps = 0;
+  /// Per-reason breakdown. Sum over all reasons except Mock equals
+  /// TcfreeGiveUps (a mocked tcfree "succeeds" without freeing, so it is
+  /// bucketed here for table 9 but not counted as a give-up).
+  uint64_t TcfreeGiveUpsByReason[trace::NumGiveUpReasons] = {};
   uint64_t FreedBytesBySource[NumFreeSources] = {};
   uint64_t FreedCountBySource[NumFreeSources] = {};
   uint64_t GcCycles = 0;
@@ -79,9 +85,12 @@ struct HeapStats {
   // Stack allocations (reported by the interpreter, for table 8).
   std::atomic<uint64_t> StackAllocCountByCat[NumAllocCats] = {};
 
-  // Explicit deallocation (table 5 "freed", table 9 breakdown).
+  // Explicit deallocation (table 5 "freed", table 9 breakdown). There is
+  // no separate total give-up counter: the give-up hot path bumps exactly
+  // one atomic (its reason bucket) and snap() derives the total, so the
+  // per-reason breakdown costs nothing over the seed's single counter.
   std::atomic<uint64_t> TcfreeCalls{0};
-  std::atomic<uint64_t> TcfreeGiveUps{0};
+  std::atomic<uint64_t> TcfreeGiveUpsByReason[trace::NumGiveUpReasons] = {};
   std::atomic<uint64_t> FreedBytesBySource[NumFreeSources] = {};
   std::atomic<uint64_t> FreedCountBySource[NumFreeSources] = {};
   std::atomic<uint64_t> MockPoisonedCount{0};
@@ -124,7 +133,12 @@ struct HeapStats {
           GcSweptCountByCat[I].load(std::memory_order_relaxed);
     }
     S.TcfreeCalls = TcfreeCalls.load(std::memory_order_relaxed);
-    S.TcfreeGiveUps = TcfreeGiveUps.load(std::memory_order_relaxed);
+    for (int I = 0; I < trace::NumGiveUpReasons; ++I) {
+      S.TcfreeGiveUpsByReason[I] =
+          TcfreeGiveUpsByReason[I].load(std::memory_order_relaxed);
+      if (I != (int)trace::GiveUpReason::Mock)
+        S.TcfreeGiveUps += S.TcfreeGiveUpsByReason[I];
+    }
     for (int I = 0; I < NumFreeSources; ++I) {
       S.FreedBytesBySource[I] =
           FreedBytesBySource[I].load(std::memory_order_relaxed);

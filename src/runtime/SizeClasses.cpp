@@ -83,8 +83,11 @@ const ClassTable &table() {
 int gofree::rt::numSizeClasses() { return (int)table().Sizes.size(); }
 
 int gofree::rt::sizeClassFor(size_t Bytes) {
-  assert(Bytes > 0 && Bytes <= MaxSmallSize && "not a small size");
-  size_t Words = (Bytes + 7) / 8;
+  assert(Bytes <= MaxSmallSize && "not a small size");
+  // A zero-byte request maps to the smallest class. Callers normally round
+  // 0 up to 8 already, but ClassOf[0] is a -1 sentinel and must never leak
+  // out in release builds (where the assert above compiles away).
+  size_t Words = Bytes == 0 ? 1 : (Bytes + 7) / 8;
   return table().ClassOf[Words];
 }
 

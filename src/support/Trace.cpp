@@ -1,0 +1,338 @@
+//===- support/Trace.cpp - Event tracing and metrics sink ----------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <cinttypes>
+#include <cstring>
+
+namespace gofree {
+namespace trace {
+
+const char *eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::GcPaceTrigger:
+    return "gc-pace-trigger";
+  case EventKind::GcMarkStart:
+    return "gc-mark-start";
+  case EventKind::GcMarkEnd:
+    return "gc-mark-end";
+  case EventKind::GcSweepEnd:
+    return "gc-sweep-end";
+  case EventKind::GcCycleEnd:
+    return "gc-cycle-end";
+  case EventKind::TcfreeFreed:
+  case EventKind::TcfreeGiveUp:
+    return "tcfree";
+  case EventKind::HeapAlloc:
+  case EventKind::StackAlloc:
+    return "alloc";
+  case EventKind::PassTime:
+    return "pass";
+  }
+  return "unknown";
+}
+
+const char *giveUpReasonName(GiveUpReason R) {
+  switch (R) {
+  case GiveUpReason::NullAddr:
+    return "null-addr";
+  case GiveUpReason::GcRunning:
+    return "gc-running";
+  case GiveUpReason::UnknownAddr:
+    return "unknown-addr";
+  case GiveUpReason::ForeignSpan:
+    return "foreign-span";
+  case GiveUpReason::DoubleFree:
+    return "double-free";
+  case GiveUpReason::Mock:
+    return "mock";
+  }
+  return "unknown";
+}
+
+const char *passName(Pass P) {
+  switch (P) {
+  case Pass::Lex:
+    return "lex";
+  case Pass::Parse:
+    return "parse";
+  case Pass::Sema:
+    return "sema";
+  case Pass::EscapeBuild:
+    return "escape-build";
+  case Pass::EscapeSolve:
+    return "escape-solve";
+  case Pass::Lifetime:
+    return "lifetime";
+  case Pass::Insert:
+    return "insert";
+  }
+  return "unknown";
+}
+
+// Mirrors rt::AllocCat (Heap.cpp static_asserts the values agree).
+const char *allocCatName(uint8_t Cat) {
+  switch (Cat) {
+  case 0:
+    return "other";
+  case 1:
+    return "slice";
+  case 2:
+    return "map";
+  }
+  return "unknown";
+}
+
+// Mirrors rt::FreeSource (Heap.cpp static_asserts the values agree).
+const char *freeSourceName(uint8_t Source) {
+  switch (Source) {
+  case 0:
+    return "object";
+  case 1:
+    return "slice";
+  case 2:
+    return "map";
+  case 3:
+    return "map-grow-old";
+  }
+  return "unknown";
+}
+
+TraceSummary summarize(const TraceSink &Sink) {
+  TraceSummary S;
+  size_t N = Sink.size();
+  S.Events = N;
+  S.DroppedEvents = Sink.dropped();
+  for (size_t I = 0; I < N; ++I) {
+    const Event &E = Sink[I];
+    switch (E.Kind) {
+    case EventKind::GcPaceTrigger:
+      ++S.GcPaceTriggers;
+      break;
+    case EventKind::GcMarkStart:
+      break;
+    case EventKind::GcMarkEnd:
+      S.GcMarkNanos += E.V0;
+      break;
+    case EventKind::GcSweepEnd:
+      S.GcSweptBytes += E.V0;
+      S.GcSweptObjects += E.V1;
+      break;
+    case EventKind::GcCycleEnd:
+      ++S.GcCycles;
+      S.GcCycleNanos += E.V0;
+      break;
+    case EventKind::TcfreeFreed:
+      ++S.TcfreeFreedCount;
+      S.TcfreeFreedBytes += E.V0;
+      if (E.Arg < NumFreeSources) {
+        ++S.FreedCountBySource[E.Arg];
+        S.FreedBytesBySource[E.Arg] += E.V0;
+      }
+      break;
+    case EventKind::TcfreeGiveUp:
+      // Mock events are bucketed but not give-ups (the call "succeeded"),
+      // matching the exact StatsSnapshot semantics.
+      if (E.Arg != (uint8_t)GiveUpReason::Mock)
+        S.GiveUps += E.V0;
+      if (E.Arg < NumGiveUpReasons)
+        S.GiveUpsByReason[E.Arg] += E.V0;
+      break;
+    case EventKind::HeapAlloc:
+      if (E.Arg < NumAllocCats) {
+        ++S.HeapAllocCount[E.Arg];
+        S.HeapAllocBytes[E.Arg] += E.V0;
+      }
+      break;
+    case EventKind::StackAlloc:
+      if (E.Arg < NumAllocCats)
+        ++S.StackAllocCount[E.Arg];
+      break;
+    case EventKind::PassTime:
+      if (E.Arg < NumPasses) {
+        S.PassNanos[E.Arg] += E.V0;
+        S.PassSeen[E.Arg] = true;
+      }
+      break;
+    }
+  }
+  return S;
+}
+
+void writeJsonLines(std::ostream &Os, const TraceSink &Sink) {
+  char Line[256];
+  size_t N = Sink.size();
+  for (size_t I = 0; I < N; ++I) {
+    const Event &E = Sink[I];
+    switch (E.Kind) {
+    case EventKind::GcPaceTrigger:
+      std::snprintf(Line, sizeof(Line),
+                    "{\"t\":%" PRIu64 ",\"ev\":\"gc-pace-trigger\",\"live\":%" PRIu64
+                    ",\"trigger\":%" PRIu64 "}\n",
+                    E.TimeNs, E.V0, E.V1);
+      break;
+    case EventKind::GcMarkStart:
+      std::snprintf(Line, sizeof(Line),
+                    "{\"t\":%" PRIu64 ",\"ev\":\"gc-mark-start\",\"live\":%" PRIu64
+                    "}\n",
+                    E.TimeNs, E.V0);
+      break;
+    case EventKind::GcMarkEnd:
+      std::snprintf(Line, sizeof(Line),
+                    "{\"t\":%" PRIu64 ",\"ev\":\"gc-mark-end\",\"ns\":%" PRIu64
+                    "}\n",
+                    E.TimeNs, E.V0);
+      break;
+    case EventKind::GcSweepEnd:
+      std::snprintf(Line, sizeof(Line),
+                    "{\"t\":%" PRIu64 ",\"ev\":\"gc-sweep-end\",\"bytes\":%" PRIu64
+                    ",\"objects\":%" PRIu64 "}\n",
+                    E.TimeNs, E.V0, E.V1);
+      break;
+    case EventKind::GcCycleEnd:
+      std::snprintf(Line, sizeof(Line),
+                    "{\"t\":%" PRIu64 ",\"ev\":\"gc-cycle-end\",\"ns\":%" PRIu64
+                    ",\"live\":%" PRIu64 "}\n",
+                    E.TimeNs, E.V0, E.V1);
+      break;
+    case EventKind::TcfreeFreed:
+      std::snprintf(Line, sizeof(Line),
+                    "{\"t\":%" PRIu64
+                    ",\"ev\":\"tcfree\",\"outcome\":\"freed\",\"source\":\"%s\","
+                    "\"bytes\":%" PRIu64 "}\n",
+                    E.TimeNs, freeSourceName(E.Arg), E.V0);
+      break;
+    case EventKind::TcfreeGiveUp:
+      std::snprintf(Line, sizeof(Line),
+                    "{\"t\":%" PRIu64
+                    ",\"ev\":\"tcfree\",\"outcome\":\"give-up\",\"reason\":\"%s\","
+                    "\"count\":%" PRIu64 "}\n",
+                    E.TimeNs,
+                    giveUpReasonName((GiveUpReason)E.Arg), E.V0);
+      break;
+    case EventKind::HeapAlloc:
+      std::snprintf(Line, sizeof(Line),
+                    "{\"t\":%" PRIu64
+                    ",\"ev\":\"alloc\",\"where\":\"heap\",\"cat\":\"%s\","
+                    "\"bytes\":%" PRIu64 ",\"large\":%s}\n",
+                    E.TimeNs, allocCatName(E.Arg), E.V0,
+                    E.V1 ? "true" : "false");
+      break;
+    case EventKind::StackAlloc:
+      std::snprintf(Line, sizeof(Line),
+                    "{\"t\":%" PRIu64
+                    ",\"ev\":\"alloc\",\"where\":\"stack\",\"cat\":\"%s\","
+                    "\"bytes\":%" PRIu64 "}\n",
+                    E.TimeNs, allocCatName(E.Arg), E.V0);
+      break;
+    case EventKind::PassTime:
+      std::snprintf(Line, sizeof(Line),
+                    "{\"t\":%" PRIu64 ",\"ev\":\"pass\",\"pass\":\"%s\",\"ns\":%" PRIu64
+                    "}\n",
+                    E.TimeNs, passName((Pass)E.Arg), E.V0);
+      break;
+    default:
+      std::snprintf(Line, sizeof(Line),
+                    "{\"t\":%" PRIu64 ",\"ev\":\"unknown\",\"kind\":%u}\n",
+                    E.TimeNs, (unsigned)E.Kind);
+      break;
+    }
+    Os << Line;
+  }
+  std::snprintf(Line, sizeof(Line),
+                "{\"ev\":\"trace-end\",\"events\":%zu,\"dropped\":%" PRIu64
+                "}\n",
+                N, Sink.dropped());
+  Os << Line;
+}
+
+static double ms(uint64_t Nanos) { return (double)Nanos / 1e6; }
+
+void printSummary(FILE *Out, const TraceSummary &S) {
+  std::fprintf(Out, "trace summary (%" PRIu64 " events", S.Events);
+  if (S.DroppedEvents)
+    std::fprintf(Out, ", %" PRIu64 " dropped", S.DroppedEvents);
+  std::fprintf(Out, ")\n");
+
+  std::fprintf(Out,
+               "  gc: %" PRIu64 " pace triggers, %" PRIu64
+               " cycles (%.3f ms total, %.3f ms marking), swept %" PRIu64
+               " objects / %" PRIu64 " bytes\n",
+               S.GcPaceTriggers, S.GcCycles, ms(S.GcCycleNanos),
+               ms(S.GcMarkNanos), S.GcSweptObjects, S.GcSweptBytes);
+
+  std::fprintf(Out,
+               "  tcfree: %" PRIu64 " freed (%" PRIu64 " bytes), %" PRIu64
+               " give-ups\n",
+               S.TcfreeFreedCount, S.TcfreeFreedBytes, S.GiveUps);
+  for (int I = 0; I < NumFreeSources; ++I)
+    if (S.FreedCountBySource[I])
+      std::fprintf(Out, "    freed %-12s %10" PRIu64 "  (%" PRIu64 " bytes)\n",
+                   freeSourceName((uint8_t)I), S.FreedCountBySource[I],
+                   S.FreedBytesBySource[I]);
+  for (int I = 0; I < NumGiveUpReasons; ++I)
+    if (S.GiveUpsByReason[I])
+      std::fprintf(Out, "    give-up %-12s %8" PRIu64 "\n",
+                   giveUpReasonName((GiveUpReason)I), S.GiveUpsByReason[I]);
+
+  for (int I = 0; I < NumAllocCats; ++I)
+    if (S.HeapAllocCount[I] || S.StackAllocCount[I])
+      std::fprintf(Out,
+                   "  alloc %-6s heap %10" PRIu64 " (%" PRIu64
+                   " bytes)  stack %10" PRIu64 "\n",
+                   allocCatName((uint8_t)I), S.HeapAllocCount[I],
+                   S.HeapAllocBytes[I], S.StackAllocCount[I]);
+
+  bool AnyPass = false;
+  for (int I = 0; I < NumPasses; ++I)
+    AnyPass |= S.PassSeen[I];
+  if (AnyPass) {
+    std::fprintf(Out, "  compiler passes:\n");
+    for (int I = 0; I < NumPasses; ++I)
+      if (S.PassSeen[I])
+        std::fprintf(Out, "    %-13s %10.3f ms\n", passName((Pass)I),
+                     ms(S.PassNanos[I]));
+  }
+}
+
+void printSummaryDiff(FILE *Out, const char *NameA, const TraceSummary &A,
+                      const char *NameB, const TraceSummary &B) {
+  std::fprintf(Out, "trace diff: %s vs %s\n", NameA, NameB);
+  std::fprintf(Out, "  %-24s %14s %14s\n", "", NameA, NameB);
+  std::fprintf(Out, "  %-24s %14" PRIu64 " %14" PRIu64, "gc cycles",
+               A.GcCycles, B.GcCycles);
+  if (B.GcCycles < A.GcCycles)
+    std::fprintf(Out, "   (%" PRIu64 " avoided)", A.GcCycles - B.GcCycles);
+  std::fprintf(Out, "\n");
+  std::fprintf(Out, "  %-24s %14.3f %14.3f\n", "gc time (ms)",
+               ms(A.GcCycleNanos), ms(B.GcCycleNanos));
+  std::fprintf(Out, "  %-24s %14" PRIu64 " %14" PRIu64 "\n", "tcfree freed",
+               A.TcfreeFreedCount, B.TcfreeFreedCount);
+  std::fprintf(Out, "  %-24s %14" PRIu64 " %14" PRIu64 "\n", "tcfree give-ups",
+               A.GiveUps, B.GiveUps);
+  for (int I = 0; I < NumGiveUpReasons; ++I) {
+    if (!A.GiveUpsByReason[I] && !B.GiveUpsByReason[I])
+      continue;
+    char Label[32];
+    std::snprintf(Label, sizeof(Label), "  give-up %s",
+                  giveUpReasonName((GiveUpReason)I));
+    std::fprintf(Out, "  %-24s %14" PRIu64 " %14" PRIu64 "\n", Label,
+                 A.GiveUpsByReason[I], B.GiveUpsByReason[I]);
+  }
+  for (int I = 0; I < NumPasses; ++I) {
+    if (!A.PassSeen[I] && !B.PassSeen[I])
+      continue;
+    char Label[32];
+    std::snprintf(Label, sizeof(Label), "pass %s (ms)", passName((Pass)I));
+    std::fprintf(Out, "  %-24s %14.3f %14.3f\n", Label, ms(A.PassNanos[I]),
+                 ms(B.PassNanos[I]));
+  }
+}
+
+} // namespace trace
+} // namespace gofree

@@ -1,0 +1,212 @@
+//===- support/Trace.h - Event tracing and metrics sink --------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured event-tracing subsystem behind the paper's evaluation
+/// tables: typed events for GC phases, every tcfree outcome (with its
+/// give-up reason), allocation by category, and per-pass compiler timing.
+/// Events land in a bounded single-producer ring buffer (TraceSink); when
+/// the buffer is full, new events are dropped and counted rather than
+/// blocking the mutator. A null sink pointer disables tracing, so the
+/// disabled fast path in the runtime is a single branch.
+///
+/// Consumers either stream the raw events as JSON-lines
+/// (see docs/TRACING.md) or aggregate them into a TraceSummary whose
+/// per-reason give-up breakdown mirrors table 9 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_SUPPORT_TRACE_H
+#define GOFREE_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <vector>
+
+namespace gofree {
+namespace trace {
+
+/// Typed trace events. The payload of V0/V1 depends on the kind; see the
+/// per-enumerator comments and docs/TRACING.md.
+enum class EventKind : uint8_t {
+  GcPaceTrigger = 0, ///< Pacing fired. V0 = live bytes, V1 = trigger.
+  GcMarkStart,       ///< Mark phase begins. V0 = live bytes.
+  GcMarkEnd,         ///< Mark phase ends. V0 = mark nanos.
+  GcSweepEnd,        ///< Sweep phase ends. V0 = swept bytes, V1 = objects.
+  GcCycleEnd,        ///< Cycle complete. V0 = cycle nanos, V1 = live after.
+  TcfreeFreed,       ///< tcfree reclaimed memory. Arg = free source
+                     ///< (mirrors rt::FreeSource), V0 = bytes.
+  TcfreeGiveUp,      ///< tcfree gave up. Arg = GiveUpReason, V0 = count.
+  HeapAlloc,         ///< Heap allocation. Arg = category (mirrors
+                     ///< rt::AllocCat), V0 = bytes, V1 = 1 for large spans.
+  StackAlloc,        ///< Stack allocation (escape analysis win). Arg =
+                     ///< category, V0 = bytes.
+  PassTime,          ///< One compiler pass finished. Arg = Pass, V0 = nanos.
+};
+inline constexpr int NumEventKinds = 10;
+
+/// Why a tcfree call did not reclaim memory (section 5's safety checks).
+/// Mock is special: the mock-tcfree robustness mode poisons the object
+/// instead of recycling it, so no memory returns to the allocator even
+/// though the call "succeeds".
+enum class GiveUpReason : uint8_t {
+  NullAddr = 0, ///< tcfree(nil): freeing nothing is a no-op.
+  GcRunning,    ///< The collector was marking or sweeping.
+  UnknownAddr,  ///< Address outside the heap (stack or foreign memory).
+  ForeignSpan,  ///< Span cached by another thread, or already retired.
+  DoubleFree,   ///< Allocation bit already clear (benign double free).
+  Mock,         ///< Mock mode poisoned the object instead of freeing it.
+};
+inline constexpr int NumGiveUpReasons = 6;
+
+/// Compiler pipeline passes, in execution order (the per-pass cost
+/// breakdown of the paper's compilation-speed evaluation, section 6.7).
+enum class Pass : uint8_t {
+  Lex = 0,
+  Parse,
+  Sema,
+  EscapeBuild,  ///< Escape-graph construction (section 4.2).
+  EscapeSolve,  ///< Property propagation to fixpoint, including the
+                ///< completeness back-propagation (fig. 5).
+  Lifetime,     ///< Final Outlived/PointsToHeap/ToFree sweep (section 4.3).
+  Insert,       ///< tcfree instrumentation (section 4.5).
+};
+inline constexpr int NumPasses = 7;
+
+// Category/source cardinalities, mirroring rt::AllocCat and rt::FreeSource.
+// Heap.cpp static_asserts that the runtime enums agree with these tables.
+inline constexpr int NumAllocCats = 3;
+inline constexpr int NumFreeSources = 4;
+
+const char *eventKindName(EventKind K);
+const char *giveUpReasonName(GiveUpReason R);
+const char *passName(Pass P);
+const char *allocCatName(uint8_t Cat);
+const char *freeSourceName(uint8_t Source);
+
+/// One trace record: 32 bytes, fixed layout.
+struct Event {
+  uint64_t TimeNs = 0; ///< Nanoseconds since the sink's creation.
+  EventKind Kind = EventKind::GcPaceTrigger;
+  uint8_t Arg = 0; ///< Kind-dependent sub-enum (reason/category/pass).
+  uint8_t Pad[6] = {};
+  uint64_t V0 = 0;
+  uint64_t V1 = 0;
+};
+static_assert(sizeof(Event) == 32, "trace events must stay compact");
+
+/// Bounded event sink. The emit fast path is lock-free for the single
+/// producer the interpreter/runtime is: a relaxed load of the cursor, an
+/// in-place write, and a release store. Readers (summary, JSON writer)
+/// run after the producer quiesces, or tolerate a slightly stale prefix.
+/// A full buffer drops new events and counts them (bounded memory is the
+/// contract; the drop counter makes the loss observable).
+class TraceSink {
+public:
+  static constexpr size_t DefaultCapacity = 1 << 18; ///< 8 MiB of events.
+
+  explicit TraceSink(size_t Capacity = DefaultCapacity)
+      : Buf(Capacity), Epoch(std::chrono::steady_clock::now()) {}
+  TraceSink(const TraceSink &) = delete;
+  TraceSink &operator=(const TraceSink &) = delete;
+
+  void emit(EventKind K, uint8_t Arg = 0, uint64_t V0 = 0, uint64_t V1 = 0) {
+    size_t I = Count.load(std::memory_order_relaxed);
+    if (I >= Buf.size()) {
+      Dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Event &E = Buf[I];
+    E.TimeNs = nowNs();
+    E.Kind = K;
+    E.Arg = Arg;
+    E.V0 = V0;
+    E.V1 = V1;
+    Count.store(I + 1, std::memory_order_release);
+  }
+
+  /// Nanoseconds since the sink was created.
+  uint64_t nowNs() const {
+    return (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - Epoch)
+        .count();
+  }
+
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+  size_t capacity() const { return Buf.size(); }
+  uint64_t dropped() const {
+    return Dropped.load(std::memory_order_relaxed);
+  }
+  const Event &operator[](size_t I) const { return Buf[I]; }
+
+  /// Forgets all recorded events (the buffer stays allocated). The epoch is
+  /// NOT reset, so timestamps stay monotonic across a clear.
+  void clear() {
+    Count.store(0, std::memory_order_release);
+    Dropped.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::vector<Event> Buf;
+  std::atomic<size_t> Count{0};
+  std::atomic<uint64_t> Dropped{0};
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+/// Aggregation of one sink's events, shaped like the paper's tables: GC
+/// activity (table 5), allocation by category (table 8), frees by source
+/// and give-ups by reason (table 9), and per-pass compile time (6.7).
+struct TraceSummary {
+  uint64_t Events = 0;
+  uint64_t DroppedEvents = 0;
+
+  uint64_t GcPaceTriggers = 0;
+  uint64_t GcCycles = 0;
+  uint64_t GcMarkNanos = 0;
+  uint64_t GcCycleNanos = 0;
+  uint64_t GcSweptBytes = 0;
+  uint64_t GcSweptObjects = 0;
+
+  uint64_t TcfreeFreedCount = 0;
+  uint64_t TcfreeFreedBytes = 0;
+  uint64_t FreedCountBySource[NumFreeSources] = {};
+  uint64_t FreedBytesBySource[NumFreeSources] = {};
+  uint64_t GiveUps = 0;
+  uint64_t GiveUpsByReason[NumGiveUpReasons] = {};
+
+  uint64_t HeapAllocCount[NumAllocCats] = {};
+  uint64_t HeapAllocBytes[NumAllocCats] = {};
+  uint64_t StackAllocCount[NumAllocCats] = {};
+
+  uint64_t PassNanos[NumPasses] = {};
+  bool PassSeen[NumPasses] = {};
+};
+
+/// Folds the sink's events into a summary. Note: when events were dropped
+/// the aggregates undercount; DroppedEvents says by how many records.
+TraceSummary summarize(const TraceSink &Sink);
+
+/// Streams every event as one JSON object per line, then a final
+/// `{"ev":"trace-end",...}` record carrying the drop counter. The schema is
+/// documented in docs/TRACING.md.
+void writeJsonLines(std::ostream &Os, const TraceSink &Sink);
+
+/// Human-readable dump of a summary (the --trace-summary output).
+void printSummary(FILE *Out, const TraceSummary &S);
+
+/// Side-by-side diff of two runs' summaries: per-reason give-up breakdown,
+/// GC cycles avoided, and per-pass timing -- what `gofree compare` shows.
+void printSummaryDiff(FILE *Out, const char *NameA, const TraceSummary &A,
+                      const char *NameB, const TraceSummary &B);
+
+} // namespace trace
+} // namespace gofree
+
+#endif // GOFREE_SUPPORT_TRACE_H

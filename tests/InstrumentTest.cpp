@@ -214,3 +214,25 @@ TEST(InstrumentTest, PanicTailBlocksUnsafeFrees) {
   EXPECT_EQ(I.C.Instr.SliceFrees, 0u);
   EXPECT_EQ(I.C.Instr.SkippedUnsafeTail, 1u);
 }
+
+// Regression: a panic tail only suppresses frees in ITS scope. Sibling
+// declarations in enclosing scopes keep their tcfrees at the enclosing
+// scope's end (the panic branch simply never reaches them at runtime).
+TEST(InstrumentTest, PanicTailOnlySkipsItsOwnScope) {
+  Instrumented I = instrumentSrc("func f(n int) int {\n"
+                              "  kept := make([]int, n)\n"
+                              "  kept[0] = n\n"
+                              "  if n < 0 {\n"
+                              "    bad := make([]int, n + 2)\n"
+                              "    bad[0] = n\n"
+                              "    panic(bad[0])\n"
+                              "  }\n"
+                              "  return kept[0]\n"
+                              "}\n");
+  // `bad` is skipped (its scope tail panics with a read of it); `kept`
+  // still gets a free in the enclosing function scope.
+  EXPECT_EQ(I.C.Instr.SkippedUnsafeTail, 1u);
+  EXPECT_EQ(I.C.Instr.SliceFrees, 1u);
+  EXPECT_NE(I.Printed.find("tcfreeSlice(kept)"), std::string::npos);
+  EXPECT_EQ(I.Printed.find("tcfreeSlice(bad)"), std::string::npos);
+}

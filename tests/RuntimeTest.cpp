@@ -79,6 +79,27 @@ TEST(SizeClassTest, CoversAllSmallSizes) {
   }
 }
 
+// Exhaustive round-trip over every request in [0, MaxSmallSize], byte by
+// byte: the mapped class must exist, hold the request, and be minimal.
+// Also pins the zero-byte hardening: sizeClassFor(0) must map to the
+// smallest class even in release builds (the ClassOf table keeps a -1
+// sentinel at word 0 that must never leak out).
+TEST(SizeClassTest, RoundTripIsExhaustiveAndMinimal) {
+  for (size_t Bytes = 0; Bytes <= MaxSmallSize; ++Bytes) {
+    int Cls = sizeClassFor(Bytes);
+    ASSERT_GE(Cls, 0) << "request " << Bytes;
+    ASSERT_LT(Cls, numSizeClasses()) << "request " << Bytes;
+    size_t Got = classSize(Cls);
+    EXPECT_GE(Got, Bytes < 8 ? size_t(8) : Bytes) << "request " << Bytes;
+    // Minimality: no smaller class could have held the request.
+    if (Cls > 0) {
+      EXPECT_LT(classSize(Cls - 1), Bytes) << "request " << Bytes;
+    }
+  }
+  EXPECT_EQ(sizeClassFor(0), sizeClassFor(1));
+  EXPECT_EQ(classSize(sizeClassFor(0)), 8u);
+}
+
 TEST(SizeClassTest, ClassesAreMonotone) {
   for (int C = 1; C < numSizeClasses(); ++C)
     EXPECT_GT(classSize(C), classSize(C - 1));
@@ -169,7 +190,7 @@ TEST(TcfreeTest, GivesUpOnNullAndStackAddresses) {
   int Local;
   EXPECT_FALSE(H.tcfreeObject(reinterpret_cast<uintptr_t>(&Local), 0,
                               FreeSource::TcfreeObject));
-  EXPECT_EQ(H.stats().TcfreeGiveUps.load(), 2u);
+  EXPECT_EQ(H.stats().snap().TcfreeGiveUps, 2u);
 }
 
 TEST(TcfreeTest, GivesUpWhenSpanOwnedElsewhere) {

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Repo verification driver.
+#
+#   tools/check.sh            tier-1 verify (configure, build, ctest) plus
+#                             the trace smoke test
+#   tools/check.sh smoke BIN  trace smoke test only, against an existing
+#                             gofree binary (this is what the trace_smoke
+#                             ctest entry runs, so plain ctest covers it)
+#
+# The smoke test runs examples/quickstart.minigo under --trace-out and
+# asserts the trace is valid JSON-lines containing at least one GC event,
+# one tcfree outcome with a give-up reason, and per-pass compiler timings.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+MODE="${1:-all}"
+
+fail() { echo "check.sh: FAIL: $*" >&2; exit 1; }
+
+smoke() {
+  local gofree="$1"
+  [ -x "$gofree" ] || fail "gofree binary not found at $gofree"
+  local tmp
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '$tmp'" EXIT
+
+  "$gofree" --trace-out="$tmp/t.jsonl" --trace-summary --stats \
+    run "$ROOT/examples/quickstart.minigo" 2000 > "$tmp/run.out" \
+    || fail "traced run exited non-zero"
+
+  [ -s "$tmp/t.jsonl" ] || fail "trace file is empty"
+
+  # Every line must parse as a JSON object.
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$tmp/t.jsonl" <<'PYEOF' || fail "trace is not valid JSON-lines"
+import json, sys
+with open(sys.argv[1]) as f:
+    for n, line in enumerate(f, 1):
+        obj = json.loads(line)
+        assert isinstance(obj, dict) and "ev" in obj, f"line {n}: not an event object"
+PYEOF
+  else
+    # Fallback shape check: one {"..."} object per line.
+    if grep -qv '^{"[a-z]*":.*}$' "$tmp/t.jsonl"; then
+      fail "trace has lines that do not look like JSON objects"
+    fi
+  fi
+
+  grep -q '"ev":"gc-pace-trigger"' "$tmp/t.jsonl" || fail "no GC pace-trigger event"
+  grep -q '"ev":"gc-cycle-end"' "$tmp/t.jsonl" || fail "no GC cycle event"
+  grep -q '"ev":"tcfree","outcome":"freed"' "$tmp/t.jsonl" || fail "no tcfree freed event"
+  grep -q '"outcome":"give-up","reason":"' "$tmp/t.jsonl" || fail "no tcfree give-up with a reason"
+  grep -q '"ev":"pass","pass":"escape-solve"' "$tmp/t.jsonl" || fail "no pass timing events"
+  grep -q '"ev":"trace-end"' "$tmp/t.jsonl" || fail "no trace-end record"
+  grep -q '"dropped":0' "$tmp/t.jsonl" || echo "check.sh: note: trace dropped events" >&2
+
+  echo "check.sh: trace smoke OK ($(wc -l < "$tmp/t.jsonl") lines)"
+}
+
+case "$MODE" in
+smoke)
+  smoke "${2:?usage: check.sh smoke <gofree-binary>}"
+  ;;
+all)
+  cmake -B "$ROOT/build" -S "$ROOT"
+  cmake --build "$ROOT/build" -j
+  (cd "$ROOT/build" && ctest --output-on-failure -j)
+  smoke "$ROOT/build/tools/gofree"
+  ;;
+*)
+  fail "unknown mode '$MODE' (expected 'all' or 'smoke')"
+  ;;
+esac

@@ -18,17 +18,22 @@
 //   --mock=zero|flip      poisoning tcfree (robustness testing)
 //   --targets=all|sm|none free targets (default sm = slices and maps)
 //   --stats               print runtime statistics after the run
+//   --trace-out=FILE      write the event trace as JSON-lines (for compare,
+//                         FILE.go and FILE.gofree, one per leg)
+//   --trace-summary       print an aggregated trace summary after the run
 //
 //===----------------------------------------------------------------------===//
 
 #include "compiler/Pipeline.h"
 #include "escape/Diagnostics.h"
 #include "minigo/AstPrinter.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,7 +47,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: gofree [flags] run|compare|dump <file> [int args...]\n"
                "flags: --mode=go|gofree --entry=NAME --gogc=N "
-               "--mock=zero|flip --targets=all|sm|none --stats\n");
+               "--mock=zero|flip --targets=all|sm|none --stats\n"
+               "       --trace-out=FILE --trace-summary\n");
   return 2;
 }
 
@@ -53,6 +59,16 @@ bool readFile(const std::string &Path, std::string &Out) {
   std::stringstream Ss;
   Ss << In.rdbuf();
   Out = Ss.str();
+  return true;
+}
+
+bool writeTrace(const std::string &Path, const trace::TraceSink &Sink) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "gofree: cannot write trace to %s\n", Path.c_str());
+    return false;
+  }
+  trace::writeJsonLines(Out, Sink);
   return true;
 }
 
@@ -67,10 +83,40 @@ void printStats(const rt::StatsSnapshot &S, double WallSeconds) {
               (unsigned long long)S.TcfreeCalls,
               (unsigned long long)S.TcfreeGiveUps,
               S.tcfreeFreedBytes() / 1048576.0, 100.0 * S.freeRatio());
+  for (int R = 0; R < trace::NumGiveUpReasons; ++R)
+    if (S.TcfreeGiveUpsByReason[R])
+      std::printf("  give-up %-12s %llu\n",
+                  trace::giveUpReasonName((trace::GiveUpReason)R),
+                  (unsigned long long)S.TcfreeGiveUpsByReason[R]);
   std::printf("GC              %llu cycles, %.2f MB swept\n",
               (unsigned long long)S.GcCycles, S.GcSweptBytes / 1048576.0);
   std::printf("peak heap       %.2f MB committed, %.2f MB live\n",
               S.PeakCommitted / 1048576.0, S.PeakLive / 1048576.0);
+}
+
+/// Builds a trace summary from the exact runtime counters and pass times,
+/// independent of ring-buffer capacity (a full buffer drops events; the
+/// stats counters never do). Used by `compare`, whose diff must be exact.
+trace::TraceSummary exactSummary(const rt::StatsSnapshot &S,
+                                 const PassTimes &P) {
+  trace::TraceSummary T;
+  T.GcCycles = S.GcCycles;
+  T.GcCycleNanos = S.GcNanos;
+  T.GcSweptBytes = S.GcSweptBytes;
+  T.GiveUps = S.TcfreeGiveUps;
+  for (int I = 0; I < trace::NumGiveUpReasons; ++I)
+    T.GiveUpsByReason[I] = S.TcfreeGiveUpsByReason[I];
+  for (int I = 0; I < rt::NumFreeSources; ++I) {
+    T.TcfreeFreedCount += S.FreedCountBySource[I];
+    T.TcfreeFreedBytes += S.FreedBytesBySource[I];
+    T.FreedCountBySource[I] = S.FreedCountBySource[I];
+    T.FreedBytesBySource[I] = S.FreedBytesBySource[I];
+  }
+  for (int I = 0; I < trace::NumPasses; ++I) {
+    T.PassNanos[I] = P.Nanos[I];
+    T.PassSeen[I] = P.Nanos[I] != 0;
+  }
+  return T;
 }
 
 int runOnce(const Compilation &C, const std::string &Entry,
@@ -98,12 +144,20 @@ int main(int Argc, char **Argv) {
   ExecOptions EO;
   std::string Entry = "main";
   bool Stats = false;
+  bool TraceSummary = false;
+  std::string TraceOut;
 
   int I = 1;
   for (; I < Argc && std::strncmp(Argv[I], "--", 2) == 0; ++I) {
     std::string Flag = Argv[I];
     if (Flag == "--stats") {
       Stats = true;
+    } else if (Flag == "--trace-summary") {
+      TraceSummary = true;
+    } else if (Flag.rfind("--trace-out=", 0) == 0) {
+      TraceOut = Flag.substr(12);
+      if (TraceOut.empty())
+        return usage();
     } else if (Flag.rfind("--mode=", 0) == 0) {
       std::string V = Flag.substr(7);
       if (V == "go")
@@ -145,6 +199,7 @@ int main(int Argc, char **Argv) {
   std::vector<int64_t> Args;
   for (; I < Argc; ++I)
     Args.push_back(std::atoll(Argv[I]));
+  bool Tracing = TraceSummary || !TraceOut.empty();
 
   std::string Source;
   if (!readFile(Path, Source)) {
@@ -177,12 +232,25 @@ int main(int Argc, char **Argv) {
   }
 
   if (Command == "run") {
+    std::unique_ptr<trace::TraceSink> Sink;
+    if (Tracing) {
+      Sink = std::make_unique<trace::TraceSink>();
+      CO.Trace = Sink.get();
+      EO.Heap.Trace = Sink.get();
+    }
     Compilation C = compile(Source, CO);
     if (!C.ok()) {
       std::fprintf(stderr, "%s", C.Errors.c_str());
       return 1;
     }
-    return runOnce(C, Entry, Args, EO, Stats);
+    int Rc = runOnce(C, Entry, Args, EO, Stats);
+    if (Sink) {
+      if (!TraceOut.empty() && !writeTrace(TraceOut, *Sink))
+        return 1;
+      if (TraceSummary)
+        trace::printSummary(stdout, trace::summarize(*Sink));
+    }
+    return Rc;
   }
 
   if (Command == "compare") {
@@ -190,14 +258,26 @@ int main(int Argc, char **Argv) {
     GoOpts.Mode = CompileMode::Go;
     CompileOptions FreeOpts = CO;
     FreeOpts.Mode = CompileMode::GoFree;
+    // One sink per leg: sharing a sink (or any mutable counters) across
+    // the legs would let the first run contaminate the second's report.
+    std::unique_ptr<trace::TraceSink> GoSink, FreeSink;
+    ExecOptions GoEO = EO, FreeEO = EO;
+    if (Tracing) {
+      GoSink = std::make_unique<trace::TraceSink>();
+      FreeSink = std::make_unique<trace::TraceSink>();
+      GoOpts.Trace = GoSink.get();
+      FreeOpts.Trace = FreeSink.get();
+      GoEO.Heap.Trace = GoSink.get();
+      FreeEO.Heap.Trace = FreeSink.get();
+    }
     Compilation Go = compile(Source, GoOpts);
     Compilation Free = compile(Source, FreeOpts);
     if (!Go.ok() || !Free.ok()) {
       std::fprintf(stderr, "%s", (Go.ok() ? Free : Go).Errors.c_str());
       return 1;
     }
-    ExecOutcome OGo = execute(Go, Entry, Args, EO);
-    ExecOutcome OFree = execute(Free, Entry, Args, EO);
+    ExecOutcome OGo = execute(Go, Entry, Args, GoEO);
+    ExecOutcome OFree = execute(Free, Entry, Args, FreeEO);
     if (!OGo.Run.ok() || !OFree.Run.ok()) {
       std::fprintf(stderr, "runtime error: %s\n",
                    (OGo.Run.ok() ? OFree : OGo).Run.Error.c_str());
@@ -216,6 +296,21 @@ int main(int Argc, char **Argv) {
                 (unsigned long long)OFree.Stats.GcCycles,
                 100.0 * OFree.Stats.freeRatio(),
                 OFree.Stats.PeakCommitted / 1048576.0);
+    // The diff below comes from the exact stats counters (not the bounded
+    // event ring), so it is right even when the trace dropped events.
+    trace::printSummaryDiff(stdout, "Go", exactSummary(OGo.Stats, Go.Passes),
+                            "GoFree", exactSummary(OFree.Stats, Free.Passes));
+    if (!TraceOut.empty()) {
+      if (!writeTrace(TraceOut + ".go", *GoSink) ||
+          !writeTrace(TraceOut + ".gofree", *FreeSink))
+        return 1;
+    }
+    if (TraceSummary && GoSink) {
+      std::printf("--- Go trace summary ---\n");
+      trace::printSummary(stdout, trace::summarize(*GoSink));
+      std::printf("--- GoFree trace summary ---\n");
+      trace::printSummary(stdout, trace::summarize(*FreeSink));
+    }
     std::printf("checksums %s\n", Same ? "match" : "DIFFER (bug!)");
     return Same ? 0 : 1;
   }
