@@ -10,6 +10,7 @@
 #include "minigo/Frontend.h"
 
 #include <chrono>
+#include <thread>
 
 using namespace gofree;
 using namespace gofree::compiler;
@@ -65,12 +66,70 @@ ExecOutcome gofree::compiler::execute(const Compilation &C,
     Opts.Interp.Map.GrowFreeOld = false;
     Opts.Interp.Slice.FreeOldOnGrow = false;
   }
+  if (Opts.NumThreads <= 1) {
+    rt::Heap Heap(Opts.Heap);
+    interp::Interp I(*C.Prog, C.Analysis, Heap, Opts.Interp);
+    auto Start = std::chrono::steady_clock::now();
+    O.Run = I.run(Entry, Args);
+    auto End = std::chrono::steady_clock::now();
+    O.WallSeconds = std::chrono::duration<double>(End - Start).count();
+    O.Stats = Heap.stats().snap();
+    return O;
+  }
+
+  // Parallel mode: N workers share one heap, each owning cache id = its
+  // worker index. Real threads make cache-id rotation both unnecessary and
+  // wrong (two threads could land on one cache), so it is forced off.
+  int N = Opts.NumThreads;
+  if (Opts.Heap.NumCaches < N)
+    Opts.Heap.NumCaches = N;
+  Opts.Interp.MigrationPeriod = 0;
+  // TraceSink is single-producer; a heap-wide sink shared by N workers
+  // would race. Worker events go to per-thread hub sinks (or nowhere).
+  Opts.Heap.Trace = nullptr;
   rt::Heap Heap(Opts.Heap);
-  interp::Interp I(*C.Prog, C.Analysis, Heap, Opts.Interp);
+  std::vector<interp::RunResult> Results((size_t)N);
   auto Start = std::chrono::steady_clock::now();
-  O.Run = I.run(Entry, Args);
+  {
+    std::vector<std::thread> Workers;
+    Workers.reserve((size_t)N);
+    for (int W = 0; W < N; ++W) {
+      Workers.emplace_back([&, W] {
+        trace::TraceSink *Sink = Opts.Hub ? Opts.Hub->makeSink() : nullptr;
+        interp::InterpOptions IO = Opts.Interp;
+        IO.CacheId = W;
+        // The interpreter registers its root scanner before the thread
+        // becomes a registered mutator, and deregisters after the scope
+        // ends (scanner add/remove waits out GC cycles, which a mutator
+        // must not block on).
+        interp::Interp I(*C.Prog, C.Analysis, Heap, IO);
+        {
+          rt::Heap::MutatorScope Scope(Heap, W, Sink);
+          Results[(size_t)W] = I.run(Entry, Args);
+        }
+      });
+    }
+    for (std::thread &T : Workers)
+      T.join();
+  }
   auto End = std::chrono::steady_clock::now();
   O.WallSeconds = std::chrono::duration<double>(End - Start).count();
+
+  // Combine: additive counters add (wrapping -- identical per-worker
+  // checksums must not cancel out, so no XOR), the first failure wins.
+  for (int W = 0; W < N; ++W) {
+    const interp::RunResult &R = Results[(size_t)W];
+    O.Run.Checksum += R.Checksum;
+    O.Run.SinkCount += R.SinkCount;
+    O.Run.Steps += R.Steps;
+    if (R.Panicked && !O.Run.Panicked) {
+      O.Run.Panicked = true;
+      O.Run.PanicValue = R.PanicValue;
+    }
+    O.Run.OutOfFuel |= R.OutOfFuel;
+    if (!R.Error.empty() && O.Run.Error.empty())
+      O.Run.Error = R.Error;
+  }
   O.Stats = Heap.stats().snap();
   return O;
 }

@@ -80,6 +80,18 @@ Compilation compile(const std::string &Source, CompileOptions Opts = {});
 struct ExecOptions {
   rt::HeapOptions Heap;
   interp::InterpOptions Interp;
+  /// Number of real mutator threads. 1 runs the classic single-threaded
+  /// pipeline. N > 1 runs N workers on one shared heap, each with its own
+  /// interpreter, thread cache (cache id = worker index; Heap.NumCaches is
+  /// raised to N if needed) and root scanner, all executing the same entry
+  /// function; the GC stops the world across all of them. Per-worker
+  /// results are combined: checksums/steps add (wrapping), the first
+  /// failure wins. MigrationPeriod is forced to 0 (see InterpOptions).
+  int NumThreads = 1;
+  /// With NumThreads > 1, per-thread trace sinks come from here (merged at
+  /// drain time); Heap.Trace is ignored for worker-emitted events. Not
+  /// owned. Null disables tracing of worker events.
+  trace::TraceHub *Hub = nullptr;
 };
 
 /// Result of one execution: program observables plus runtime metrics.

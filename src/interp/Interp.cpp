@@ -42,10 +42,15 @@ uintptr_t FrameArena::allocate(size_t Bytes) {
 Interp::Interp(const Program &Prog, const escape::ProgramAnalysis &Analysis,
                rt::Heap &Heap, InterpOptions Opts)
     : Prog(Prog), Analysis(Analysis), Heap(Heap), Opts(Opts) {
-  Heap.setRootScanner(this);
+  // One scanner per interpreter: parallel workers each register their own,
+  // and the collector walks all of them during the stopped world. Register
+  // before the thread enters its MutatorScope (and deregister after it
+  // leaves) -- both calls wait out in-flight GC cycles, which a registered
+  // mutator must never block on.
+  Heap.addRootScanner(this);
 }
 
-Interp::~Interp() { Heap.setRootScanner(nullptr); }
+Interp::~Interp() { Heap.removeRootScanner(this); }
 
 static void scanValueRoots(rt::Heap &H, TypeLower &Types, const Value &V) {
   if (!V.Ty)
@@ -277,7 +282,7 @@ uintptr_t Interp::evalLvalueAddr(const Expr *E, const Type **TyOut) {
 void Interp::noteStackAlloc(rt::AllocCat Cat, size_t Bytes) {
   Heap.stats().StackAllocCountByCat[(int)Cat].fetch_add(
       1, std::memory_order_relaxed);
-  if (trace::TraceSink *T = Heap.options().Trace)
+  if (trace::TraceSink *T = Heap.traceSink())
     T->emit(trace::EventKind::StackAlloc, (uint8_t)Cat, Bytes);
 }
 

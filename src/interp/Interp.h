@@ -57,6 +57,10 @@ struct InterpOptions {
   /// every this-many interpreter steps the thread-cache id rotates, so
   /// spans cached before the switch belong to a "different thread" and
   /// tcfree exercises its ownership give-up path (section 5). 0 disables.
+  /// Single-threaded runs only: with real worker threads (ExecOptions::
+  /// NumThreads > 1) each thread must keep its own cache id for the
+  /// ownership invariant to hold, so the pipeline forces this to 0 there
+  /// (genuine cross-thread contention replaces the simulation).
   uint64_t MigrationPeriod = 0;
   rt::SliceRtOptions Slice;
   rt::MapRtOptions Map;

@@ -11,39 +11,74 @@
 // large spans the marker skips and the cycle retires (fig. 9) -- are
 // modeled faithfully.
 //
+// Stopping the world. runGc serializes cycles on GcMu, then raises
+// StopWorld and waits until every registered mutator (Heap::MutatorScope)
+// is parked in Heap::parkAtSafepoint -- safepoints sit at the entry of
+// allocate/tcfreeObject/tcfreeBatch, so a parked mutator is never mid-
+// operation. Only then does Phase leave Idle and marking begin; the world
+// restarts after sweep. The park handshake (both sides cross ParkMu) gives
+// the collector a happens-before edge to everything mutators wrote, which
+// is why mark and sweep may touch span interiors without per-span locks.
+//
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Heap.h"
 
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 using namespace gofree;
 using namespace gofree::rt;
 
 void Heap::maybeTriggerGc() {
-  if (InGc || Opts.Gogc < 0 || !Scanner)
+  if (Opts.Gogc < 0 || !HasScanner.load(std::memory_order_relaxed) ||
+      currentThreadIsCollector())
+    return;
+  // Someone else mid-cycle? We'd only park inside runGc; the pacer can
+  // re-evaluate on the next allocation instead.
+  if (Phase.load(std::memory_order_relaxed) != GcPhase::Idle)
     return;
   uint64_t Live = Stats.HeapLive.load(std::memory_order_relaxed);
-  if (Live < NextTrigger)
+  if (Live < NextTrigger.load(std::memory_order_relaxed))
     return;
-  if (trace::TraceSink *T = Opts.Trace)
-    T->emit(trace::EventKind::GcPaceTrigger, 0, Live, NextTrigger);
+  if (trace::TraceSink *T = traceSink())
+    T->emit(trace::EventKind::GcPaceTrigger, 0, Live,
+            NextTrigger.load(std::memory_order_relaxed));
   runGc();
 }
 
 void Heap::runGc() {
-  if (InGc)
-    return;
-  InGc = true;
-  trace::TraceSink *T = Opts.Trace;
+  if (currentThreadIsCollector())
+    return; // Re-entrant force (e.g. from a root scanner) is a no-op.
+  uint64_t CyclesBefore = Stats.GcCycles.load(std::memory_order_acquire);
+  // Trying, not blocking, on GcMu: a registered mutator that blocked here
+  // would deadlock the winning collector, which is waiting for this very
+  // thread to park. Lose the race -> park (if asked) and let the winner's
+  // cycle count for us.
+  while (!GcMu.try_lock()) {
+    safepoint();
+    if (Stats.GcCycles.load(std::memory_order_acquire) != CyclesBefore)
+      return; // The concurrent cycle completed; done.
+    std::this_thread::yield();
+  }
+  std::lock_guard<std::mutex> GcLock(GcMu, std::adopt_lock);
+  if (Stats.GcCycles.load(std::memory_order_acquire) != CyclesBefore)
+    return; // A whole cycle ran between our entry and the lock.
+
+  GcThread.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  stopTheWorld();
+
+  trace::TraceSink *T = traceSink();
   auto Start = std::chrono::steady_clock::now();
   // Sweep deltas for the trace come from the stats counters bracketing the
   // sweep phase.
-  uint64_t SweptBytesBefore = Stats.GcSweptBytes.load(std::memory_order_relaxed);
-  uint64_t SweptCountBefore = Stats.GcSweptCount.load(std::memory_order_relaxed);
+  uint64_t SweptBytesBefore =
+      Stats.GcSweptBytes.load(std::memory_order_relaxed);
+  uint64_t SweptCountBefore =
+      Stats.GcSweptCount.load(std::memory_order_relaxed);
 
-  Phase = GcPhase::Marking;
+  Phase.store(GcPhase::Marking, std::memory_order_release);
   if (T)
     T->emit(trace::EventKind::GcMarkStart, 0,
             Stats.HeapLive.load(std::memory_order_relaxed));
@@ -64,9 +99,9 @@ void Heap::runGc() {
     Dangling.clear();
   }
 
-  Phase = GcPhase::Sweeping;
+  Phase.store(GcPhase::Sweeping, std::memory_order_release);
   sweepPhase();
-  Phase = GcPhase::Idle;
+  Phase.store(GcPhase::Idle, std::memory_order_release);
   if (T)
     T->emit(trace::EventKind::GcSweepEnd, 0,
             Stats.GcSweptBytes.load(std::memory_order_relaxed) -
@@ -76,36 +111,52 @@ void Heap::runGc() {
 
   // Pacing: next cycle when the live heap grows by GOGC percent.
   uint64_t Live = Stats.HeapLive.load(std::memory_order_relaxed);
-  NextTrigger = std::max<uint64_t>(
-      Opts.MinHeapTrigger, Live + Live * (uint64_t)Opts.Gogc / 100);
+  NextTrigger.store(std::max<uint64_t>(Opts.MinHeapTrigger,
+                                       Live + Live * (uint64_t)Opts.Gogc / 100),
+                    std::memory_order_relaxed);
 
   auto End = std::chrono::steady_clock::now();
   uint64_t CycleNanos =
       (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(End -
                                                                      Start)
           .count();
-  Stats.GcCycles.fetch_add(1, std::memory_order_relaxed);
   Stats.GcNanos.fetch_add(CycleNanos, std::memory_order_relaxed);
   if (T)
     T->emit(trace::EventKind::GcCycleEnd, 0, CycleNanos, Live);
-  InGc = false;
+  // The release bump is what losers of the GcMu race key off; everything
+  // above must be visible before it.
+  Stats.GcCycles.fetch_add(1, std::memory_order_release);
+
+  startTheWorld();
+  GcThread.store(std::thread::id{}, std::memory_order_relaxed);
 }
 
 void Heap::markPhase() {
+  // The world is stopped: mutator state is stable and happens-before us
+  // (see the park handshake), so span interiors need no locks here.
   for (const auto &SP : AllSpans)
-    if (SP->State == SpanState::InUse)
+    if (SP->State.load(std::memory_order_relaxed) == SpanState::InUse)
       SP->clearMarks();
   MarkStack.clear();
-  // The mutator supplies roots; gcMarkAddr queues grey objects which we
+  // The mutators supply roots; gcMarkAddr queues grey objects which we
   // blacken here by scanning their pointer maps. Runtime-internal roots
-  // cover objects mid-construction (see Heap::InternalRoot).
-  for (uintptr_t Addr : InternalRoots)
+  // cover objects mid-construction (see Heap::InternalRoot). Scanner
+  // registration is frozen while we hold GcMu; copy the roots out so the
+  // RootsMu critical section stays trivial.
+  std::vector<uintptr_t> Roots;
+  std::vector<RootScanner *> Providers;
+  {
+    std::lock_guard<std::mutex> Lock(RootsMu);
+    Roots = InternalRoots;
+    Providers = Scanners;
+  }
+  for (uintptr_t Addr : Roots)
     gcMarkAddr(Addr);
   // A heap without a registered scanner has no mutator roots: everything
   // not internally rooted is garbage. (Forced runGc() must not crash on
   // such a heap; pacing already refuses to trigger without a scanner.)
-  if (Scanner)
-    Scanner->scanRoots(*this);
+  for (RootScanner *S : Providers)
+    S->scanRoots(*this);
   while (!MarkStack.empty()) {
     MarkItem Item = MarkStack.back();
     MarkStack.pop_back();
@@ -114,15 +165,15 @@ void Heap::markPhase() {
 }
 
 void Heap::gcMarkAddr(uintptr_t Addr) {
-  assert(Phase == GcPhase::Marking && "gcMarkAddr outside mark phase");
+  assert(Phase.load(std::memory_order_relaxed) == GcPhase::Marking &&
+         "gcMarkAddr outside mark phase");
   if (!Addr)
     return;
-  auto It = PageMap.find(Addr >> PageShift);
-  if (It == PageMap.end())
+  MSpan *S = lookupSpan(Addr);
+  if (!S)
     return; // Stack address, foreign pointer, or freed large object.
-  MSpan *S = It->second;
   // Dangling spans are skipped rather than marked (section 5).
-  if (S->State != SpanState::InUse)
+  if (S->State.load(std::memory_order_relaxed) != SpanState::InUse)
     return;
   size_t Slot = S->slotOf(Addr);
   if (!S->allocBit(Slot) || S->markBit(Slot))
@@ -134,7 +185,8 @@ void Heap::gcMarkAddr(uintptr_t Addr) {
 }
 
 void Heap::gcScanRegion(uintptr_t Addr, const TypeDesc *Desc, size_t Bytes) {
-  assert(Phase == GcPhase::Marking && "gcScanRegion outside mark phase");
+  assert(Phase.load(std::memory_order_relaxed) == GcPhase::Marking &&
+         "gcScanRegion outside mark phase");
   if (!Desc || !Desc->hasPointers())
     return;
   if (Desc->IsArray) {
@@ -157,7 +209,7 @@ void Heap::sweepPhase() {
   std::lock_guard<std::mutex> Lock(Mu);
   for (const auto &SP : AllSpans) {
     MSpan *S = SP.get();
-    if (S->State != SpanState::InUse)
+    if (S->State.load(std::memory_order_relaxed) != SpanState::InUse)
       continue;
     size_t FreedHere = 0;
     for (size_t Slot = 0; Slot < S->NElems; ++Slot) {
@@ -179,11 +231,12 @@ void Heap::sweepPhase() {
     // every GC, so even a span currently cached by a thread is released
     // when it holds nothing (the owner simply refills on its next miss).
     if (S->liveCount() == 0) {
-      if (S->OwnerCache != NoOwner) {
-        Cache &C = Caches[(size_t)S->OwnerCache];
+      int Owner = S->OwnerCache.load(std::memory_order_relaxed);
+      if (Owner != NoOwner) {
+        Cache &C = Caches[(size_t)Owner];
         if (S->SizeClass >= 0 && C.Current[(size_t)S->SizeClass] == S)
           C.Current[(size_t)S->SizeClass] = nullptr;
-        S->OwnerCache = NoOwner;
+        S->OwnerCache.store(NoOwner, std::memory_order_relaxed);
       }
       retireSpan(S);
     }
@@ -192,18 +245,24 @@ void Heap::sweepPhase() {
 }
 
 void Heap::rebuildCentralLists() {
-  for (auto &L : CentralPartial)
-    L.clear();
-  for (auto &L : CentralFull)
-    L.clear();
+  // Mutators are parked, but crossing each class's mutex here is what
+  // hands the rebuilt lists (and the spans on them) over to later refills.
+  for (int C = 0; C < numSizeClasses(); ++C) {
+    std::lock_guard<std::mutex> Lock(Central[(size_t)C].Mu);
+    Central[(size_t)C].Partial.clear();
+    Central[(size_t)C].Full.clear();
+  }
   for (const auto &SP : AllSpans) {
     MSpan *S = SP.get();
-    if (S->State != SpanState::InUse || S->SizeClass < 0 ||
-        S->OwnerCache != NoOwner)
+    if (S->State.load(std::memory_order_relaxed) != SpanState::InUse ||
+        S->SizeClass < 0 ||
+        S->OwnerCache.load(std::memory_order_relaxed) != NoOwner)
       continue;
+    CentralList &CL = Central[(size_t)S->SizeClass];
+    std::lock_guard<std::mutex> Lock(CL.Mu);
     if (S->nextFree() == S->NElems)
-      CentralFull[(size_t)S->SizeClass].push_back(S);
+      CL.Full.push_back(S);
     else
-      CentralPartial[(size_t)S->SizeClass].push_back(S);
+      CL.Partial.push_back(S);
   }
 }

@@ -3,6 +3,14 @@
 // Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
 // Collection via Compiler-Inserted Freeing" (CGO 2025).
 //
+// Locking. Three lock tiers, always acquired in this order when nested:
+//   1. a per-size-class central-list mutex (Central[Class].Mu),
+//   2. the page-heap mutex Mu (chunks, free runs, span lifecycle),
+//   3. a page-map shard mutex (PageShards[I].Mu).
+// The fast paths (cache-hit allocation, owned-span tcfree) take no locks at
+// all; their safety comes from the cache-ownership invariant documented in
+// MSpan.h plus the stop-the-world handshake in Gc.cpp.
+//
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Heap.h"
@@ -29,10 +37,26 @@ static_assert((int)FreeSource::TcfreeObject == 0 &&
 
 RootScanner::~RootScanner() = default;
 
-Heap::Heap(HeapOptions O) : Opts(O), NextTrigger(O.MinHeapTrigger) {
-  assert(Opts.NumCaches > 0 && "need at least one cache");
-  CentralPartial.resize((size_t)numSizeClasses());
-  CentralFull.resize((size_t)numSizeClasses());
+namespace {
+/// Per-thread mutator registration (Heap::MutatorScope). Identifies which
+/// heap the thread is a registered mutator of (for the stop-the-world
+/// quorum) and the thread's private trace sink, if any.
+struct MutatorTls {
+  Heap *H = nullptr;
+  trace::TraceSink *Sink = nullptr;
+};
+thread_local MutatorTls Tls;
+} // namespace
+
+Heap::Heap(HeapOptions O) : Opts(O) {
+  // Clamp unconditionally: an assert would compile away in release builds
+  // and leave Caches empty, making the very first allocSmall read out of
+  // bounds.
+  if (Opts.NumCaches < 1)
+    Opts.NumCaches = 1;
+  NextTrigger.store(Opts.MinHeapTrigger, std::memory_order_relaxed);
+  Central = std::make_unique<CentralList[]>((size_t)numSizeClasses());
+  PageShards = std::make_unique<PageShard[]>(NumPageShards);
   Caches.resize((size_t)Opts.NumCaches);
   for (Cache &C : Caches)
     C.Current.assign((size_t)numSizeClasses(), nullptr);
@@ -40,58 +64,249 @@ Heap::Heap(HeapOptions O) : Opts(O), NextTrigger(O.MinHeapTrigger) {
 
 Heap::~Heap() = default;
 
+int Heap::clampCacheId(int CacheId) const {
+  // Same rationale as the NumCaches clamp: out-of-range ids must not
+  // become out-of-bounds indexes when NDEBUG disables the asserts.
+  if (CacheId < 0)
+    return 0;
+  if (CacheId >= Opts.NumCaches)
+    return Opts.NumCaches - 1;
+  return CacheId;
+}
+
+trace::TraceSink *Heap::traceSink() const {
+  if (Tls.H == this && Tls.Sink)
+    return Tls.Sink;
+  return Opts.Trace;
+}
+
+bool Heap::currentThreadIsMutatorHere() const { return Tls.H == this; }
+
+//===----------------------------------------------------------------------===//
+// MutatorScope
+//===----------------------------------------------------------------------===//
+
+Heap::MutatorScope::MutatorScope(Heap &H, int CacheId, trace::TraceSink *Sink)
+    : H(H), Id(H.clampCacheId(CacheId)), PrevHeap(Tls.H), PrevSink(Tls.Sink) {
+  Tls.H = &H;
+  Tls.Sink = Sink;
+  // Nested scopes on the same heap keep the outer registration (the thread
+  // can only park once).
+  if (PrevHeap != &H) {
+    std::lock_guard<std::mutex> Lock(H.ParkMu);
+    ++H.RegisteredMutators;
+  }
+}
+
+Heap::MutatorScope::~MutatorScope() {
+  if (PrevHeap != &H) {
+    {
+      std::lock_guard<std::mutex> Lock(H.ParkMu);
+      --H.RegisteredMutators;
+    }
+    // A collector waiting for the stop-the-world quorum no longer needs
+    // this thread to park.
+    H.StwCv.notify_all();
+  }
+  Tls.H = PrevHeap;
+  Tls.Sink = PrevSink;
+}
+
+//===----------------------------------------------------------------------===//
+// Safepoints
+//===----------------------------------------------------------------------===//
+
+void Heap::parkAtSafepoint() {
+  // The collector's own heap calls (e.g. a root scanner calling tcfree
+  // re-entrantly) must not park on the stop request they themselves
+  // raised; threads not registered on this heap are outside the handshake
+  // (they may only run concurrently in the documented no-GC mode).
+  if (currentThreadIsCollector() || !currentThreadIsMutatorHere())
+    return;
+  std::unique_lock<std::mutex> Lock(ParkMu);
+  if (!StopWorld.load(std::memory_order_relaxed))
+    return; // The world restarted before we got here.
+  ++ParkedMutators;
+  StwCv.notify_one();
+  ParkCv.wait(Lock, [&] { return !StopWorld.load(std::memory_order_relaxed); });
+  --ParkedMutators;
+}
+
+void Heap::stopTheWorld() {
+  StopWorld.store(true, std::memory_order_release);
+  std::unique_lock<std::mutex> Lock(ParkMu);
+  // The collector itself may be a registered mutator (a worker thread that
+  // hit the pacer or forced a cycle); it obviously cannot park.
+  int Self = currentThreadIsMutatorHere() ? 1 : 0;
+  StwCv.wait(Lock,
+             [&] { return ParkedMutators >= RegisteredMutators - Self; });
+  // Every registered mutator is now blocked in parkAtSafepoint; their
+  // ParkMu critical sections give the collector a happens-before edge to
+  // everything they wrote before parking.
+}
+
+void Heap::startTheWorld() {
+  {
+    std::lock_guard<std::mutex> Lock(ParkMu);
+    StopWorld.store(false, std::memory_order_release);
+  }
+  ParkCv.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// Internal roots and scanner registration
+//===----------------------------------------------------------------------===//
+
+void Heap::pushInternalRoot(uintptr_t Addr) {
+  std::lock_guard<std::mutex> Lock(RootsMu);
+  InternalRoots.push_back(Addr);
+}
+
+void Heap::popInternalRoot(uintptr_t Addr) {
+  std::lock_guard<std::mutex> Lock(RootsMu);
+  // Scopes on different threads interleave, so the root to drop is not
+  // necessarily the last one pushed; erase the newest matching entry.
+  for (size_t I = InternalRoots.size(); I-- > 0;) {
+    if (InternalRoots[I] == Addr) {
+      InternalRoots.erase(InternalRoots.begin() + (ptrdiff_t)I);
+      return;
+    }
+  }
+  assert(false && "popInternalRoot: root not found");
+}
+
+void Heap::setRootScanner(RootScanner *S) {
+  std::lock_guard<std::mutex> GcLock(GcMu); // No cycle in flight.
+  std::lock_guard<std::mutex> Lock(RootsMu);
+  Scanners.clear();
+  if (S)
+    Scanners.push_back(S);
+  HasScanner.store(S != nullptr, std::memory_order_relaxed);
+}
+
+void Heap::addRootScanner(RootScanner *S) {
+  std::lock_guard<std::mutex> GcLock(GcMu);
+  std::lock_guard<std::mutex> Lock(RootsMu);
+  Scanners.push_back(S);
+  HasScanner.store(true, std::memory_order_relaxed);
+}
+
+void Heap::removeRootScanner(RootScanner *S) {
+  std::lock_guard<std::mutex> GcLock(GcMu); // Wait out any in-flight cycle.
+  std::lock_guard<std::mutex> Lock(RootsMu);
+  for (size_t I = Scanners.size(); I-- > 0;) {
+    if (Scanners[I] == S) {
+      Scanners.erase(Scanners.begin() + (ptrdiff_t)I);
+      break;
+    }
+  }
+  HasScanner.store(!Scanners.empty(), std::memory_order_relaxed);
+}
+
 //===----------------------------------------------------------------------===//
 // Page heap
 //===----------------------------------------------------------------------===//
 
-uintptr_t Heap::allocPages(size_t NPages) {
+Heap::Run Heap::allocPages(size_t NPages) {
   // First fit over the free runs, splitting the remainder.
   for (size_t I = 0; I < FreeRuns.size(); ++I) {
     if (FreeRuns[I].NPages < NPages)
       continue;
-    uintptr_t Base = FreeRuns[I].Base;
+    Run R{FreeRuns[I].Base, NPages, FreeRuns[I].Chunk};
     if (FreeRuns[I].NPages == NPages) {
       FreeRuns.erase(FreeRuns.begin() + (ptrdiff_t)I);
     } else {
       FreeRuns[I].Base += NPages * PageSize;
       FreeRuns[I].NPages -= NPages;
     }
-    return Base;
+    return R;
   }
   // Grow the arena: chunks of at least 2 MiB, page aligned.
   size_t ChunkPages = std::max<size_t>(NPages, 256);
   size_t Bytes = ChunkPages * PageSize + PageSize;
-  Chunks.emplace_back(std::make_unique<char[]>(Bytes), Bytes);
-  uintptr_t Raw = reinterpret_cast<uintptr_t>(Chunks.back().first.get());
+  auto Mem = std::make_unique<char[]>(Bytes);
+  uintptr_t Raw = reinterpret_cast<uintptr_t>(Mem.get());
   uintptr_t Aligned = (Raw + PageSize - 1) & ~(uintptr_t)(PageSize - 1);
+  size_t Id = Chunks.size();
+  Chunks.push_back({std::move(Mem), Aligned, ChunkPages});
   if (ChunkPages > NPages)
-    FreeRuns.push_back({Aligned + NPages * PageSize, ChunkPages - NPages});
-  return Aligned;
+    freePages(Aligned + NPages * PageSize, ChunkPages - NPages, Id);
+  return Run{Aligned, NPages, Id};
 }
 
-void Heap::freePages(uintptr_t Base, size_t NPages) {
-  // Insert sorted and coalesce with neighbours.
-  Run R{Base, NPages};
+void Heap::freePages(uintptr_t Base, size_t NPages, size_t ChunkId) {
+  // Insert sorted and coalesce with neighbours -- but only neighbours from
+  // the same arena chunk. Separately allocated chunks can be
+  // address-adjacent, and a run merged across that boundary would later be
+  // handed out as one span straddling two allocations.
+  Run R{Base, NPages, ChunkId};
   auto It = std::lower_bound(
       FreeRuns.begin(), FreeRuns.end(), R,
       [](const Run &A, const Run &B) { return A.Base < B.Base; });
   It = FreeRuns.insert(It, R);
-  if (It + 1 != FreeRuns.end() &&
+  if (It + 1 != FreeRuns.end() && It->Chunk == (It + 1)->Chunk &&
       It->Base + It->NPages * PageSize == (It + 1)->Base) {
     It->NPages += (It + 1)->NPages;
     FreeRuns.erase(It + 1);
   }
   if (It != FreeRuns.begin()) {
     auto Prev = It - 1;
-    if (Prev->Base + Prev->NPages * PageSize == It->Base) {
+    if (Prev->Chunk == It->Chunk &&
+        Prev->Base + Prev->NPages * PageSize == It->Base) {
       Prev->NPages += It->NPages;
       FreeRuns.erase(It);
     }
   }
 }
 
-MSpan *Heap::newSpan(uintptr_t Base, size_t NPages, size_t ElemSize,
-                     int Class) {
+size_t Heap::freeRunCount() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return FreeRuns.size();
+}
+
+size_t Heap::chunkCount() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Chunks.size();
+}
+
+bool Heap::pageHeapConsistent() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (size_t I = 0; I < FreeRuns.size(); ++I) {
+    const Run &R = FreeRuns[I];
+    if (R.NPages == 0 || R.Chunk >= Chunks.size())
+      return false;
+    const Chunk &C = Chunks[R.Chunk];
+    if (R.Base < C.Base ||
+        R.Base + R.NPages * PageSize > C.Base + C.NPages * PageSize)
+      return false; // Run escapes its chunk.
+    if (I > 0) {
+      const Run &P = FreeRuns[I - 1];
+      if (P.Base + P.NPages * PageSize > R.Base)
+        return false; // Unsorted or overlapping.
+      if (P.Chunk == R.Chunk && P.Base + P.NPages * PageSize == R.Base)
+        return false; // Same-chunk neighbours left uncoalesced.
+    }
+  }
+  return true;
+}
+
+void Heap::testInjectAdjacentChunks(size_t NPagesEach) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t Bytes = 2 * NPagesEach * PageSize + PageSize;
+  auto Mem = std::make_unique<char[]>(Bytes);
+  uintptr_t Raw = reinterpret_cast<uintptr_t>(Mem.get());
+  uintptr_t Aligned = (Raw + PageSize - 1) & ~(uintptr_t)(PageSize - 1);
+  size_t IdA = Chunks.size();
+  Chunks.push_back({std::move(Mem), Aligned, NPagesEach});
+  size_t IdB = Chunks.size();
+  // Chunk B's storage is owned by chunk A's allocation; what matters is
+  // that its page range begins exactly where A's ends.
+  Chunks.push_back({nullptr, Aligned + NPagesEach * PageSize, NPagesEach});
+  freePages(Aligned, NPagesEach, IdA);
+  freePages(Aligned + NPagesEach * PageSize, NPagesEach, IdB);
+}
+
+MSpan *Heap::newSpan(const Run &R, size_t ElemSize, int Class) {
   MSpan *S;
   if (!SpanPool.empty()) {
     S = SpanPool.back();
@@ -100,53 +315,63 @@ MSpan *Heap::newSpan(uintptr_t Base, size_t NPages, size_t ElemSize,
     AllSpans.push_back(std::make_unique<MSpan>());
     S = AllSpans.back().get();
   }
-  S->reset(Base, NPages, ElemSize, Class);
+  S->reset(R.Base, R.NPages, ElemSize, Class, R.Chunk);
   registerSpan(S);
-  Stats.Committed.fetch_add(NPages * PageSize, std::memory_order_relaxed);
+  Stats.Committed.fetch_add(R.NPages * PageSize, std::memory_order_relaxed);
   Stats.notePeaks();
   return S;
 }
 
 void Heap::registerSpan(MSpan *S) {
-  for (size_t P = 0; P < S->NPages; ++P)
-    PageMap[(S->Base >> PageShift) + P] = S;
+  for (size_t P = 0; P < S->NPages; ++P) {
+    uintptr_t Page = (S->Base >> PageShift) + P;
+    PageShard &Shard = PageShards[Page % NumPageShards];
+    std::lock_guard<std::mutex> Lock(Shard.Mu);
+    Shard.Map[Page] = S;
+  }
 }
 
 void Heap::unregisterSpan(MSpan *S) {
-  for (size_t P = 0; P < S->NPages; ++P)
-    PageMap.erase((S->Base >> PageShift) + P);
+  for (size_t P = 0; P < S->NPages; ++P) {
+    uintptr_t Page = (S->Base >> PageShift) + P;
+    PageShard &Shard = PageShards[Page % NumPageShards];
+    std::lock_guard<std::mutex> Lock(Shard.Mu);
+    Shard.Map.erase(Page);
+  }
+}
+
+MSpan *Heap::lookupSpan(uintptr_t Addr) {
+  uintptr_t Page = Addr >> PageShift;
+  PageShard &Shard = PageShards[Page % NumPageShards];
+  std::lock_guard<std::mutex> Lock(Shard.Mu);
+  auto It = Shard.Map.find(Page);
+  return It == Shard.Map.end() ? nullptr : It->second;
 }
 
 void Heap::retireSpan(MSpan *S) {
   // Pages already unregistered/freed by the caller for dangling spans; for
   // in-use spans release everything here.
-  if (S->State == SpanState::InUse) {
+  if (S->State.load(std::memory_order_relaxed) == SpanState::InUse) {
     unregisterSpan(S);
-    freePages(S->Base, S->NPages);
+    freePages(S->Base, S->NPages, S->Chunk);
     Stats.Committed.fetch_sub(S->NPages * PageSize, std::memory_order_relaxed);
   }
-  S->State = SpanState::Free;
-  S->OwnerCache = NoOwner;
+  S->State.store(SpanState::Free, std::memory_order_relaxed);
+  S->OwnerCache.store(NoOwner, std::memory_order_relaxed);
   SpanPool.push_back(S);
 }
 
-MSpan *Heap::spanOf(uintptr_t Addr) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = PageMap.find(Addr >> PageShift);
-  return It == PageMap.end() ? nullptr : It->second;
-}
+MSpan *Heap::spanOf(uintptr_t Addr) { return lookupSpan(Addr); }
 
 bool Heap::isLiveObject(uintptr_t Addr) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = PageMap.find(Addr >> PageShift);
-  if (It == PageMap.end() || It->second->State != SpanState::InUse)
+  MSpan *S = lookupSpan(Addr);
+  if (!S || S->State.load(std::memory_order_acquire) != SpanState::InUse)
     return false;
-  MSpan *S = It->second;
   return S->allocBit(S->slotOf(Addr));
 }
 
 void Heap::reassignSpanOwner(uintptr_t Addr, int NewOwner) {
-  MSpan *S = spanOf(Addr);
+  MSpan *S = lookupSpan(Addr);
   assert(S && "reassignSpanOwner on non-heap address");
   std::lock_guard<std::mutex> Lock(Mu);
   // Detach from whichever cache currently holds it.
@@ -154,7 +379,7 @@ void Heap::reassignSpanOwner(uintptr_t Addr, int NewOwner) {
     for (MSpan *&Cur : C.Current)
       if (Cur == S)
         Cur = nullptr;
-  S->OwnerCache = NewOwner;
+  S->OwnerCache.store(NewOwner, std::memory_order_release);
 }
 
 //===----------------------------------------------------------------------===//
@@ -163,15 +388,14 @@ void Heap::reassignSpanOwner(uintptr_t Addr, int NewOwner) {
 
 uintptr_t Heap::allocate(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
                          int CacheId) {
-  assert(CacheId >= 0 && CacheId < Opts.NumCaches && "bad cache id");
+  CacheId = clampCacheId(CacheId);
+  safepoint();
   if (Bytes == 0)
     Bytes = 8;
   Bytes = (Bytes + 7) & ~(size_t)7;
   maybeTriggerGc();
-  uintptr_t Addr = Bytes <= MaxSmallSize
-                       ? allocSmall(Bytes, Desc, Cat, CacheId)
-                       : allocLarge(Bytes, Desc, Cat);
-  return Addr;
+  return Bytes <= MaxSmallSize ? allocSmall(Bytes, Desc, Cat, CacheId)
+                               : allocLarge(Bytes, Desc, Cat);
 }
 
 uintptr_t Heap::allocSmall(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
@@ -200,45 +424,58 @@ uintptr_t Heap::allocSmall(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
                                             std::memory_order_relaxed);
   Stats.HeapLive.fetch_add(ElemSize, std::memory_order_relaxed);
   Stats.notePeaks();
-  if (trace::TraceSink *T = Opts.Trace)
+  if (trace::TraceSink *T = traceSink())
     T->emit(trace::EventKind::HeapAlloc, (uint8_t)Cat, ElemSize, 0);
   return Addr;
 }
 
 MSpan *Heap::refillCache(int CacheId, int Class) {
-  std::lock_guard<std::mutex> Lock(Mu);
   Cache &C = Caches[(size_t)CacheId];
-  // Return the exhausted span to the central full list.
-  if (MSpan *Old = C.Current[(size_t)Class]) {
-    Old->OwnerCache = NoOwner;
-    CentralFull[(size_t)Class].push_back(Old);
-    C.Current[(size_t)Class] = nullptr;
+  CentralList &CL = Central[(size_t)Class];
+  {
+    std::lock_guard<std::mutex> Lock(CL.Mu);
+    // Return the exhausted span to the central full list.
+    if (MSpan *Old = C.Current[(size_t)Class]) {
+      Old->OwnerCache.store(NoOwner, std::memory_order_release);
+      CL.Full.push_back(Old);
+      C.Current[(size_t)Class] = nullptr;
+    }
+    if (!CL.Partial.empty()) {
+      MSpan *S = CL.Partial.back();
+      CL.Partial.pop_back();
+      S->OwnerCache.store(CacheId, std::memory_order_release);
+      C.Current[(size_t)Class] = S;
+      return S;
+    }
   }
+  // Central miss: carve a fresh span out of the page heap. The class lock
+  // is dropped first (lock order is central -> page heap, but there is no
+  // invariant connecting the two lists mid-refill, and holding it would
+  // serialize all refills of this class behind chunk growth).
   MSpan *S;
-  auto &Partial = CentralPartial[(size_t)Class];
-  if (!Partial.empty()) {
-    S = Partial.back();
-    Partial.pop_back();
-  } else {
-    size_t Pages = classSpanPages(Class);
-    uintptr_t Base = allocPages(Pages);
-    S = newSpan(Base, Pages, classSize(Class), Class);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Run R = allocPages(classSpanPages(Class));
+    S = newSpan(R, classSize(Class), Class);
   }
-  S->OwnerCache = CacheId;
+  S->OwnerCache.store(CacheId, std::memory_order_release);
   C.Current[(size_t)Class] = S;
   return S;
 }
 
 uintptr_t Heap::allocLarge(size_t Bytes, const TypeDesc *Desc, AllocCat Cat) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  size_t Pages = (Bytes + PageSize - 1) / PageSize;
-  uintptr_t Base = allocPages(Pages);
-  MSpan *S = newSpan(Base, Pages, Pages * PageSize, /*Class=*/-1);
-  S->setAllocBit(0);
-  S->FreeIndex = 1;
-  S->SlotDescs[0] = Desc;
-  S->SlotCats[0] = (uint8_t)Cat;
-  std::memset(reinterpret_cast<void *>(Base), 0, S->ElemSize);
+  MSpan *S;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    size_t Pages = (Bytes + PageSize - 1) / PageSize;
+    Run R = allocPages(Pages);
+    S = newSpan(R, Pages * PageSize, /*Class=*/-1);
+    S->setAllocBit(0);
+    S->FreeIndex = 1;
+    S->SlotDescs[0] = Desc;
+    S->SlotCats[0] = (uint8_t)Cat;
+  }
+  std::memset(reinterpret_cast<void *>(S->Base), 0, S->ElemSize);
 
   Stats.AllocedBytes.fetch_add(S->ElemSize, std::memory_order_relaxed);
   Stats.AllocCount.fetch_add(1, std::memory_order_relaxed);
@@ -247,9 +484,9 @@ uintptr_t Heap::allocLarge(size_t Bytes, const TypeDesc *Desc, AllocCat Cat) {
                                             std::memory_order_relaxed);
   Stats.HeapLive.fetch_add(S->ElemSize, std::memory_order_relaxed);
   Stats.notePeaks();
-  if (trace::TraceSink *T = Opts.Trace)
+  if (trace::TraceSink *T = traceSink())
     T->emit(trace::EventKind::HeapAlloc, (uint8_t)Cat, S->ElemSize, 1);
-  return Base;
+  return S->Base;
 }
 
 //===----------------------------------------------------------------------===//
@@ -257,11 +494,13 @@ uintptr_t Heap::allocLarge(size_t Bytes, const TypeDesc *Desc, AllocCat Cat) {
 //===----------------------------------------------------------------------===//
 
 bool Heap::tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source) {
+  CacheId = clampCacheId(CacheId);
+  safepoint();
   Stats.TcfreeCalls.fetch_add(1, std::memory_order_relaxed);
   auto GiveUp = [&](trace::GiveUpReason R) {
     Stats.TcfreeGiveUpsByReason[(int)R].fetch_add(1,
                                                   std::memory_order_relaxed);
-    if (trace::TraceSink *T = Opts.Trace)
+    if (trace::TraceSink *T = traceSink())
       T->emit(trace::EventKind::TcfreeGiveUp, (uint8_t)R, 1);
     return false;
   };
@@ -272,7 +511,7 @@ bool Heap::tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source) {
     poison(P, Bytes);
     Stats.TcfreeGiveUpsByReason[(int)trace::GiveUpReason::Mock].fetch_add(
         1, std::memory_order_relaxed);
-    if (trace::TraceSink *T = Opts.Trace)
+    if (trace::TraceSink *T = traceSink())
       T->emit(trace::EventKind::TcfreeGiveUp,
               (uint8_t)trace::GiveUpReason::Mock, 1);
     return true;
@@ -283,16 +522,19 @@ bool Heap::tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source) {
     Stats.FreedCountBySource[(int)Source].fetch_add(1,
                                                     std::memory_order_relaxed);
     Stats.HeapLive.fetch_sub(Bytes, std::memory_order_relaxed);
-    if (trace::TraceSink *T = Opts.Trace)
+    if (trace::TraceSink *T = traceSink())
       T->emit(trace::EventKind::TcfreeFreed, (uint8_t)Source, Bytes);
     return true;
   };
   if (!Addr)
     return GiveUp(trace::GiveUpReason::NullAddr);
-  // Never race the collector (section 5).
-  if (Phase != GcPhase::Idle)
+  // Never race the collector (section 5). For a registered mutator this is
+  // belt-and-braces (the collector only runs while we are parked); it is
+  // the load that stops the collector's *own* re-entrant tcfree calls, and
+  // unregistered threads racing a forced GC, from touching anything.
+  if (Phase.load(std::memory_order_acquire) != GcPhase::Idle)
     return GiveUp(trace::GiveUpReason::GcRunning);
-  MSpan *S = spanOf(Addr);
+  MSpan *S = lookupSpan(Addr);
   if (!S)
     return GiveUp(
         trace::GiveUpReason::UnknownAddr); // Stack or foreign address.
@@ -301,25 +543,30 @@ bool Heap::tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source) {
     // TcfreeLarge, step 1 (fig. 9): lock, return the pages, leave the
     // control block dangling until after the next GC mark phase.
     std::lock_guard<std::mutex> Lock(Mu);
-    if (Phase != GcPhase::Idle)
+    if (Phase.load(std::memory_order_acquire) != GcPhase::Idle)
       return GiveUp(trace::GiveUpReason::GcRunning);
-    if (S->State != SpanState::InUse)
+    if (S->State.load(std::memory_order_acquire) != SpanState::InUse)
       return GiveUp(
           trace::GiveUpReason::DoubleFree); // Raced retirement.
     if (Opts.Mock != MockTcfree::Off)
       return MockPoison(S->Base, S->ElemSize);
     S->clearAllocBit(0);
     unregisterSpan(S);
-    freePages(S->Base, S->NPages);
+    freePages(S->Base, S->NPages, S->Chunk);
     Stats.Committed.fetch_sub(S->NPages * PageSize, std::memory_order_relaxed);
-    S->State = SpanState::Dangling;
+    S->State.store(SpanState::Dangling, std::memory_order_release);
     Dangling.push_back(S);
     return Freed(S->ElemSize);
   }
 
   // TcfreeSmall: only on spans cached by the calling thread; if the span
-  // was filled and swapped out (or stolen by another cache), give up.
-  if (S->State != SpanState::InUse || S->OwnerCache != CacheId)
+  // was filled and swapped out (or stolen by another cache), give up. A
+  // racy read here (the span is being handed to some other cache right
+  // now) can only turn a would-be-free into a give-up -- never the
+  // reverse, because a span owned by *this* thread's cache changes owner
+  // only through this thread's own refills or a stopped-world sweep.
+  if (S->State.load(std::memory_order_acquire) != SpanState::InUse ||
+      S->OwnerCache.load(std::memory_order_acquire) != CacheId)
     return GiveUp(trace::GiveUpReason::ForeignSpan);
   size_t Slot = S->slotOf(Addr);
   if (!S->allocBit(Slot))
@@ -336,14 +583,15 @@ bool Heap::tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source) {
 
 size_t Heap::tcfreeBatch(const uintptr_t *Addrs, size_t N, int CacheId,
                          FreeSource Source) {
+  safepoint();
   // One shared GC-phase check covers the whole batch (the paper notes most
   // of tcfree's cost is validation); each object then runs the usual
   // per-object checks, so a batch is never less safe than N single calls.
-  if (Phase != GcPhase::Idle) {
+  if (Phase.load(std::memory_order_acquire) != GcPhase::Idle) {
     Stats.TcfreeCalls.fetch_add(N, std::memory_order_relaxed);
     Stats.TcfreeGiveUpsByReason[(int)trace::GiveUpReason::GcRunning].fetch_add(
         N, std::memory_order_relaxed);
-    if (trace::TraceSink *T = Opts.Trace)
+    if (trace::TraceSink *T = traceSink())
       T->emit(trace::EventKind::TcfreeGiveUp,
               (uint8_t)trace::GiveUpReason::GcRunning, N);
     return 0;

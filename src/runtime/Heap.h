@@ -14,6 +14,33 @@
 /// unsafe (GC running, span owned by another cache, unknown address) it
 /// gives up and leaves the object to the GC.
 ///
+/// Threading model
+/// ---------------
+/// The heap is genuinely concurrent. Three usage modes are supported:
+///
+/// 1. **Single-threaded** (the interpreter's default): one thread does
+///    everything; no registration needed.
+/// 2. **Concurrent mutators without GC**: any number of threads may call
+///    allocate/tcfree concurrently as long as each uses its own cache id
+///    and no GC can run (no root scanner registered, or Gogc < 0, and no
+///    forced runGc). The fast paths are lock-free; refills take a
+///    per-size-class central-list lock; the page heap takes one lock.
+/// 3. **Concurrent mutators with GC**: every concurrently mutating thread
+///    wraps its work in a Heap::MutatorScope. runGc (forced or paced, from
+///    any thread) stops the world first: it raises a stop request and
+///    waits until every registered mutator is parked at a safepoint.
+///    Safepoints sit at the entry of allocate / tcfreeObject / tcfreeBatch,
+///    so a parked mutator is never mid-operation and the collector can
+///    mark and sweep without locks racing mutator work. A registered
+///    mutator must therefore keep reaching heap calls (or exit its scope);
+///    a registered thread that blocks indefinitely outside the heap will
+///    stall any collector waiting on it.
+///
+/// Cache ownership: a cache id must be used by at most one running thread
+/// at a time. tcfree's small-object path relies on this -- it mutates span
+/// state without locks exactly when the span's OwnerCache equals the
+/// caller's cache id (see MSpan.h for the full invariant).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GOFREE_RUNTIME_HEAP_H
@@ -24,8 +51,11 @@
 #include "runtime/SizeClasses.h"
 #include "runtime/TypeDesc.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -37,7 +67,8 @@ class Heap;
 /// Supplies the GC's roots. The interpreter implements this by walking its
 /// frames (precisely, using per-frame pointer maps) and its evaluation
 /// stack. During scanRoots the scanner calls Heap::gcMarkAddr /
-/// Heap::gcScanRegion.
+/// Heap::gcScanRegion. Several scanners may be registered (one per mutator
+/// thread); the collector invokes all of them while the world is stopped.
 class RootScanner {
 public:
   virtual ~RootScanner();
@@ -58,10 +89,12 @@ struct HeapOptions {
   /// Floor for the first/next GC trigger (Go's 4 MiB default).
   uint64_t MinHeapTrigger = 4ull << 20;
   MockTcfree Mock = MockTcfree::Off;
-  /// Number of thread caches ("P"s).
+  /// Number of thread caches ("P"s). Values < 1 are clamped to 1.
   int NumCaches = 4;
   /// Optional event sink; null disables tracing (the only cost left on the
   /// hot paths is this null check). Not owned; must outlive the heap.
+  /// A mutator registered with a per-thread sink (MutatorScope) overrides
+  /// this for events it produces; see docs/TRACING.md.
   trace::TraceSink *Trace = nullptr;
 };
 
@@ -79,7 +112,7 @@ public:
 
   /// Allocates zeroed storage. May trigger a GC cycle first (pacing).
   /// \p Desc may be null for pointer-free payloads. \p CacheId selects the
-  /// thread cache; must be in [0, NumCaches).
+  /// thread cache; out-of-range ids are clamped into [0, NumCaches).
   uintptr_t allocate(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
                      int CacheId);
 
@@ -87,6 +120,16 @@ public:
   /// reclaimed (or poisoned, in mock mode); false when it gave up. Never
   /// unsafe: stack addresses, foreign spans, running GC, and double frees
   /// all return false without side effects.
+  ///
+  /// Liveness contract: \p Addr must stay reachable from a GC root until
+  /// the call returns. The compiler-inserted call sites satisfy this for
+  /// free (the interpreter still holds the freed variable in its rooted
+  /// frame). An address dropped from the roots *before* the call can be
+  /// swept by a concurrent GC cycle at the entry safepoint and its pages
+  /// reallocated -- small spans stay pinned to the caller's cache and
+  /// turn that into a clean give-up, but a freshly registered *large*
+  /// span at the same address is indistinguishable from the original,
+  /// and tcfree would free another thread's live object.
   bool tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source);
 
   /// Batched tcfree (section 5, "Possibility of Batching"): frees several
@@ -96,11 +139,19 @@ public:
   size_t tcfreeBatch(const uintptr_t *Addrs, size_t N, int CacheId,
                      FreeSource Source);
 
-  /// Runs a full stop-the-world mark-sweep cycle now.
+  /// Runs a full stop-the-world mark-sweep cycle now. If another thread is
+  /// already collecting, parks until that cycle finishes instead of
+  /// running a second one.
   void runGc();
 
-  /// Registers the root provider. GC cannot run without one.
-  void setRootScanner(RootScanner *S) { Scanner = S; }
+  /// Registers \p S as the only root provider (legacy single-threaded
+  /// API). Passing null clears all scanners. GC cannot run without one.
+  void setRootScanner(RootScanner *S);
+  /// Adds / removes one root provider (one per mutator thread). Removal
+  /// blocks until any in-flight GC cycle completes, so never call it while
+  /// registered as a mutator (unregister first).
+  void addRootScanner(RootScanner *S);
+  void removeRootScanner(RootScanner *S);
 
   /// During the mark phase: marks the object containing \p Addr (no-op for
   /// null/stack/freed addresses) and queues it for scanning.
@@ -109,51 +160,144 @@ public:
   /// frame slot) of \p Bytes bytes laid out as \p Desc.
   void gcScanRegion(uintptr_t Addr, const TypeDesc *Desc, size_t Bytes);
 
-  GcPhase phase() const { return Phase; }
+  GcPhase phase() const { return Phase.load(std::memory_order_relaxed); }
   HeapStats &stats() { return Stats; }
   const HeapStats &stats() const { return Stats; }
   const HeapOptions &options() const { return Opts; }
 
+  /// The event sink the current thread should emit to: its per-thread sink
+  /// if it is a mutator registered with one, else the heap-wide
+  /// HeapOptions::Trace.
+  trace::TraceSink *traceSink() const;
+
   /// Looks up the span containing \p Addr; null for non-heap addresses.
   MSpan *spanOf(uintptr_t Addr);
 
-  /// True if \p Addr lies in a live heap object.
+  /// True if \p Addr lies in a live heap object. Not safe concurrently
+  /// with mutators of that object's span; meant for tests at quiesce.
   bool isLiveObject(uintptr_t Addr);
 
   /// Current GC trigger threshold (for tests and the pacer bench).
-  uint64_t gcTrigger() const { return NextTrigger; }
+  uint64_t gcTrigger() const {
+    return NextTrigger.load(std::memory_order_relaxed);
+  }
 
   /// Number of dangling large-span control blocks awaiting retirement.
+  /// Quiesced callers only.
   size_t danglingSpanCount() const { return Dangling.size(); }
 
   /// Test hook: forces the span containing \p Addr to look like it belongs
   /// to another cache, exercising tcfree's ownership give-up path.
   void reassignSpanOwner(uintptr_t Addr, int NewOwner);
 
+  /// Test hooks for the page heap (satellite: cross-chunk coalescing).
+  /// Number of free page runs / arena chunks currently held.
+  size_t freeRunCount();
+  size_t chunkCount();
+  /// Verifies the page-heap invariants: every free run lies inside a
+  /// single arena chunk, runs are sorted, disjoint, and same-chunk
+  /// adjacent runs are coalesced. Returns false on any violation.
+  bool pageHeapConsistent();
+  /// Test hook: registers one allocation as two *address-adjacent* chunks
+  /// of \p NPagesEach pages, the situation where coalescing by address
+  /// alone would merge runs across chunk bounds and later hand out a span
+  /// straddling two allocations.
+  void testInjectAdjacentChunks(size_t NPagesEach);
+
+  /// Registers the calling thread as a mutator for the stop-the-world
+  /// handshake, optionally with a per-thread trace sink (merged at drain
+  /// time; see trace::TraceHub). The scope must end on the same thread.
+  /// \p CacheId is clamped like allocate's; cacheId() returns the clamped
+  /// value for the thread to allocate with.
+  class MutatorScope {
+  public:
+    MutatorScope(Heap &H, int CacheId, trace::TraceSink *Sink = nullptr);
+    ~MutatorScope();
+    MutatorScope(const MutatorScope &) = delete;
+    MutatorScope &operator=(const MutatorScope &) = delete;
+    int cacheId() const { return Id; }
+
+  private:
+    Heap &H;
+    int Id;
+    Heap *PrevHeap;
+    trace::TraceSink *PrevSink;
+  };
+
   /// Keeps a freshly allocated object alive across a follow-up allocation
   /// that could trigger GC before the object becomes reachable from the
   /// mutator (e.g. an hmap header while its bucket array is allocated).
   class InternalRoot {
   public:
-    InternalRoot(Heap &H, uintptr_t Addr) : H(H) {
-      H.InternalRoots.push_back(Addr);
+    InternalRoot(Heap &H, uintptr_t Addr) : H(H), Addr(Addr) {
+      H.pushInternalRoot(Addr);
     }
-    ~InternalRoot() { H.InternalRoots.pop_back(); }
+    ~InternalRoot() { H.popInternalRoot(Addr); }
     InternalRoot(const InternalRoot &) = delete;
     InternalRoot &operator=(const InternalRoot &) = delete;
 
   private:
     Heap &H;
+    uintptr_t Addr;
   };
 
 private:
+  friend class MutatorScope;
+
   struct Cache {
     std::vector<MSpan *> Current; ///< One span per size class, or null.
   };
+  /// A free run of pages. Chunk tags runs with their arena chunk so the
+  /// coalescer never merges address-adjacent runs from different malloc'd
+  /// chunks (a run handed out by allocPages must be one contiguous
+  /// allocation).
   struct Run {
     uintptr_t Base;
     size_t NPages;
+    size_t Chunk;
   };
+  struct Chunk {
+    std::unique_ptr<char[]> Mem;
+    uintptr_t Base;  ///< Page-aligned usable base.
+    size_t NPages;   ///< Usable pages starting at Base.
+  };
+  /// Central free lists for one size class. Sharded per class so refills
+  /// of different classes never contend (the seed serialized every refill
+  /// on one global mutex).
+  struct CentralList {
+    std::mutex Mu;
+    std::vector<MSpan *> Partial;
+    std::vector<MSpan *> Full;
+  };
+  /// One shard of the page map (page index -> span). Sharded so tcfree's
+  /// span lookup -- the hottest read path -- does not serialize on a
+  /// global lock.
+  struct PageShard {
+    std::mutex Mu;
+    std::unordered_map<uintptr_t, MSpan *> Map;
+  };
+  static constexpr size_t NumPageShards = 64;
+
+  // Safepoint / stop-the-world machinery.
+  /// Fast path: one acquire load when the world is running.
+  void safepoint() {
+    if (StopWorld.load(std::memory_order_acquire))
+      parkAtSafepoint();
+  }
+  void parkAtSafepoint();
+  void stopTheWorld();
+  void startTheWorld();
+  bool currentThreadIsCollector() const {
+    return GcThread.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
+  bool currentThreadIsMutatorHere() const;
+
+  int clampCacheId(int CacheId) const;
+
+  // Internal roots (see InternalRoot).
+  void pushInternalRoot(uintptr_t Addr);
+  void popInternalRoot(uintptr_t Addr);
 
   // Small-object path.
   uintptr_t allocSmall(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
@@ -161,13 +305,16 @@ private:
   uintptr_t allocLarge(size_t Bytes, const TypeDesc *Desc, AllocCat Cat);
   MSpan *refillCache(int CacheId, int Class);
 
-  // Page heap.
-  uintptr_t allocPages(size_t NPages);
-  void freePages(uintptr_t Base, size_t NPages);
-  MSpan *newSpan(uintptr_t Base, size_t NPages, size_t ElemSize, int Class);
+  // Page heap. All require Mu.
+  Run allocPages(size_t NPages);
+  void freePages(uintptr_t Base, size_t NPages, size_t ChunkId);
+  MSpan *newSpan(const Run &R, size_t ElemSize, int Class);
+  void retireSpan(MSpan *S);
+
+  // Page map (own shard locks; safe without Mu).
   void registerSpan(MSpan *S);
   void unregisterSpan(MSpan *S);
-  void retireSpan(MSpan *S);
+  MSpan *lookupSpan(uintptr_t Addr);
 
   // GC internals.
   void poison(uintptr_t Addr, size_t Bytes);
@@ -178,32 +325,48 @@ private:
 
   HeapOptions Opts;
   HeapStats Stats;
-  RootScanner *Scanner = nullptr;
 
-  std::mutex Mu; ///< Guards page heap, central lists, span lifecycle, GC.
-  std::vector<std::pair<std::unique_ptr<char[]>, size_t>> Chunks;
+  std::mutex Mu; ///< Guards page heap (Chunks, FreeRuns), span lifecycle
+                 ///< (AllSpans, SpanPool, Dangling).
+  std::vector<Chunk> Chunks;
   std::vector<Run> FreeRuns;
-  std::unordered_map<uintptr_t, MSpan *> PageMap; ///< page index -> span
+  std::unique_ptr<PageShard[]> PageShards;
   std::vector<std::unique_ptr<MSpan>> AllSpans;
   std::vector<MSpan *> SpanPool; ///< Free control blocks.
   std::vector<MSpan *> Dangling; ///< TcfreeLarge step-1 spans (fig. 9).
 
-  // Central lists per size class.
-  std::vector<std::vector<MSpan *>> CentralPartial;
-  std::vector<std::vector<MSpan *>> CentralFull;
+  // Central lists, one shard per size class.
+  std::unique_ptr<CentralList[]> Central;
   std::vector<Cache> Caches;
 
+  // Root providers and runtime-internal roots. RootsMu guards both; the
+  // collector reads them only while the world is stopped.
+  std::mutex RootsMu;
+  std::vector<RootScanner *> Scanners;
+  std::vector<uintptr_t> InternalRoots;
+  std::atomic<bool> HasScanner{false};
+
   // GC state.
-  GcPhase Phase = GcPhase::Idle;
-  uint64_t NextTrigger;
+  std::atomic<GcPhase> Phase{GcPhase::Idle};
+  std::atomic<uint64_t> NextTrigger;
   struct MarkItem {
     uintptr_t Addr;
     const TypeDesc *Desc;
     size_t Bytes;
   };
-  std::vector<MarkItem> MarkStack;
-  std::vector<uintptr_t> InternalRoots;
-  bool InGc = false; ///< Re-entrancy guard (allocation during scanning).
+  std::vector<MarkItem> MarkStack; ///< Collector thread only.
+
+  // Stop-the-world handshake. GcMu serializes whole cycles; StopWorld is
+  // the request flag mutators poll at safepoints; the counters under
+  // ParkMu implement the quorum wait.
+  std::mutex GcMu;
+  std::atomic<bool> StopWorld{false};
+  std::atomic<std::thread::id> GcThread{};
+  std::mutex ParkMu;
+  std::condition_variable ParkCv; ///< Parked mutators wait for restart.
+  std::condition_variable StwCv;  ///< Collector waits for the quorum.
+  int RegisteredMutators = 0;     ///< Guarded by ParkMu.
+  int ParkedMutators = 0;         ///< Guarded by ParkMu.
 };
 
 } // namespace rt

@@ -73,9 +73,14 @@ struct StatsSnapshot {
   }
 };
 
-/// All counters are relaxed atomics: exact under the single-threaded
-/// interpreter, and merely approximate (but data-race-free) under the
-/// multi-threaded allocator stress tests.
+/// All counters are relaxed atomics: hot paths bump them without ordering,
+/// so concurrent mutators never contend on stats. Totals are exact once
+/// the threads that produced them have quiesced (joined, or parked for a
+/// stop-the-world); tests/ConcurrencyTest.cpp asserts the cross-counter
+/// invariants (e.g. every tcfree call lands in exactly one outcome bucket)
+/// at exactly such points. Mid-run snapshots from another thread are
+/// merely approximate -- individual counters are current, but no snapshot
+/// is a single consistent cut.
 struct HeapStats {
   // Allocation (table 5 "alloced").
   std::atomic<uint64_t> AllocedBytes{0};

@@ -12,6 +12,27 @@
 /// index; TcfreeLarge detaches the pages and leaves the control block
 /// "dangling" until the next GC mark phase retires it (section 5).
 ///
+/// Ownership invariant (the thread-caching contract, section 5)
+/// -------------------------------------------------------------
+/// A span's mutable allocation state -- FreeIndex, AllocBits, SlotDescs,
+/// SlotCats -- is only ever touched by:
+///
+///   1. the one mutator thread whose cache currently owns the span
+///      (OwnerCache == its cache id; each concurrently running thread must
+///      use a distinct cache id), or
+///   2. the collector, while the world is stopped at safepoints (every
+///      registered mutator is parked inside Heap::safepoint), or
+///   3. any thread, via the central lists, where the hand-off is
+///      serialized by the per-class central-list mutex.
+///
+/// That is why those fields can stay plain (non-atomic): every cross-thread
+/// transfer goes through a mutex or the stop-the-world handshake, both of
+/// which establish happens-before. `State` and `OwnerCache` are the
+/// exception: tcfree's safety checks read them on addresses that may belong
+/// to *another* thread's span (that is exactly the foreign-span give-up
+/// path), so they are atomics -- a racy read there is answered
+/// conservatively (give up), never acted on.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GOFREE_RUNTIME_MSPAN_H
@@ -20,6 +41,7 @@
 #include "runtime/SizeClasses.h"
 #include "runtime/TypeDesc.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -44,10 +66,16 @@ struct MSpan {
   size_t NPages = 0;
   size_t ElemSize = 0;
   size_t NElems = 0;
+  /// Arena chunk the pages came from; freePages only coalesces runs of the
+  /// same chunk (separately malloc'd chunks can be address-adjacent).
+  size_t Chunk = 0;
   int SizeClass = -1; ///< -1 for large (dedicated) spans.
-  int OwnerCache = NoOwner;
-  SpanState State = SpanState::Free;
-  /// Next slot to try when bump-allocating; tcfreeSmall rewinds it.
+  /// Read cross-thread by tcfree's foreign-span check; see the ownership
+  /// invariant in the file comment.
+  std::atomic<int> OwnerCache{NoOwner};
+  std::atomic<SpanState> State{SpanState::Free};
+  /// Next slot to try when bump-allocating; tcfreeSmall rewinds it. Owner
+  /// thread (or stopped-world collector) only.
   size_t FreeIndex = 0;
   std::vector<uint64_t> AllocBits;
   std::vector<uint64_t> MarkBits;
@@ -56,14 +84,16 @@ struct MSpan {
   /// Per-slot allocation category (AllocCat), for sweep accounting.
   std::vector<uint8_t> SlotCats;
 
-  void reset(uintptr_t NewBase, size_t Pages, size_t Elem, int Class) {
+  void reset(uintptr_t NewBase, size_t Pages, size_t Elem, int Class,
+             size_t ChunkId) {
     Base = NewBase;
     NPages = Pages;
     ElemSize = Elem;
     NElems = Pages * PageSize / Elem;
+    Chunk = ChunkId;
     SizeClass = Class;
-    OwnerCache = NoOwner;
-    State = SpanState::InUse;
+    OwnerCache.store(NoOwner, std::memory_order_relaxed);
+    State.store(SpanState::InUse, std::memory_order_release);
     FreeIndex = 0;
     AllocBits.assign((NElems + 63) / 64, 0);
     MarkBits.assign((NElems + 63) / 64, 0);

@@ -7,6 +7,7 @@
 
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstring>
 
@@ -103,14 +104,50 @@ const char *freeSourceName(uint8_t Source) {
   return "unknown";
 }
 
-TraceSummary summarize(const TraceSink &Sink) {
-  TraceSummary S;
-  size_t N = Sink.size();
-  S.Events = N;
-  S.DroppedEvents = Sink.dropped();
-  for (size_t I = 0; I < N; ++I) {
-    const Event &E = Sink[I];
-    switch (E.Kind) {
+TraceSink *TraceHub::makeSink() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Sinks.push_back(std::make_unique<TraceSink>(CapacityPerSink, Epoch));
+  return Sinks.back().get();
+}
+
+std::vector<Event> TraceHub::merge() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<Event> Out;
+  size_t Total = 0;
+  for (const auto &S : Sinks)
+    Total += S->size();
+  Out.reserve(Total);
+  for (const auto &S : Sinks) {
+    size_t N = S->size();
+    for (size_t I = 0; I < N; ++I)
+      Out.push_back((*S)[I]);
+  }
+  // Each sink is already time-ordered; stable_sort keeps sink-creation
+  // order for identical timestamps, making the merge deterministic.
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const Event &A, const Event &B) {
+                     return A.TimeNs < B.TimeNs;
+                   });
+  return Out;
+}
+
+uint64_t TraceHub::dropped() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t D = 0;
+  for (const auto &S : Sinks)
+    D += S->dropped();
+  return D;
+}
+
+size_t TraceHub::sinkCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Sinks.size();
+}
+
+/// Folds one event into the running summary (shared by both summarize
+/// overloads).
+static void foldEvent(TraceSummary &S, const Event &E) {
+  switch (E.Kind) {
     case EventKind::GcPaceTrigger:
       ++S.GcPaceTriggers;
       break;
@@ -159,56 +196,71 @@ TraceSummary summarize(const TraceSink &Sink) {
         S.PassSeen[E.Arg] = true;
       }
       break;
-    }
   }
+}
+
+TraceSummary summarize(const TraceSink &Sink) {
+  TraceSummary S;
+  size_t N = Sink.size();
+  S.Events = N;
+  S.DroppedEvents = Sink.dropped();
+  for (size_t I = 0; I < N; ++I)
+    foldEvent(S, Sink[I]);
   return S;
 }
 
-void writeJsonLines(std::ostream &Os, const TraceSink &Sink) {
-  char Line[256];
-  size_t N = Sink.size();
-  for (size_t I = 0; I < N; ++I) {
-    const Event &E = Sink[I];
-    switch (E.Kind) {
+TraceSummary summarize(const std::vector<Event> &Events, uint64_t Dropped) {
+  TraceSummary S;
+  S.Events = Events.size();
+  S.DroppedEvents = Dropped;
+  for (const Event &E : Events)
+    foldEvent(S, E);
+  return S;
+}
+
+/// Formats one event as a JSON line (shared by both writeJsonLines
+/// overloads).
+static void formatEvent(char *Line, size_t Size, const Event &E) {
+  switch (E.Kind) {
     case EventKind::GcPaceTrigger:
-      std::snprintf(Line, sizeof(Line),
+      std::snprintf(Line, Size,
                     "{\"t\":%" PRIu64 ",\"ev\":\"gc-pace-trigger\",\"live\":%" PRIu64
                     ",\"trigger\":%" PRIu64 "}\n",
                     E.TimeNs, E.V0, E.V1);
       break;
     case EventKind::GcMarkStart:
-      std::snprintf(Line, sizeof(Line),
+      std::snprintf(Line, Size,
                     "{\"t\":%" PRIu64 ",\"ev\":\"gc-mark-start\",\"live\":%" PRIu64
                     "}\n",
                     E.TimeNs, E.V0);
       break;
     case EventKind::GcMarkEnd:
-      std::snprintf(Line, sizeof(Line),
+      std::snprintf(Line, Size,
                     "{\"t\":%" PRIu64 ",\"ev\":\"gc-mark-end\",\"ns\":%" PRIu64
                     "}\n",
                     E.TimeNs, E.V0);
       break;
     case EventKind::GcSweepEnd:
-      std::snprintf(Line, sizeof(Line),
+      std::snprintf(Line, Size,
                     "{\"t\":%" PRIu64 ",\"ev\":\"gc-sweep-end\",\"bytes\":%" PRIu64
                     ",\"objects\":%" PRIu64 "}\n",
                     E.TimeNs, E.V0, E.V1);
       break;
     case EventKind::GcCycleEnd:
-      std::snprintf(Line, sizeof(Line),
+      std::snprintf(Line, Size,
                     "{\"t\":%" PRIu64 ",\"ev\":\"gc-cycle-end\",\"ns\":%" PRIu64
                     ",\"live\":%" PRIu64 "}\n",
                     E.TimeNs, E.V0, E.V1);
       break;
     case EventKind::TcfreeFreed:
-      std::snprintf(Line, sizeof(Line),
+      std::snprintf(Line, Size,
                     "{\"t\":%" PRIu64
                     ",\"ev\":\"tcfree\",\"outcome\":\"freed\",\"source\":\"%s\","
                     "\"bytes\":%" PRIu64 "}\n",
                     E.TimeNs, freeSourceName(E.Arg), E.V0);
       break;
     case EventKind::TcfreeGiveUp:
-      std::snprintf(Line, sizeof(Line),
+      std::snprintf(Line, Size,
                     "{\"t\":%" PRIu64
                     ",\"ev\":\"tcfree\",\"outcome\":\"give-up\",\"reason\":\"%s\","
                     "\"count\":%" PRIu64 "}\n",
@@ -216,7 +268,7 @@ void writeJsonLines(std::ostream &Os, const TraceSink &Sink) {
                     giveUpReasonName((GiveUpReason)E.Arg), E.V0);
       break;
     case EventKind::HeapAlloc:
-      std::snprintf(Line, sizeof(Line),
+      std::snprintf(Line, Size,
                     "{\"t\":%" PRIu64
                     ",\"ev\":\"alloc\",\"where\":\"heap\",\"cat\":\"%s\","
                     "\"bytes\":%" PRIu64 ",\"large\":%s}\n",
@@ -224,31 +276,53 @@ void writeJsonLines(std::ostream &Os, const TraceSink &Sink) {
                     E.V1 ? "true" : "false");
       break;
     case EventKind::StackAlloc:
-      std::snprintf(Line, sizeof(Line),
+      std::snprintf(Line, Size,
                     "{\"t\":%" PRIu64
                     ",\"ev\":\"alloc\",\"where\":\"stack\",\"cat\":\"%s\","
                     "\"bytes\":%" PRIu64 "}\n",
                     E.TimeNs, allocCatName(E.Arg), E.V0);
       break;
     case EventKind::PassTime:
-      std::snprintf(Line, sizeof(Line),
+      std::snprintf(Line, Size,
                     "{\"t\":%" PRIu64 ",\"ev\":\"pass\",\"pass\":\"%s\",\"ns\":%" PRIu64
                     "}\n",
                     E.TimeNs, passName((Pass)E.Arg), E.V0);
       break;
     default:
-      std::snprintf(Line, sizeof(Line),
+      std::snprintf(Line, Size,
                     "{\"t\":%" PRIu64 ",\"ev\":\"unknown\",\"kind\":%u}\n",
                     E.TimeNs, (unsigned)E.Kind);
       break;
-    }
-    Os << Line;
   }
+}
+
+static void writeTraceEnd(std::ostream &Os, size_t Events, uint64_t Dropped) {
+  char Line[128];
   std::snprintf(Line, sizeof(Line),
                 "{\"ev\":\"trace-end\",\"events\":%zu,\"dropped\":%" PRIu64
                 "}\n",
-                N, Sink.dropped());
+                Events, Dropped);
   Os << Line;
+}
+
+void writeJsonLines(std::ostream &Os, const TraceSink &Sink) {
+  char Line[256];
+  size_t N = Sink.size();
+  for (size_t I = 0; I < N; ++I) {
+    formatEvent(Line, sizeof(Line), Sink[I]);
+    Os << Line;
+  }
+  writeTraceEnd(Os, N, Sink.dropped());
+}
+
+void writeJsonLines(std::ostream &Os, const std::vector<Event> &Events,
+                    uint64_t Dropped) {
+  char Line[256];
+  for (const Event &E : Events) {
+    formatEvent(Line, sizeof(Line), E);
+    Os << Line;
+  }
+  writeTraceEnd(Os, Events.size(), Dropped);
 }
 
 static double ms(uint64_t Nanos) { return (double)Nanos / 1e6; }

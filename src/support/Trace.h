@@ -27,6 +27,8 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <vector>
 
@@ -114,6 +116,11 @@ public:
 
   explicit TraceSink(size_t Capacity = DefaultCapacity)
       : Buf(Capacity), Epoch(std::chrono::steady_clock::now()) {}
+  /// Sink with a caller-chosen epoch. TraceHub hands every per-thread sink
+  /// the same epoch so their timestamps share one timeline and a merged
+  /// stream sorts into true global order.
+  TraceSink(size_t Capacity, std::chrono::steady_clock::time_point SharedEpoch)
+      : Buf(Capacity), Epoch(SharedEpoch) {}
   TraceSink(const TraceSink &) = delete;
   TraceSink &operator=(const TraceSink &) = delete;
 
@@ -160,6 +167,42 @@ private:
   std::chrono::steady_clock::time_point Epoch;
 };
 
+/// Fans tracing out to concurrent producers. TraceSink is single-producer
+/// by design (one relaxed cursor, no CAS); instead of slowing its emit path
+/// down with synchronization, each mutator thread gets its *own* sink from
+/// makeSink() and the hub merges the streams afterwards. All sinks share
+/// the hub's epoch, so merge() can interleave events from different threads
+/// into one globally time-ordered stream (ties keep sink-creation order,
+/// i.e. merge is deterministic for a given set of recorded events).
+///
+/// makeSink() is thread-safe; merge()/dropped() are meant for after the
+/// producers quiesce (drain time), like TraceSink's own readers.
+class TraceHub {
+public:
+  explicit TraceHub(size_t CapacityPerSink = TraceSink::DefaultCapacity)
+      : CapacityPerSink(CapacityPerSink),
+        Epoch(std::chrono::steady_clock::now()) {}
+  TraceHub(const TraceHub &) = delete;
+  TraceHub &operator=(const TraceHub &) = delete;
+
+  /// Creates a sink on the hub's timeline. The hub keeps ownership; the
+  /// pointer stays valid for the hub's lifetime.
+  TraceSink *makeSink();
+
+  /// All recorded events across all sinks, sorted by timestamp.
+  std::vector<Event> merge() const;
+  /// Total events dropped across all sinks (bounded-buffer overflow).
+  uint64_t dropped() const;
+  size_t sinkCount() const;
+  std::chrono::steady_clock::time_point epoch() const { return Epoch; }
+
+private:
+  mutable std::mutex Mu; ///< Guards Sinks (the sinks themselves are not).
+  std::vector<std::unique_ptr<TraceSink>> Sinks;
+  size_t CapacityPerSink;
+  std::chrono::steady_clock::time_point Epoch;
+};
+
 /// Aggregation of one sink's events, shaped like the paper's tables: GC
 /// activity (table 5), allocation by category (table 8), frees by source
 /// and give-ups by reason (table 9), and per-pass compile time (6.7).
@@ -192,11 +235,16 @@ struct TraceSummary {
 /// Folds the sink's events into a summary. Note: when events were dropped
 /// the aggregates undercount; DroppedEvents says by how many records.
 TraceSummary summarize(const TraceSink &Sink);
+/// Same, over an already-merged event stream (TraceHub::merge()).
+TraceSummary summarize(const std::vector<Event> &Events, uint64_t Dropped);
 
 /// Streams every event as one JSON object per line, then a final
 /// `{"ev":"trace-end",...}` record carrying the drop counter. The schema is
 /// documented in docs/TRACING.md.
 void writeJsonLines(std::ostream &Os, const TraceSink &Sink);
+/// Same, over an already-merged event stream (TraceHub::merge()).
+void writeJsonLines(std::ostream &Os, const std::vector<Event> &Events,
+                    uint64_t Dropped);
 
 /// Human-readable dump of a summary (the --trace-summary output).
 void printSummary(FILE *Out, const TraceSummary &S);

@@ -1,0 +1,427 @@
+//===- tests/ConcurrencyTest.cpp - Multi-threaded heap torture suite ------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+// Stress tests for the concurrent heap: real mutator threads, the
+// safepointed stop-the-world handshake, tcfree under contention (including
+// the mock-poison robustness mode), and the parallel execution pipeline.
+// The suite is meant to run under ThreadSanitizer (ctest label tsan_smoke);
+// every cross-thread access below is synchronized the same way production
+// code is -- by the park handshake, by joins, or by the trace hub's locks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+#include "runtime/Heap.h"
+#include "runtime/SizeClasses.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace gofree;
+using namespace gofree::rt;
+
+namespace {
+
+/// One mutator thread's live set, doubling as its GC root provider. The
+/// owning thread mutates Objs between safepoints; the collector reads it
+/// only while the world is stopped (the park handshake orders the two),
+/// and the main thread reads it only after join.
+class RetainedRoots : public RootScanner {
+public:
+  struct Obj {
+    uintptr_t Addr;
+    size_t Bytes;
+    uint64_t Pattern;
+  };
+  std::vector<Obj> Objs;
+
+  void scanRoots(Heap &H) override {
+    for (const Obj &O : Objs)
+      H.gcMarkAddr(O.Addr);
+  }
+};
+
+/// Globally unique fill pattern: thread id in the top bits, serial below.
+uint64_t patternFor(int Tid, uint64_t Serial) {
+  return ((uint64_t)(unsigned)Tid << 48) | (Serial & 0xffffffffffffull);
+}
+
+void writePattern(uintptr_t Addr, size_t Bytes, uint64_t Pattern) {
+  auto *P = reinterpret_cast<uint64_t *>(Addr);
+  for (size_t I = 0; I < Bytes / 8; ++I)
+    P[I] = Pattern;
+}
+
+bool checkPattern(uintptr_t Addr, size_t Bytes, uint64_t Pattern) {
+  auto *P = reinterpret_cast<uint64_t *>(Addr);
+  for (size_t I = 0; I < Bytes / 8; ++I)
+    if (P[I] != Pattern)
+      return false;
+  return true;
+}
+
+/// Sizes cycle through several small classes plus the occasional dedicated
+/// large span, so central-list refills, cache hand-offs, and the
+/// TcfreeLarge dangling-span dance all happen under contention.
+size_t sizeFor(uint64_t Serial) {
+  if (Serial % 101 == 0)
+    return MaxSmallSize + 64;
+  return 16 + (Serial % 32) * 8;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Torture: alloc / verify / tcfree / forced + paced GC, mock poison on
+//===----------------------------------------------------------------------===//
+
+TEST(ConcurrencyTortureTest, MixedAllocFreeGcWithMockFlip) {
+  HeapOptions HO;
+  HO.NumCaches = 4;
+  HO.Mock = MockTcfree::Flip;
+  HO.MinHeapTrigger = 256 << 10; // Aggressive pacing: GC fires mid-stress.
+  Heap H(HO);
+
+  constexpr int NumThreads = 4;
+  constexpr uint64_t Iters = 4000;
+  // Scanners are registered by the main thread for the whole stress run:
+  // a worker that finished early must keep its survivors rooted while the
+  // other workers' GC cycles run, or they are (correctly!) swept and their
+  // spans recycled before the final checks. The collector reads a live
+  // worker's list only while the world is stopped, and an exited worker's
+  // final park-handshake orders its last writes before any later scan.
+  std::vector<std::unique_ptr<RetainedRoots>> Roots;
+  for (int T = 0; T < NumThreads; ++T) {
+    Roots.push_back(std::make_unique<RetainedRoots>());
+    H.addRootScanner(Roots.back().get());
+  }
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      RetainedRoots &R = *Roots[(size_t)T];
+      {
+        Heap::MutatorScope Scope(H, T);
+        for (uint64_t I = 0; I < Iters; ++I) {
+          size_t Bytes = sizeFor(I);
+          uint64_t Pattern = patternFor(T, I);
+          uintptr_t A = H.allocate(Bytes, nullptr, AllocCat::Other, T);
+          ASSERT_NE(A, 0u);
+          writePattern(A, Bytes, Pattern);
+          R.Objs.push_back({A, Bytes, Pattern});
+          // Keep a bounded live set: verify-then-free the oldest object.
+          // tcfree's liveness contract (see Heap.h): the victim stays
+          // rooted *across* the call -- a GC at the entry safepoint must
+          // not be able to sweep it and hand its pages to another thread,
+          // or a large-object tcfree would poison the new tenant. The
+          // root entry is dropped only after tcfree returns.
+          if (R.Objs.size() > 64) {
+            RetainedRoots::Obj Victim = R.Objs.front();
+            EXPECT_TRUE(checkPattern(Victim.Addr, Victim.Bytes,
+                                     Victim.Pattern))
+                << "live object corrupted before tcfree";
+            H.tcfreeObject(Victim.Addr, T, FreeSource::TcfreeObject);
+            R.Objs.erase(R.Objs.begin());
+          }
+          if (I % 1000 == 500)
+            H.runGc(); // Forced cycles race the pacer and each other.
+        }
+      }
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  // Retained objects survived every GC and every mock poison un-flipped.
+  for (auto &R : Roots)
+    for (const RetainedRoots::Obj &O : R->Objs) {
+      EXPECT_TRUE(H.isLiveObject(O.Addr));
+      EXPECT_TRUE(checkPattern(O.Addr, O.Bytes, O.Pattern));
+    }
+
+  // No lost counts: every tcfree call landed in exactly one bucket --
+  // a give-up reason, the mock bucket, or a freed-by-source count.
+  StatsSnapshot S = H.stats().snap();
+  uint64_t Accounted = 0;
+  for (uint64_t C : S.TcfreeGiveUpsByReason)
+    Accounted += C;
+  for (uint64_t C : S.FreedCountBySource)
+    Accounted += C;
+  EXPECT_EQ(S.TcfreeCalls, Accounted);
+  EXPECT_GT(S.TcfreeGiveUpsByReason[(int)trace::GiveUpReason::Mock], 0u)
+      << "mock mode should have poisoned at least one object";
+  // Mock mode never returns memory to the allocator.
+  EXPECT_EQ(S.FreedCountBySource[(int)FreeSource::TcfreeObject], 0u);
+
+  // Heap accounting invariants at quiesce.
+  EXPECT_LE(H.stats().HeapLive.load(), H.stats().Committed.load());
+  EXPECT_LE(S.tcfreeFreedBytes() + S.GcSweptBytes, S.AllocedBytes);
+  EXPECT_LE(S.PeakLive, S.PeakCommitted);
+  EXPECT_GE(S.GcCycles, 1u);
+  EXPECT_TRUE(H.pageHeapConsistent());
+  for (auto &R : Roots)
+    H.removeRootScanner(R.get());
+}
+
+//===----------------------------------------------------------------------===//
+// No double hand-out: unique patterns stay intact across reuse
+//===----------------------------------------------------------------------===//
+
+TEST(ConcurrencyTortureTest, NoDoubleHandoutAcrossThreads) {
+  // Mode 2 of the threading model: concurrent mutators, no GC possible
+  // (no scanner registered, nothing forces a cycle), no registration
+  // needed. Real frees recycle slots, so any span handed to two caches at
+  // once -- or any slot handed out twice -- shows up as a clobbered
+  // pattern or a duplicated address.
+  HeapOptions HO;
+  HO.NumCaches = 4;
+  Heap H(HO);
+
+  constexpr int NumThreads = 4;
+  constexpr uint64_t Iters = 3000;
+  std::vector<std::vector<RetainedRoots::Obj>> Retained((size_t)NumThreads);
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      std::vector<RetainedRoots::Obj> &Mine = Retained[(size_t)T];
+      uint64_t Serial = 0;
+      for (uint64_t I = 0; I < Iters; ++I) {
+        size_t Bytes = sizeFor(I);
+        uint64_t Pattern = patternFor(T, Serial++);
+        uintptr_t A = H.allocate(Bytes, nullptr, AllocCat::Other, T);
+        ASSERT_NE(A, 0u);
+        writePattern(A, Bytes, Pattern);
+        Mine.push_back({A, Bytes, Pattern});
+        // Churn: verify-then-free the newest tail once the set grows. The
+        // newest objects sit in the caller's current spans, so these frees
+        // mostly succeed and their slots recycle while other threads
+        // allocate; a give-up (span already handed back to the central
+        // list) just leaks the object, which is tcfree's contract.
+        if (Mine.size() >= 128) {
+          for (size_t J = Mine.size() - 64; J < Mine.size(); ++J) {
+            EXPECT_TRUE(
+                checkPattern(Mine[J].Addr, Mine[J].Bytes, Mine[J].Pattern));
+            H.tcfreeObject(Mine[J].Addr, T, FreeSource::TcfreeObject);
+          }
+          Mine.resize(Mine.size() - 64);
+        }
+      }
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  // Every surviving address is unique, live, and still carries the exact
+  // pattern its allocator wrote.
+  std::set<uintptr_t> Seen;
+  for (auto &Mine : Retained)
+    for (const RetainedRoots::Obj &O : Mine) {
+      EXPECT_TRUE(Seen.insert(O.Addr).second)
+          << "address handed out to two holders";
+      EXPECT_TRUE(H.isLiveObject(O.Addr));
+      EXPECT_TRUE(checkPattern(O.Addr, O.Bytes, O.Pattern));
+    }
+  EXPECT_TRUE(H.pageHeapConsistent());
+}
+
+//===----------------------------------------------------------------------===//
+// Stop-the-world handshake under contention
+//===----------------------------------------------------------------------===//
+
+TEST(ConcurrencySafepointTest, ConcurrentForcedGcLosersPark) {
+  // All threads force cycles at once. Losers of the GcMu race must park at
+  // their safepoint (blocking there would deadlock the winner, which is
+  // waiting for them) and return once the winner's cycle counts for them.
+  HeapOptions HO;
+  HO.NumCaches = 4;
+  Heap H(HO);
+
+  constexpr int NumThreads = 4;
+  // Registered for the whole run, like the torture test: an early-exiting
+  // worker's survivors must stay rooted through the stragglers' cycles.
+  std::vector<std::unique_ptr<RetainedRoots>> Roots;
+  for (int T = 0; T < NumThreads; ++T) {
+    Roots.push_back(std::make_unique<RetainedRoots>());
+    H.addRootScanner(Roots.back().get());
+  }
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      RetainedRoots &R = *Roots[(size_t)T];
+      {
+        Heap::MutatorScope Scope(H, T);
+        for (int I = 0; I < 25; ++I) {
+          for (int J = 0; J < 16; ++J) {
+            size_t Bytes = 64;
+            uint64_t Pattern = patternFor(T, (uint64_t)(I * 16 + J));
+            uintptr_t A = H.allocate(Bytes, nullptr, AllocCat::Other, T);
+            ASSERT_NE(A, 0u);
+            writePattern(A, Bytes, Pattern);
+            R.Objs.push_back({A, Bytes, Pattern});
+          }
+          H.runGc();
+        }
+      }
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  StatsSnapshot S = H.stats().snap();
+  EXPECT_GE(S.GcCycles, 1u);
+  // A shared cycle satisfies several forced calls, so cycles never exceed
+  // the number of forcing calls.
+  EXPECT_LE(S.GcCycles, (uint64_t)NumThreads * 25);
+  for (auto &R : Roots)
+    for (const RetainedRoots::Obj &O : R->Objs) {
+      EXPECT_TRUE(H.isLiveObject(O.Addr));
+      EXPECT_TRUE(checkPattern(O.Addr, O.Bytes, O.Pattern));
+    }
+  for (auto &R : Roots)
+    H.removeRootScanner(R.get());
+}
+
+TEST(ConcurrencySafepointTest, MutatorScopeChurnDuringGc) {
+  // Threads keep entering and leaving MutatorScope while a collector
+  // repeatedly stops the world. Registration while stopped must fold the
+  // newcomer into the quorum; deregistration must release a collector
+  // waiting on the leaving thread. Completion is the assertion.
+  HeapOptions HO;
+  HO.NumCaches = 4;
+  Heap H(HO);
+
+  RetainedRoots GcRoots;
+  std::thread Collector([&] {
+    H.addRootScanner(&GcRoots);
+    {
+      Heap::MutatorScope Scope(H, 0);
+      for (int I = 0; I < 60; ++I) {
+        uintptr_t A = H.allocate(64, nullptr, AllocCat::Other, 0);
+        ASSERT_NE(A, 0u);
+        GcRoots.Objs.push_back({A, 64, 0});
+        H.runGc();
+      }
+    }
+    H.removeRootScanner(&GcRoots);
+  });
+
+  std::vector<std::thread> Churners;
+  for (int T = 1; T <= 2; ++T) {
+    Churners.emplace_back([&, T] {
+      for (int I = 0; I < 40; ++I) {
+        Heap::MutatorScope Scope(H, T);
+        uintptr_t Objs[8];
+        for (int J = 0; J < 8; ++J) {
+          Objs[J] = H.allocate(48, nullptr, AllocCat::Other, T);
+          ASSERT_NE(Objs[J], 0u);
+        }
+        H.tcfreeBatch(Objs, 8, T, FreeSource::TcfreeObject);
+      }
+    });
+  }
+  Collector.join();
+  for (std::thread &Th : Churners)
+    Th.join();
+  EXPECT_GE(H.stats().snap().GcCycles, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel pipeline: N workers, one heap, combined results
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelPipelineTest, ChecksumScalesWithWorkerCount) {
+  compiler::Compilation C = compiler::compile(
+      "func main(n int) {\n"
+      "  total := 0\n"
+      "  for i := 0; i < n; i++ {\n"
+      "    s := make([]int, 32)\n"
+      "    for j := range s { s[j] = i + j }\n"
+      "    for _, v := range s { total += v }\n"
+      "  }\n"
+      "  sink(total)\n"
+      "}\n",
+      {});
+  ASSERT_TRUE(C.ok()) << C.Errors;
+
+  compiler::ExecOutcome Single = compiler::execute(C, "main", {200});
+  ASSERT_TRUE(Single.Run.ok()) << Single.Run.Error;
+
+  trace::TraceHub Hub;
+  compiler::ExecOptions EO;
+  EO.NumThreads = 4;
+  EO.Hub = &Hub;
+  compiler::ExecOutcome Par = compiler::execute(C, "main", {200}, EO);
+  ASSERT_TRUE(Par.Run.ok()) << Par.Run.Error;
+
+  // Counters combine by wrapping addition across identical workers.
+  EXPECT_EQ(Par.Run.Checksum, Single.Run.Checksum * 4);
+  EXPECT_EQ(Par.Run.SinkCount, Single.Run.SinkCount * 4);
+  EXPECT_EQ(Par.Run.Steps, Single.Run.Steps * 4);
+  EXPECT_EQ(Par.Stats.AllocCount, Single.Stats.AllocCount * 4);
+
+  // Each worker got its own hub sink, and their events merge into one
+  // globally ordered stream.
+  EXPECT_EQ(Hub.sinkCount(), 4u);
+  std::vector<trace::Event> Merged = Hub.merge();
+  EXPECT_FALSE(Merged.empty());
+  for (size_t I = 1; I < Merged.size(); ++I)
+    EXPECT_LE(Merged[I - 1].TimeNs, Merged[I].TimeNs);
+}
+
+//===----------------------------------------------------------------------===//
+// TraceHub: per-thread sinks merge into one ordered stream
+//===----------------------------------------------------------------------===//
+
+TEST(TraceHubTest, ParallelEmittersMergeOrdered) {
+  trace::TraceHub Hub;
+  constexpr int NumThreads = 4;
+  constexpr uint64_t PerThread = 2000;
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      trace::TraceSink *Sink = Hub.makeSink();
+      for (uint64_t I = 0; I < PerThread; ++I)
+        Sink->emit(trace::EventKind::HeapAlloc, (uint8_t)T, I);
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  EXPECT_EQ(Hub.sinkCount(), (size_t)NumThreads);
+  EXPECT_EQ(Hub.dropped(), 0u);
+  std::vector<trace::Event> Merged = Hub.merge();
+  ASSERT_EQ(Merged.size(), (size_t)NumThreads * PerThread);
+  uint64_t PerSource[NumThreads] = {};
+  for (size_t I = 0; I < Merged.size(); ++I) {
+    if (I > 0) {
+      EXPECT_LE(Merged[I - 1].TimeNs, Merged[I].TimeNs);
+    }
+    ASSERT_LT(Merged[I].Arg, NumThreads);
+    // Within one producer, merge preserves program order (stable sort on a
+    // shared epoch), so serials arrive ascending per source.
+    EXPECT_EQ(Merged[I].V0, PerSource[Merged[I].Arg]++);
+  }
+}
+
+TEST(TraceHubTest, DroppedEventsAreCountedAcrossSinks) {
+  trace::TraceHub Hub(/*CapacityPerSink=*/8);
+  trace::TraceSink *A = Hub.makeSink();
+  trace::TraceSink *B = Hub.makeSink();
+  for (int I = 0; I < 20; ++I) {
+    A->emit(trace::EventKind::HeapAlloc);
+    B->emit(trace::EventKind::HeapAlloc);
+  }
+  EXPECT_EQ(Hub.merge().size(), 16u);
+  EXPECT_EQ(Hub.dropped(), 24u);
+}

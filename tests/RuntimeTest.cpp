@@ -698,3 +698,97 @@ TEST(TcfreeBatchTest, WholeBatchGivesUpDuringGc) {
   for (uintptr_t A : Roots.Targets)
     EXPECT_TRUE(H.isLiveObject(A));
 }
+
+//===----------------------------------------------------------------------===//
+// Page heap: chunk-tagged free runs
+//===----------------------------------------------------------------------===//
+
+// Regression: freePages used to coalesce runs by address adjacency alone.
+// Two separately malloc'd arena chunks can be address-adjacent, and a run
+// merged across that boundary gets handed out by allocPages as one span
+// straddling two allocations. Runs are now tagged with their chunk and only
+// same-chunk neighbours merge.
+TEST(PageHeapTest, NoCoalesceAcrossAdjacentChunks) {
+  Heap H;
+  EXPECT_EQ(H.chunkCount(), 0u);
+  H.testInjectAdjacentChunks(5);
+  EXPECT_EQ(H.chunkCount(), 2u);
+  // Address-adjacent, but different chunks: the runs must stay separate.
+  EXPECT_EQ(H.freeRunCount(), 2u);
+  EXPECT_TRUE(H.pageHeapConsistent());
+
+  // An 8-page request fits no single 5-page chunk; it must grow a fresh
+  // chunk rather than be served from a merged straddling run.
+  uintptr_t A = H.allocate(8 * PageSize, nullptr, AllocCat::Other, 0);
+  ASSERT_NE(A, 0u);
+  MSpan *S = H.spanOf(A);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->NPages, 8u);
+  EXPECT_GE(S->Chunk, 2u); // Neither injected chunk.
+  EXPECT_TRUE(H.pageHeapConsistent());
+
+  // A request that fits one injected chunk may use it.
+  uintptr_t B = H.allocate(5 * PageSize, nullptr, AllocCat::Other, 0);
+  ASSERT_NE(B, 0u);
+  MSpan *SB = H.spanOf(B);
+  ASSERT_NE(SB, nullptr);
+  EXPECT_LT(SB->Chunk, 2u);
+  EXPECT_TRUE(H.pageHeapConsistent());
+}
+
+TEST(PageHeapTest, SameChunkRunsStillCoalesce) {
+  Heap H;
+  // Two large spans carved back-to-back from one chunk; freeing both must
+  // merge them back into a single run (plus the chunk's remainder, which
+  // is adjacent to the second span and folds in too).
+  uintptr_t A = H.allocate(5 * PageSize, nullptr, AllocCat::Other, 0);
+  uintptr_t B = H.allocate(5 * PageSize, nullptr, AllocCat::Other, 0);
+  ASSERT_EQ(H.chunkCount(), 1u);
+  EXPECT_TRUE(H.tcfreeObject(A, 0, FreeSource::TcfreeObject));
+  EXPECT_TRUE(H.tcfreeObject(B, 0, FreeSource::TcfreeObject));
+  EXPECT_EQ(H.freeRunCount(), 1u);
+  EXPECT_TRUE(H.pageHeapConsistent());
+}
+
+//===----------------------------------------------------------------------===//
+// Release-mode hardening: option and cache-id clamping
+//===----------------------------------------------------------------------===//
+
+// Regression: NumCaches was guarded only by an assert, which compiles away
+// under NDEBUG and left Caches empty -- the first allocSmall then indexed
+// out of bounds. The clamp must be unconditional.
+TEST(HeapOptionsTest, NumCachesClampedToAtLeastOne) {
+  HeapOptions O;
+  O.NumCaches = 0;
+  Heap H(O);
+  EXPECT_EQ(H.options().NumCaches, 1);
+  uintptr_t A = H.allocate(64, scalarDesc(), AllocCat::Other, 0);
+  EXPECT_NE(A, 0u);
+  EXPECT_TRUE(H.isLiveObject(A));
+
+  HeapOptions Neg;
+  Neg.NumCaches = -7;
+  Heap H2(Neg);
+  EXPECT_EQ(H2.options().NumCaches, 1);
+  EXPECT_NE(H2.allocate(64, scalarDesc(), AllocCat::Other, 0), 0u);
+}
+
+// Same story for the CacheId argument of allocate/tcfree: formerly
+// assert-only, now clamped into [0, NumCaches) on every call.
+TEST(HeapOptionsTest, CacheIdClampedOnAllocateAndTcfree) {
+  Heap H; // 4 caches.
+  uintptr_t Low = H.allocate(64, scalarDesc(), AllocCat::Other, -5);
+  uintptr_t High = H.allocate(64, scalarDesc(), AllocCat::Other, 99);
+  ASSERT_NE(Low, 0u);
+  ASSERT_NE(High, 0u);
+  // -5 clamps to cache 0, 99 clamps to the last cache; freeing with the
+  // same out-of-range id must resolve to the same cache and succeed.
+  EXPECT_TRUE(H.tcfreeObject(Low, -5, FreeSource::TcfreeObject));
+  EXPECT_TRUE(H.tcfreeObject(High, 99, FreeSource::TcfreeObject));
+  EXPECT_FALSE(H.isLiveObject(Low));
+  EXPECT_FALSE(H.isLiveObject(High));
+  // Cross-clamped ids behave like any foreign cache: give up, stay live.
+  uintptr_t C = H.allocate(64, scalarDesc(), AllocCat::Other, 99);
+  EXPECT_FALSE(H.tcfreeObject(C, 0, FreeSource::TcfreeObject));
+  EXPECT_TRUE(H.isLiveObject(C));
+}

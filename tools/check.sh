@@ -6,6 +6,10 @@
 #   tools/check.sh smoke BIN  trace smoke test only, against an existing
 #                             gofree binary (this is what the trace_smoke
 #                             ctest entry runs, so plain ctest covers it)
+#   tools/check.sh tsan       ThreadSanitizer pass: configure a separate
+#                             build-tsan tree with -DGOFREE_SANITIZE=thread
+#                             and run the concurrency suite (ctest label
+#                             tsan_smoke) under it
 #
 # The smoke test runs examples/quickstart.minigo under --trace-out and
 # asserts the trace is valid JSON-lines containing at least one GC event,
@@ -68,7 +72,13 @@ all)
   (cd "$ROOT/build" && ctest --output-on-failure -j)
   smoke "$ROOT/build/tools/gofree"
   ;;
+tsan)
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DGOFREE_SANITIZE=thread
+  cmake --build "$ROOT/build-tsan" -j --target concurrency_test
+  (cd "$ROOT/build-tsan" && ctest -L tsan_smoke --output-on-failure)
+  echo "check.sh: tsan smoke OK"
+  ;;
 *)
-  fail "unknown mode '$MODE' (expected 'all' or 'smoke')"
+  fail "unknown mode '$MODE' (expected 'all', 'smoke', or 'tsan')"
   ;;
 esac

@@ -21,6 +21,10 @@
 //   --trace-out=FILE      write the event trace as JSON-lines (for compare,
 //                         FILE.go and FILE.gofree, one per leg)
 //   --trace-summary       print an aggregated trace summary after the run
+//   --num-threads=N       run N real mutator threads on one shared heap
+//                         (each executes the entry function; checksums add).
+//                         Traces come from per-thread sinks merged into one
+//                         time-ordered stream.
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,7 +52,7 @@ int usage() {
                "usage: gofree [flags] run|compare|dump <file> [int args...]\n"
                "flags: --mode=go|gofree --entry=NAME --gogc=N "
                "--mock=zero|flip --targets=all|sm|none --stats\n"
-               "       --trace-out=FILE --trace-summary\n");
+               "       --trace-out=FILE --trace-summary --num-threads=N\n");
   return 2;
 }
 
@@ -69,6 +73,16 @@ bool writeTrace(const std::string &Path, const trace::TraceSink &Sink) {
     return false;
   }
   trace::writeJsonLines(Out, Sink);
+  return true;
+}
+
+bool writeTrace(const std::string &Path, const trace::TraceHub &Hub) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "gofree: cannot write trace to %s\n", Path.c_str());
+    return false;
+  }
+  trace::writeJsonLines(Out, Hub.merge(), Hub.dropped());
   return true;
 }
 
@@ -178,6 +192,10 @@ int main(int Argc, char **Argv) {
         EO.Heap.Mock = rt::MockTcfree::Flip;
       else
         return usage();
+    } else if (Flag.rfind("--num-threads=", 0) == 0) {
+      EO.NumThreads = std::atoi(Flag.c_str() + 14);
+      if (EO.NumThreads < 1)
+        return usage();
     } else if (Flag.rfind("--targets=", 0) == 0) {
       std::string V = Flag.substr(10);
       if (V == "all")
@@ -233,10 +251,21 @@ int main(int Argc, char **Argv) {
 
   if (Command == "run") {
     std::unique_ptr<trace::TraceSink> Sink;
+    std::unique_ptr<trace::TraceHub> Hub;
     if (Tracing) {
-      Sink = std::make_unique<trace::TraceSink>();
-      CO.Trace = Sink.get();
-      EO.Heap.Trace = Sink.get();
+      if (EO.NumThreads > 1) {
+        // The single-producer ring cannot take N writers; each worker gets
+        // its own sink from the hub and the streams merge at drain time.
+        // Compile-pass events use a hub sink too, so everything shares one
+        // timeline.
+        Hub = std::make_unique<trace::TraceHub>();
+        CO.Trace = Hub->makeSink();
+        EO.Hub = Hub.get();
+      } else {
+        Sink = std::make_unique<trace::TraceSink>();
+        CO.Trace = Sink.get();
+        EO.Heap.Trace = Sink.get();
+      }
     }
     Compilation C = compile(Source, CO);
     if (!C.ok()) {
@@ -249,6 +278,12 @@ int main(int Argc, char **Argv) {
         return 1;
       if (TraceSummary)
         trace::printSummary(stdout, trace::summarize(*Sink));
+    } else if (Hub) {
+      if (!TraceOut.empty() && !writeTrace(TraceOut, *Hub))
+        return 1;
+      if (TraceSummary)
+        trace::printSummary(stdout,
+                            trace::summarize(Hub->merge(), Hub->dropped()));
     }
     return Rc;
   }
@@ -261,14 +296,24 @@ int main(int Argc, char **Argv) {
     // One sink per leg: sharing a sink (or any mutable counters) across
     // the legs would let the first run contaminate the second's report.
     std::unique_ptr<trace::TraceSink> GoSink, FreeSink;
+    std::unique_ptr<trace::TraceHub> GoHub, FreeHub;
     ExecOptions GoEO = EO, FreeEO = EO;
     if (Tracing) {
-      GoSink = std::make_unique<trace::TraceSink>();
-      FreeSink = std::make_unique<trace::TraceSink>();
-      GoOpts.Trace = GoSink.get();
-      FreeOpts.Trace = FreeSink.get();
-      GoEO.Heap.Trace = GoSink.get();
-      FreeEO.Heap.Trace = FreeSink.get();
+      if (EO.NumThreads > 1) {
+        GoHub = std::make_unique<trace::TraceHub>();
+        FreeHub = std::make_unique<trace::TraceHub>();
+        GoOpts.Trace = GoHub->makeSink();
+        FreeOpts.Trace = FreeHub->makeSink();
+        GoEO.Hub = GoHub.get();
+        FreeEO.Hub = FreeHub.get();
+      } else {
+        GoSink = std::make_unique<trace::TraceSink>();
+        FreeSink = std::make_unique<trace::TraceSink>();
+        GoOpts.Trace = GoSink.get();
+        FreeOpts.Trace = FreeSink.get();
+        GoEO.Heap.Trace = GoSink.get();
+        FreeEO.Heap.Trace = FreeSink.get();
+      }
     }
     Compilation Go = compile(Source, GoOpts);
     Compilation Free = compile(Source, FreeOpts);
@@ -301,8 +346,11 @@ int main(int Argc, char **Argv) {
     trace::printSummaryDiff(stdout, "Go", exactSummary(OGo.Stats, Go.Passes),
                             "GoFree", exactSummary(OFree.Stats, Free.Passes));
     if (!TraceOut.empty()) {
-      if (!writeTrace(TraceOut + ".go", *GoSink) ||
-          !writeTrace(TraceOut + ".gofree", *FreeSink))
+      bool Ok = GoSink ? writeTrace(TraceOut + ".go", *GoSink) &&
+                             writeTrace(TraceOut + ".gofree", *FreeSink)
+                       : writeTrace(TraceOut + ".go", *GoHub) &&
+                             writeTrace(TraceOut + ".gofree", *FreeHub);
+      if (!Ok)
         return 1;
     }
     if (TraceSummary && GoSink) {
@@ -310,6 +358,13 @@ int main(int Argc, char **Argv) {
       trace::printSummary(stdout, trace::summarize(*GoSink));
       std::printf("--- GoFree trace summary ---\n");
       trace::printSummary(stdout, trace::summarize(*FreeSink));
+    } else if (TraceSummary && GoHub) {
+      std::printf("--- Go trace summary ---\n");
+      trace::printSummary(stdout,
+                          trace::summarize(GoHub->merge(), GoHub->dropped()));
+      std::printf("--- GoFree trace summary ---\n");
+      trace::printSummary(
+          stdout, trace::summarize(FreeHub->merge(), FreeHub->dropped()));
     }
     std::printf("checksums %s\n", Same ? "match" : "DIFFER (bug!)");
     return Same ? 0 : 1;
