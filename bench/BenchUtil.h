@@ -17,7 +17,7 @@
 #ifndef GOFREE_BENCH_BENCHUTIL_H
 #define GOFREE_BENCH_BENCHUTIL_H
 
-#include "compiler/Pipeline.h"
+#include "compiler/Driver.h"
 #include "support/Stats.h"
 #include "workloads/Workloads.h"
 
@@ -85,14 +85,29 @@ inline const char *settingName(Setting S) {
   return "?";
 }
 
+/// The driver flag strings for one setting: the same grammar the CLI and
+/// the fuzz legs use, so a bench configuration can be replayed verbatim
+/// with `gofree <these flags> run`.
+inline std::vector<std::string> settingFlags(Setting S) {
+  std::vector<std::string> Flags;
+  Flags.push_back(S == Setting::GoFree ? "--mode=gofree" : "--mode=go");
+  if (S == Setting::GoGcOff)
+    Flags.push_back("--gogc=-1");
+  return Flags;
+}
+
 /// Compiles and runs \p W under \p S, \p Runs times.
 inline SettingSample
 runSetting(const workloads::Workload &W, Setting S, int Runs,
            const std::vector<int64_t> &ArgsOverride = {}) {
-  compiler::CompileOptions CO;
-  CO.Mode = S == Setting::GoFree ? compiler::CompileMode::GoFree
-                                 : compiler::CompileMode::Go;
-  compiler::Compilation C = compiler::compile(W.Source, CO);
+  compiler::driver::PipelineOptions P;
+  std::string Err;
+  if (!compiler::driver::parseFlags(settingFlags(S), P, &Err)) {
+    std::fprintf(stderr, "bad setting flags: %s\n", Err.c_str());
+    std::exit(1);
+  }
+  P.Entry = W.Entry;
+  compiler::Compilation C = compiler::compile(W.Source, P.Compile);
   if (!C.ok()) {
     std::fprintf(stderr, "compile failed for %s:\n%s", W.Name.c_str(),
                  C.Errors.c_str());
@@ -103,13 +118,10 @@ runSetting(const workloads::Workload &W, Setting S, int Runs,
     A = scaledArg(A);
   SettingSample Out;
   for (int R = 0; R < Runs; ++R) {
-    compiler::ExecOptions EO;
-    if (S == Setting::GoGcOff)
-      EO.Heap.Gogc = -1;
-    compiler::ExecOutcome O = compiler::execute(C, W.Entry, Args, EO);
-    if (!O.Run.ok()) {
+    compiler::ExecOutcome O = compiler::execute(C, P.Entry, Args, P.Exec);
+    if (!O.ok()) {
       std::fprintf(stderr, "run failed for %s: %s\n", W.Name.c_str(),
-                   O.Run.Error.c_str());
+                   O.Error.c_str());
       std::exit(1);
     }
     Out.TimeSec.push_back(O.WallSeconds);

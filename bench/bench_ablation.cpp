@@ -134,11 +134,20 @@ int main() {
     std::printf("-+-----------");
   std::printf("\n");
 
-  // Reference checksums from the stock-Go build.
+  // Reference checksums from the stock-Go build (via the shared driver
+  // grammar; the ablation variants themselves tweak solver/runtime knobs
+  // that are deliberately not flags).
   std::vector<uint64_t> Baselines;
   for (const Workload &W : Ws) {
-    Compilation C = compile(W.Source, CompileOptions{CompileMode::Go, escape::FreeTargets::SlicesAndMaps, {}, {}});
-    Baselines.push_back(execute(C, W.Entry, W.SmallArgs).Run.Checksum);
+    driver::PipelineOptions P;
+    std::string Err;
+    if (!driver::parseFlags({"--mode=go"}, P, &Err)) {
+      std::fprintf(stderr, "bad flags: %s\n", Err.c_str());
+      return 1;
+    }
+    P.Entry = W.Entry;
+    Baselines.push_back(
+        driver::compileAndRun(W.Source, P, W.SmallArgs).Run.Checksum);
   }
 
   for (const Variant &V : Variants) {

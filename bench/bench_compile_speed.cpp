@@ -25,10 +25,18 @@ using namespace gofree::workloads;
 namespace {
 
 double compileOnce(const std::string &Src, CompileMode Mode) {
-  CompileOptions CO;
-  CO.Mode = Mode;
+  // Configured through the shared flag grammar so this bench measures the
+  // exact pipeline `gofree --mode=... run` would build.
+  driver::PipelineOptions P;
+  std::string Err;
+  if (!driver::parseFlags(
+          {Mode == CompileMode::Go ? "--mode=go" : "--mode=gofree"}, P,
+          &Err)) {
+    std::fprintf(stderr, "bad flags: %s\n", Err.c_str());
+    std::exit(1);
+  }
   auto Start = std::chrono::steady_clock::now();
-  Compilation C = compile(Src, CO);
+  Compilation C = compile(Src, P.Compile);
   auto End = std::chrono::steady_clock::now();
   if (!C.ok()) {
     std::fprintf(stderr, "compile failed:\n%s", C.Errors.c_str());

@@ -26,21 +26,34 @@ namespace {
 
 int Failures = 0;
 
+/// One mock-tcfree run, configured through the shared driver flag grammar
+/// (the same `--mock=` the CLI and the fuzz legs use).
+ExecOutcome runWithMock(const std::string &Src, const std::string &Entry,
+                        const std::vector<int64_t> &Args, const char *Mock) {
+  driver::PipelineOptions P;
+  std::string Err;
+  std::vector<std::string> Flags = {"--mode=gofree", "--targets=sm"};
+  if (Mock)
+    Flags.push_back(std::string("--mock=") + Mock);
+  if (!driver::parseFlags(Flags, P, &Err)) {
+    std::fprintf(stderr, "bad flags: %s\n", Err.c_str());
+    std::exit(1);
+  }
+  P.Entry = Entry;
+  return driver::compileAndRun(Src, P, Args);
+}
+
 void check(const std::string &Name, const std::string &Src,
            const std::string &Entry, const std::vector<int64_t> &Args) {
-  Compilation C = compile(Src, CompileOptions{CompileMode::GoFree, escape::FreeTargets::SlicesAndMaps, {}, {}});
-  if (!C.ok()) {
+  ExecOutcome Clean = runWithMock(Src, Entry, Args, nullptr);
+  if (Clean.Error.rfind("compile error:", 0) == 0) {
     std::printf("%-14s COMPILE FAIL\n", Name.c_str());
     ++Failures;
     return;
   }
-  ExecOutcome Clean = execute(C, Entry, Args);
-  ExecOptions Zero, Flip;
-  Zero.Heap.Mock = rt::MockTcfree::Zero;
-  Flip.Heap.Mock = rt::MockTcfree::Flip;
-  ExecOutcome Zeroed = execute(C, Entry, Args, Zero);
-  ExecOutcome Flipped = execute(C, Entry, Args, Flip);
-  bool Ok = Clean.Run.ok() && Zeroed.Run.ok() && Flipped.Run.ok() &&
+  ExecOutcome Zeroed = runWithMock(Src, Entry, Args, "zero");
+  ExecOutcome Flipped = runWithMock(Src, Entry, Args, "flip");
+  bool Ok = Clean.ok() && Zeroed.ok() && Flipped.ok() &&
             Clean.Run.Checksum == Zeroed.Run.Checksum &&
             Clean.Run.Checksum == Flipped.Run.Checksum;
   std::printf("%-14s %-6s  poisoned frees: %llu  (checksum %016llx)\n",

@@ -1,0 +1,329 @@
+//===- compiler/Driver.cpp - Unified pipeline configuration ---------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Driver.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace gofree;
+using namespace gofree::compiler;
+using namespace gofree::compiler::driver;
+
+namespace {
+
+/// The single source of truth for the flag grammar: parseFlag dispatches
+/// on these names and usageText prints them, so the two cannot drift
+/// (tests/DriverTest.cpp round-trips every row).
+struct FlagSpec {
+  const char *Name;  ///< Without the leading "--".
+  const char *Value; ///< Value syntax for usage, or "" for boolean flags.
+  const char *Help;
+};
+
+constexpr FlagSpec Specs[] = {
+    {"mode", "go|gofree", "pipeline to compile with (default gofree)"},
+    {"entry", "NAME", "entry function (default main)"},
+    {"targets", "all|sm|none", "free targets (default sm = slices and maps)"},
+    {"gogc", "N", "GOGC pacing percent; negative disables GC"},
+    {"gc-min-trigger", "BYTES", "floor for the GC trigger (default 4 MiB)"},
+    {"mock", "off|zero|flip", "poisoning tcfree (robustness testing)"},
+    {"num-threads", "N", "run N real mutator threads (checksums add)"},
+    {"num-caches", "N", "thread caches in the heap (default 4)"},
+    {"verify-heap", "", "validate heap invariants at GC safepoints"},
+    {"max-steps", "N", "interpreter fuel budget"},
+    {"migration-period", "N",
+     "rotate the thread-cache id every N steps (single-threaded only)"},
+};
+
+bool parseI64(std::string_view V, int64_t &Out) {
+  const char *First = V.data(), *Last = V.data() + V.size();
+  auto [Ptr, Ec] = std::from_chars(First, Last, Out);
+  return Ec == std::errc() && Ptr == Last && !V.empty();
+}
+
+FlagParse invalid(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return FlagParse::Invalid;
+}
+
+} // namespace
+
+FlagParse gofree::compiler::driver::parseFlag(std::string_view Flag,
+                                              PipelineOptions &Opts,
+                                              std::string *Err) {
+  if (Flag.rfind("--", 0) != 0)
+    return FlagParse::Unknown;
+  std::string_view Body = Flag.substr(2);
+  std::string_view Name = Body, Value;
+  bool HasValue = false;
+  if (size_t Eq = Body.find('='); Eq != std::string_view::npos) {
+    Name = Body.substr(0, Eq);
+    Value = Body.substr(Eq + 1);
+    HasValue = true;
+  }
+  std::string N(Name), V(Value);
+
+  auto WantValue = [&](FlagParse &Out) {
+    if (HasValue && !Value.empty())
+      return true;
+    Out = invalid(Err, "--" + N + " requires a value");
+    return false;
+  };
+  auto WantInt = [&](int64_t &IV, FlagParse &Out) {
+    if (!WantValue(Out))
+      return false;
+    if (parseI64(Value, IV))
+      return true;
+    Out = invalid(Err, "--" + N + ": '" + V + "' is not an integer");
+    return false;
+  };
+  FlagParse Bad = FlagParse::Invalid;
+
+  if (N == "mode") {
+    if (!WantValue(Bad))
+      return Bad;
+    if (V == "go")
+      Opts.Compile.Mode = CompileMode::Go;
+    else if (V == "gofree")
+      Opts.Compile.Mode = CompileMode::GoFree;
+    else
+      return invalid(Err, "--mode: expected go|gofree, got '" + V + "'");
+    return FlagParse::Ok;
+  }
+  if (N == "entry") {
+    if (!WantValue(Bad))
+      return Bad;
+    Opts.Entry = V;
+    return FlagParse::Ok;
+  }
+  if (N == "targets") {
+    if (!WantValue(Bad))
+      return Bad;
+    if (V == "all")
+      Opts.Compile.Targets = escape::FreeTargets::All;
+    else if (V == "sm")
+      Opts.Compile.Targets = escape::FreeTargets::SlicesAndMaps;
+    else if (V == "none")
+      Opts.Compile.Targets = escape::FreeTargets::None;
+    else
+      return invalid(Err, "--targets: expected all|sm|none, got '" + V + "'");
+    return FlagParse::Ok;
+  }
+  if (N == "gogc") {
+    int64_t IV;
+    if (!WantInt(IV, Bad))
+      return Bad;
+    Opts.Exec.Heap.Gogc = (int)IV;
+    return FlagParse::Ok;
+  }
+  if (N == "gc-min-trigger") {
+    int64_t IV;
+    if (!WantInt(IV, Bad))
+      return Bad;
+    if (IV < 0)
+      return invalid(Err, "--gc-min-trigger: must be non-negative");
+    Opts.Exec.Heap.MinHeapTrigger = (uint64_t)IV;
+    return FlagParse::Ok;
+  }
+  if (N == "mock") {
+    if (!WantValue(Bad))
+      return Bad;
+    if (V == "off")
+      Opts.Exec.Heap.Mock = rt::MockTcfree::Off;
+    else if (V == "zero")
+      Opts.Exec.Heap.Mock = rt::MockTcfree::Zero;
+    else if (V == "flip")
+      Opts.Exec.Heap.Mock = rt::MockTcfree::Flip;
+    else
+      return invalid(Err, "--mock: expected off|zero|flip, got '" + V + "'");
+    return FlagParse::Ok;
+  }
+  if (N == "num-threads") {
+    int64_t IV;
+    if (!WantInt(IV, Bad))
+      return Bad;
+    if (IV < 1 || IV > 1024)
+      return invalid(Err, "--num-threads: must be in [1, 1024]");
+    Opts.Exec.NumThreads = (int)IV;
+    return FlagParse::Ok;
+  }
+  if (N == "num-caches") {
+    int64_t IV;
+    if (!WantInt(IV, Bad))
+      return Bad;
+    if (IV < 1 || IV > 4096)
+      return invalid(Err, "--num-caches: must be in [1, 4096]");
+    Opts.Exec.Heap.NumCaches = (int)IV;
+    return FlagParse::Ok;
+  }
+  if (N == "verify-heap") {
+    if (!HasValue || V == "1" || V == "true")
+      Opts.Exec.Heap.Verify = true;
+    else if (V == "0" || V == "false")
+      Opts.Exec.Heap.Verify = false;
+    else
+      return invalid(Err, "--verify-heap: expected no value or 0|1");
+    return FlagParse::Ok;
+  }
+  if (N == "max-steps") {
+    int64_t IV;
+    if (!WantInt(IV, Bad))
+      return Bad;
+    if (IV < 1)
+      return invalid(Err, "--max-steps: must be positive");
+    Opts.Exec.Interp.MaxSteps = (uint64_t)IV;
+    return FlagParse::Ok;
+  }
+  if (N == "migration-period") {
+    int64_t IV;
+    if (!WantInt(IV, Bad))
+      return Bad;
+    if (IV < 0)
+      return invalid(Err, "--migration-period: must be non-negative");
+    Opts.Exec.Interp.MigrationPeriod = (uint64_t)IV;
+    return FlagParse::Ok;
+  }
+  return FlagParse::Unknown;
+}
+
+bool gofree::compiler::driver::parseFlags(
+    std::initializer_list<std::string_view> Flags, PipelineOptions &Opts,
+    std::string *Err) {
+  for (std::string_view F : Flags) {
+    switch (parseFlag(F, Opts, Err)) {
+    case FlagParse::Ok:
+      break;
+    case FlagParse::Unknown:
+      if (Err)
+        *Err = "unknown flag '" + std::string(F) + "'";
+      return false;
+    case FlagParse::Invalid:
+      return false;
+    }
+  }
+  return true;
+}
+
+bool gofree::compiler::driver::parseFlags(const std::vector<std::string> &Flags,
+                                          PipelineOptions &Opts,
+                                          std::string *Err) {
+  for (const std::string &F : Flags) {
+    switch (parseFlag(F, Opts, Err)) {
+    case FlagParse::Ok:
+      break;
+    case FlagParse::Unknown:
+      if (Err)
+        *Err = "unknown flag '" + F + "'";
+      return false;
+    case FlagParse::Invalid:
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string gofree::compiler::driver::usageText() {
+  std::string Out;
+  for (const FlagSpec &S : Specs) {
+    char Line[128];
+    std::string Lhs = std::string("--") + S.Name;
+    if (S.Value[0])
+      Lhs += std::string("=") + S.Value;
+    std::snprintf(Line, sizeof(Line), "  %-28s %s\n", Lhs.c_str(), S.Help);
+    Out += Line;
+  }
+  return Out;
+}
+
+const char *gofree::compiler::driver::legName(CompileMode M) {
+  return M == CompileMode::Go ? "go" : "gofree";
+}
+
+ExecOutcome gofree::compiler::driver::compileAndRun(
+    const std::string &Source, const PipelineOptions &Opts,
+    const std::vector<int64_t> &Args, Compilation *Compiled) {
+  Compilation C = compile(Source, Opts.Compile);
+  if (!C.ok()) {
+    ExecOutcome O;
+    O.Error = "compile error: " + C.Errors;
+    if (Compiled)
+      *Compiled = std::move(C);
+    return O;
+  }
+  ExecOutcome O = execute(C, Opts.Entry, Args, Opts.Exec);
+  if (Compiled)
+    *Compiled = std::move(C);
+  return O;
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) for
+/// the error field.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if ((unsigned char)Ch < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", (unsigned char)Ch);
+        Out += Buf;
+      } else {
+        Out += Ch;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string gofree::compiler::driver::outcomeJson(const ExecOutcome &O,
+                                                  const char *Leg) {
+  // Bound the (escaped, possibly multi-line) error so the record always
+  // fits one line of fixed buffer; a truncated diagnostic still names the
+  // failure class.
+  std::string Err = jsonEscape(O.Error);
+  if (Err.size() > 320)
+    Err = Err.substr(0, 320) + "...";
+  char Buf[1024];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"v\":%d,\"leg\":\"%s\",\"ok\":%s,\"error\":\"%s\","
+      "\"checksum\":\"%016" PRIx64 "\",\"sinks\":%" PRIu64
+      ",\"steps\":%" PRIu64 ",\"panicked\":%s,\"panic\":%lld,"
+      "\"wall_s\":%.6f,\"gc_s\":%.6f,"
+      "\"stats\":{\"alloced_bytes\":%" PRIu64 ",\"alloc_count\":%" PRIu64
+      ",\"tcfree_calls\":%" PRIu64 ",\"tcfree_giveups\":%" PRIu64
+      ",\"freed_bytes\":%" PRIu64 ",\"gc_cycles\":%" PRIu64
+      ",\"peak_committed\":%" PRIu64 ",\"peak_live\":%" PRIu64 "}}",
+      trace::JsonSchemaVersion, Leg, O.ok() ? "true" : "false",
+      Err.c_str(), O.Run.Checksum, O.Run.SinkCount,
+      O.Run.Steps, O.Run.Panicked ? "true" : "false",
+      (long long)O.Run.PanicValue, O.WallSeconds, O.Stats.GcNanos * 1e-9,
+      O.Stats.AllocedBytes, O.Stats.AllocCount, O.Stats.TcfreeCalls,
+      O.Stats.TcfreeGiveUps, O.Stats.tcfreeFreedBytes(), O.Stats.GcCycles,
+      O.Stats.PeakCommitted, O.Stats.PeakLive);
+  return Buf;
+}

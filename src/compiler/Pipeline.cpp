@@ -15,6 +15,33 @@
 using namespace gofree;
 using namespace gofree::compiler;
 
+namespace {
+
+/// Flattens the run result and any recorded heap-invariant violation into
+/// ExecOutcome::Error (see the field comment in Pipeline.h). A panic wins
+/// over fuel exhaustion deliberately: a program that panics *is* the
+/// observable outcome, while OutOfFuel on top of it is an artifact of
+/// where the budget ran out.
+void flattenOutcome(ExecOutcome &O, rt::Heap &Heap, bool Verify) {
+  if (Verify) {
+    std::string Report;
+    if (!Heap.verifyInvariants(&Report))
+      O.Error = "heap invariant violation (post-run):\n" + Report;
+  }
+  if (O.Error.empty())
+    O.Error = Heap.invariantFailure();
+  if (!O.Error.empty())
+    return;
+  if (O.Run.Panicked)
+    O.Error = "panic: " + std::to_string(O.Run.PanicValue);
+  else if (!O.Run.Error.empty())
+    O.Error = "runtime error: " + O.Run.Error;
+  else if (O.Run.OutOfFuel)
+    O.Error = "out of fuel after " + std::to_string(O.Run.Steps) + " steps";
+}
+
+} // namespace
+
 Compilation gofree::compiler::compile(const std::string &Source,
                                       CompileOptions Opts) {
   Compilation C;
@@ -74,6 +101,7 @@ ExecOutcome gofree::compiler::execute(const Compilation &C,
     auto End = std::chrono::steady_clock::now();
     O.WallSeconds = std::chrono::duration<double>(End - Start).count();
     O.Stats = Heap.stats().snap();
+    flattenOutcome(O, Heap, Opts.Heap.Verify);
     return O;
   }
 
@@ -131,5 +159,6 @@ ExecOutcome gofree::compiler::execute(const Compilation &C,
       O.Run.Error = R.Error;
   }
   O.Stats = Heap.stats().snap();
+  flattenOutcome(O, Heap, Opts.Heap.Verify);
   return O;
 }

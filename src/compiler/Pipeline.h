@@ -99,6 +99,14 @@ struct ExecOutcome {
   interp::RunResult Run;
   rt::StatsSnapshot Stats;
   double WallSeconds = 0.0;
+  /// Flattened failure description, empty on success. Folds the cases
+  /// callers used to probe separately: a panic ("panic: N"), an interpreter
+  /// fault (Run.Error), fuel exhaustion, a heap-invariant violation
+  /// (HeapOptions::Verify), and -- for Driver::compileAndRun -- frontend
+  /// diagnostics. The structured fields in Run stay authoritative; this is
+  /// the one string to print and the one bit to branch on.
+  std::string Error;
+  bool ok() const { return Error.empty(); }
 };
 
 /// Runs \p Entry on a fresh heap.

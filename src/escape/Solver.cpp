@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <deque>
 
 using namespace gofree;
@@ -176,6 +177,13 @@ SolverStats gofree::escape::solve(EscapeGraph &G, const SolverOptions &Opts) {
 
   Stats.PropagateNanos = TakeStageNanos();
 
+  // Fault injection for the differential fuzzer's mutation test
+  // (tests/FuzzTest.cpp): with GOFREE_FUZZ_UNSOUND set, ToFree ignores the
+  // Outlived check below, deliberately freeing allocations that escape the
+  // function -- exactly the unsoundness the fuzz oracle's poisoning legs
+  // must catch. Read per solve() call so one test process can toggle it.
+  const bool SkipOutlived = std::getenv("GOFREE_FUZZ_UNSOUND") != nullptr;
+
   // Final sweep: Outlived (definition 4.15), PointsToHeap (definition 4.16)
   // and ToFree (definition 4.17) consume the fixpoint and do not propagate.
   for (uint32_t RootId = 0; RootId < N; ++RootId) {
@@ -190,7 +198,8 @@ SolverStats gofree::escape::solve(EscapeGraph &G, const SolverOptions &Opts) {
       if (Leaf.HeapAlloc)
         Root.PointsToHeap = true;
     }
-    Root.ToFree = !Root.incomplete() && !Root.Outlived && Root.PointsToHeap;
+    Root.ToFree = !Root.incomplete() && (SkipOutlived || !Root.Outlived) &&
+                  Root.PointsToHeap;
   }
   Stats.LifetimeNanos = TakeStageNanos();
   return Stats;

@@ -1,0 +1,170 @@
+//===- fuzz/Reducer.cpp - Greedy test-case reducer ------------------------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace gofree;
+using namespace gofree::fuzz;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  while (Start <= S.size()) {
+    size_t Nl = S.find('\n', Start);
+    if (Nl == std::string::npos) {
+      if (Start < S.size())
+        Lines.push_back(S.substr(Start));
+      break;
+    }
+    Lines.push_back(S.substr(Start, Nl - Start));
+    Start = Nl + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool isBlank(const std::string &L) {
+  return L.find_first_not_of(" \t") == std::string::npos;
+}
+
+/// Net brace depth change of one line. MiniGo has no string or char
+/// literals (and the generator emits no comments), so counting characters
+/// is exact.
+int braceDelta(const std::string &L) {
+  int D = 0;
+  for (char C : L)
+    D += C == '{' ? 1 : C == '}' ? -1 : 0;
+  return D;
+}
+
+struct Range {
+  size_t Lo, Hi; ///< Inclusive line range.
+  size_t len() const { return Hi - Lo + 1; }
+};
+
+/// All brace-matched ranges: for each line that opens more than it
+/// closes, the range up to the line that brings the depth back to zero
+/// (an if-block, a loop body, a whole function...).
+std::vector<Range> blockRanges(const std::vector<std::string> &Lines) {
+  std::vector<Range> Out;
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    int D = braceDelta(Lines[I]);
+    if (D <= 0)
+      continue;
+    int Depth = D;
+    for (size_t J = I + 1; J < Lines.size(); ++J) {
+      Depth += braceDelta(Lines[J]);
+      if (Depth <= 0) {
+        Out.push_back({I, J});
+        break;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string gofree::fuzz::reduceProgram(std::string Source,
+                                        const FailPredicate &StillFails,
+                                        const ReduceOptions &Opts) {
+  std::vector<std::string> Lines = splitLines(Source);
+  // Blank lines are semantically inert (they cannot even change semicolon
+  // insertion), so drop them without spending predicate budget.
+  Lines.erase(std::remove_if(Lines.begin(), Lines.end(), isBlank),
+              Lines.end());
+
+  int Attempts = 0;
+  auto Try = [&](std::vector<std::string> &Cur, size_t Lo, size_t Hi) {
+    if (Attempts >= Opts.MaxAttempts)
+      return false;
+    ++Attempts;
+    std::vector<std::string> Cand(Cur.begin(), Cur.begin() + (long)Lo);
+    Cand.insert(Cand.end(), Cur.begin() + (long)Hi + 1, Cur.end());
+    if (!StillFails(joinLines(Cand)))
+      return false;
+    Cur = std::move(Cand);
+    return true;
+  };
+  // Unwrap a block: drop the `... {` header line and its matching `}` but
+  // keep the interior. Collapses bare scope blocks and `if` guards whose
+  // condition doesn't matter for the failure (candidates that unbalance
+  // scoping or drop a needed guard just fail to compile or to reproduce).
+  auto TryUnwrap = [&](std::vector<std::string> &Cur, size_t Lo, size_t Hi) {
+    if (Attempts >= Opts.MaxAttempts || Hi <= Lo + 1)
+      return false;
+    ++Attempts;
+    std::vector<std::string> Cand(Cur.begin(), Cur.begin() + (long)Lo);
+    Cand.insert(Cand.end(), Cur.begin() + (long)Lo + 1,
+                Cur.begin() + (long)Hi);
+    Cand.insert(Cand.end(), Cur.begin() + (long)Hi + 1, Cur.end());
+    if (!StillFails(joinLines(Cand)))
+      return false;
+    Cur = std::move(Cand);
+    return true;
+  };
+
+  bool Changed = true;
+  while (Changed && Attempts < Opts.MaxAttempts) {
+    Changed = false;
+
+    // Pass 1: whole blocks, largest first, so dead functions and big
+    // irrelevant loops go in one predicate call each. Indices go stale
+    // after a removal, so rescan from scratch on success.
+    bool Removed = true;
+    while (Removed && Attempts < Opts.MaxAttempts) {
+      Removed = false;
+      std::vector<Range> Ranges = blockRanges(Lines);
+      std::stable_sort(Ranges.begin(), Ranges.end(),
+                       [](const Range &A, const Range &B) {
+                         return A.len() > B.len();
+                       });
+      for (const Range &R : Ranges) {
+        if (R.len() >= Lines.size())
+          continue; // never try the empty program
+        if (Try(Lines, R.Lo, R.Hi)) {
+          Changed = Removed = true;
+          break;
+        }
+      }
+      if (Removed)
+        continue;
+      // Nothing removable whole: try unwrapping blocks instead.
+      for (const Range &R : blockRanges(Lines)) {
+        if (TryUnwrap(Lines, R.Lo, R.Hi)) {
+          Changed = Removed = true;
+          break;
+        }
+      }
+    }
+
+    // Pass 2: single lines, bottom-up (removing line I keeps every index
+    // below I valid, so one sweep touches each surviving line once).
+    for (size_t I = Lines.size(); I-- > 0;) {
+      if (Attempts >= Opts.MaxAttempts)
+        break;
+      if (Lines.size() <= 1)
+        break;
+      if (Try(Lines, I, I))
+        Changed = true;
+    }
+  }
+  return joinLines(Lines);
+}

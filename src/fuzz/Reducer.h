@@ -1,0 +1,48 @@
+//===- fuzz/Reducer.h - Greedy test-case reducer ---------------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failing MiniGo program while a caller-supplied predicate
+/// keeps holding. The reducer is syntax-aware just enough for a
+/// block-structured language: candidates are whole brace-matched ranges
+/// (an if-block, a loop, an entire function) tried outermost-first, then
+/// single lines, iterated to a fixpoint under an attempt budget. It never
+/// needs to parse: a candidate that no longer compiles simply fails the
+/// predicate (the differ reports FrontendRejected, not Mismatch) and is
+/// rejected like any other non-reproducing candidate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_FUZZ_REDUCER_H
+#define GOFREE_FUZZ_REDUCER_H
+
+#include <functional>
+#include <string>
+
+namespace gofree {
+namespace fuzz {
+
+struct ReduceOptions {
+  /// Predicate-evaluation budget. Each candidate costs one full
+  /// differential run, so this bounds reduction wall time.
+  int MaxAttempts = 600;
+};
+
+/// Returns true when \p Candidate still reproduces the failure.
+using FailPredicate = std::function<bool(const std::string &)>;
+
+/// Greedily removes lines and brace-matched line ranges from \p Source
+/// while \p StillFails holds. \p StillFails(Source) must be true on entry
+/// (callers pass the program that just failed); the result is guaranteed
+/// to still satisfy the predicate.
+std::string reduceProgram(std::string Source, const FailPredicate &StillFails,
+                          const ReduceOptions &Opts = {});
+
+} // namespace fuzz
+} // namespace gofree
+
+#endif // GOFREE_FUZZ_REDUCER_H

@@ -68,6 +68,11 @@ void Heap::runGc() {
 
   GcThread.store(std::this_thread::get_id(), std::memory_order_relaxed);
   stopTheWorld();
+  // Debug validation (HeapOptions::Verify): the world is stopped, so the
+  // heap is at a clean safepoint both here and again after sweep. A
+  // violation is recorded, not fatal -- the fuzz differ reads it from
+  // invariantFailure() and reports it with the failing program attached.
+  verifyAtSafepoint("pre-mark");
 
   trace::TraceSink *T = traceSink();
   auto Start = std::chrono::steady_clock::now();
@@ -102,6 +107,7 @@ void Heap::runGc() {
   Phase.store(GcPhase::Sweeping, std::memory_order_release);
   sweepPhase();
   Phase.store(GcPhase::Idle, std::memory_order_release);
+  verifyAtSafepoint("post-sweep");
   if (T)
     T->emit(trace::EventKind::GcSweepEnd, 0,
             Stats.GcSweptBytes.load(std::memory_order_relaxed) -

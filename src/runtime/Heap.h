@@ -55,6 +55,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -91,6 +92,10 @@ struct HeapOptions {
   MockTcfree Mock = MockTcfree::Off;
   /// Number of thread caches ("P"s). Values < 1 are clamped to 1.
   int NumCaches = 4;
+  /// Debug validation: run Heap::verifyInvariants at GC safepoints (right
+  /// after the world stops and again after sweep). O(heap) per check, so
+  /// off by default; the fuzz harness turns it on for every leg.
+  bool Verify = false;
   /// Optional event sink; null disables tracing (the only cost left on the
   /// hot paths is this null check). Not owned; must outlive the heap.
   /// A mutator registered with a per-thread sink (MutatorScope) overrides
@@ -198,6 +203,28 @@ public:
   /// single arena chunk, runs are sorted, disjoint, and same-chunk
   /// adjacent runs are coalesced. Returns false on any violation.
   bool pageHeapConsistent();
+  /// Exhaustive structural validation of the whole heap: free-run
+  /// integrity (sorted, disjoint, same-chunk coalesced, no cross-chunk
+  /// runs), span accounting (every page of the arena is exactly one of
+  /// free-run / in-use span; Committed and HeapLive match the spans),
+  /// page-map exactness, cache ownership (a span cached by a thread is
+  /// in-use, of the right class, owned by that cache, and cached nowhere
+  /// else), and central-list discipline (unowned, in-use, Partial has a
+  /// free slot iff listed there). Returns true when everything holds;
+  /// otherwise returns false and, if \p Report is non-null, fills it with
+  /// one line per violation.
+  ///
+  /// Caller must have the heap quiesced: either the world is stopped (the
+  /// collector calls this under HeapOptions::Verify) or no other thread is
+  /// touching the heap. Takes the page-heap, shard, and central locks so
+  /// the walk is also clean under ThreadSanitizer.
+  bool verifyInvariants(std::string *Report = nullptr);
+
+  /// First invariant violation recorded by a GC-safepoint verification
+  /// (HeapOptions::Verify), or empty. Sticky until the heap dies, so a
+  /// violation mid-run is still visible to the post-run report.
+  std::string invariantFailure() const;
+
   /// Test hook: registers one allocation as two *address-adjacent* chunks
   /// of \p NPagesEach pages, the situation where coalescing by address
   /// alone would merge runs across chunk bounds and later hand out a span
@@ -317,6 +344,9 @@ private:
   MSpan *lookupSpan(uintptr_t Addr);
 
   // GC internals.
+  /// Runs verifyInvariants (HeapOptions::Verify only) and records the
+  /// first failure, tagged with \p When, in InvariantFailure.
+  void verifyAtSafepoint(const char *When);
   void poison(uintptr_t Addr, size_t Bytes);
   void maybeTriggerGc();
   void markPhase();
@@ -367,6 +397,10 @@ private:
   std::condition_variable StwCv;  ///< Collector waits for the quorum.
   int RegisteredMutators = 0;     ///< Guarded by ParkMu.
   int ParkedMutators = 0;         ///< Guarded by ParkMu.
+
+  /// First invariant violation seen by verifyAtSafepoint; sticky.
+  mutable std::mutex InvariantMu;
+  std::string InvariantFailure;
 };
 
 } // namespace rt

@@ -218,50 +218,64 @@ TraceSummary summarize(const std::vector<Event> &Events, uint64_t Dropped) {
   return S;
 }
 
+/// Writes the common line prefix: schema version, optional leg name, and
+/// the timestamp. Every JSONL record (events and trace-end) starts with
+/// it, so consumers can key on "v"/"leg" uniformly.
+static int formatPrefix(char *Line, size_t Size, const char *Leg) {
+  if (Leg)
+    return std::snprintf(Line, Size, "{\"v\":%d,\"leg\":\"%s\"",
+                         JsonSchemaVersion, Leg);
+  return std::snprintf(Line, Size, "{\"v\":%d", JsonSchemaVersion);
+}
+
 /// Formats one event as a JSON line (shared by both writeJsonLines
 /// overloads).
-static void formatEvent(char *Line, size_t Size, const Event &E) {
+static void formatEvent(char *Line, size_t Size, const Event &E,
+                        const char *Leg) {
+  int N = formatPrefix(Line, Size, Leg);
+  Line += N;
+  Size -= (size_t)N;
   switch (E.Kind) {
     case EventKind::GcPaceTrigger:
       std::snprintf(Line, Size,
-                    "{\"t\":%" PRIu64 ",\"ev\":\"gc-pace-trigger\",\"live\":%" PRIu64
+                    ",\"t\":%" PRIu64 ",\"ev\":\"gc-pace-trigger\",\"live\":%" PRIu64
                     ",\"trigger\":%" PRIu64 "}\n",
                     E.TimeNs, E.V0, E.V1);
       break;
     case EventKind::GcMarkStart:
       std::snprintf(Line, Size,
-                    "{\"t\":%" PRIu64 ",\"ev\":\"gc-mark-start\",\"live\":%" PRIu64
+                    ",\"t\":%" PRIu64 ",\"ev\":\"gc-mark-start\",\"live\":%" PRIu64
                     "}\n",
                     E.TimeNs, E.V0);
       break;
     case EventKind::GcMarkEnd:
       std::snprintf(Line, Size,
-                    "{\"t\":%" PRIu64 ",\"ev\":\"gc-mark-end\",\"ns\":%" PRIu64
+                    ",\"t\":%" PRIu64 ",\"ev\":\"gc-mark-end\",\"ns\":%" PRIu64
                     "}\n",
                     E.TimeNs, E.V0);
       break;
     case EventKind::GcSweepEnd:
       std::snprintf(Line, Size,
-                    "{\"t\":%" PRIu64 ",\"ev\":\"gc-sweep-end\",\"bytes\":%" PRIu64
+                    ",\"t\":%" PRIu64 ",\"ev\":\"gc-sweep-end\",\"bytes\":%" PRIu64
                     ",\"objects\":%" PRIu64 "}\n",
                     E.TimeNs, E.V0, E.V1);
       break;
     case EventKind::GcCycleEnd:
       std::snprintf(Line, Size,
-                    "{\"t\":%" PRIu64 ",\"ev\":\"gc-cycle-end\",\"ns\":%" PRIu64
+                    ",\"t\":%" PRIu64 ",\"ev\":\"gc-cycle-end\",\"ns\":%" PRIu64
                     ",\"live\":%" PRIu64 "}\n",
                     E.TimeNs, E.V0, E.V1);
       break;
     case EventKind::TcfreeFreed:
       std::snprintf(Line, Size,
-                    "{\"t\":%" PRIu64
+                    ",\"t\":%" PRIu64
                     ",\"ev\":\"tcfree\",\"outcome\":\"freed\",\"source\":\"%s\","
                     "\"bytes\":%" PRIu64 "}\n",
                     E.TimeNs, freeSourceName(E.Arg), E.V0);
       break;
     case EventKind::TcfreeGiveUp:
       std::snprintf(Line, Size,
-                    "{\"t\":%" PRIu64
+                    ",\"t\":%" PRIu64
                     ",\"ev\":\"tcfree\",\"outcome\":\"give-up\",\"reason\":\"%s\","
                     "\"count\":%" PRIu64 "}\n",
                     E.TimeNs,
@@ -269,7 +283,7 @@ static void formatEvent(char *Line, size_t Size, const Event &E) {
       break;
     case EventKind::HeapAlloc:
       std::snprintf(Line, Size,
-                    "{\"t\":%" PRIu64
+                    ",\"t\":%" PRIu64
                     ",\"ev\":\"alloc\",\"where\":\"heap\",\"cat\":\"%s\","
                     "\"bytes\":%" PRIu64 ",\"large\":%s}\n",
                     E.TimeNs, allocCatName(E.Arg), E.V0,
@@ -277,52 +291,55 @@ static void formatEvent(char *Line, size_t Size, const Event &E) {
       break;
     case EventKind::StackAlloc:
       std::snprintf(Line, Size,
-                    "{\"t\":%" PRIu64
+                    ",\"t\":%" PRIu64
                     ",\"ev\":\"alloc\",\"where\":\"stack\",\"cat\":\"%s\","
                     "\"bytes\":%" PRIu64 "}\n",
                     E.TimeNs, allocCatName(E.Arg), E.V0);
       break;
     case EventKind::PassTime:
       std::snprintf(Line, Size,
-                    "{\"t\":%" PRIu64 ",\"ev\":\"pass\",\"pass\":\"%s\",\"ns\":%" PRIu64
+                    ",\"t\":%" PRIu64 ",\"ev\":\"pass\",\"pass\":\"%s\",\"ns\":%" PRIu64
                     "}\n",
                     E.TimeNs, passName((Pass)E.Arg), E.V0);
       break;
     default:
       std::snprintf(Line, Size,
-                    "{\"t\":%" PRIu64 ",\"ev\":\"unknown\",\"kind\":%u}\n",
+                    ",\"t\":%" PRIu64 ",\"ev\":\"unknown\",\"kind\":%u}\n",
                     E.TimeNs, (unsigned)E.Kind);
       break;
   }
 }
 
-static void writeTraceEnd(std::ostream &Os, size_t Events, uint64_t Dropped) {
-  char Line[128];
-  std::snprintf(Line, sizeof(Line),
-                "{\"ev\":\"trace-end\",\"events\":%zu,\"dropped\":%" PRIu64
+static void writeTraceEnd(std::ostream &Os, size_t Events, uint64_t Dropped,
+                          const char *Leg) {
+  char Line[192];
+  int N = formatPrefix(Line, sizeof(Line), Leg);
+  std::snprintf(Line + N, sizeof(Line) - (size_t)N,
+                ",\"ev\":\"trace-end\",\"events\":%zu,\"dropped\":%" PRIu64
                 "}\n",
                 Events, Dropped);
   Os << Line;
 }
 
-void writeJsonLines(std::ostream &Os, const TraceSink &Sink) {
-  char Line[256];
+void writeJsonLines(std::ostream &Os, const TraceSink &Sink,
+                    const char *Leg) {
+  char Line[320];
   size_t N = Sink.size();
   for (size_t I = 0; I < N; ++I) {
-    formatEvent(Line, sizeof(Line), Sink[I]);
+    formatEvent(Line, sizeof(Line), Sink[I], Leg);
     Os << Line;
   }
-  writeTraceEnd(Os, N, Sink.dropped());
+  writeTraceEnd(Os, N, Sink.dropped(), Leg);
 }
 
 void writeJsonLines(std::ostream &Os, const std::vector<Event> &Events,
-                    uint64_t Dropped) {
-  char Line[256];
+                    uint64_t Dropped, const char *Leg) {
+  char Line[320];
   for (const Event &E : Events) {
-    formatEvent(Line, sizeof(Line), E);
+    formatEvent(Line, sizeof(Line), E, Leg);
     Os << Line;
   }
-  writeTraceEnd(Os, Events.size(), Dropped);
+  writeTraceEnd(Os, Events.size(), Dropped, Leg);
 }
 
 static double ms(uint64_t Nanos) { return (double)Nanos / 1e6; }

@@ -238,13 +238,22 @@ TraceSummary summarize(const TraceSink &Sink);
 /// Same, over an already-merged event stream (TraceHub::merge()).
 TraceSummary summarize(const std::vector<Event> &Events, uint64_t Dropped);
 
+/// Version of the JSONL event schema; every line carries it as `"v"`.
+/// Bump on any incompatible change to field names or meanings.
+inline constexpr int JsonSchemaVersion = 1;
+
 /// Streams every event as one JSON object per line, then a final
-/// `{"ev":"trace-end",...}` record carrying the drop counter. The schema is
-/// documented in docs/TRACING.md.
-void writeJsonLines(std::ostream &Os, const TraceSink &Sink);
+/// `{"v":1,...,"ev":"trace-end",...}` record carrying the drop counter.
+/// Every line starts with the schema version; a non-null \p Leg adds a
+/// `"leg"` field naming the pipeline leg ("go", "gofree", ...) that
+/// produced the stream, so multi-leg consumers (the fuzz differ,
+/// `gofree compare`) can concatenate files and still attribute events.
+/// The schema is documented in docs/TRACING.md.
+void writeJsonLines(std::ostream &Os, const TraceSink &Sink,
+                    const char *Leg = nullptr);
 /// Same, over an already-merged event stream (TraceHub::merge()).
 void writeJsonLines(std::ostream &Os, const std::vector<Event> &Events,
-                    uint64_t Dropped);
+                    uint64_t Dropped, const char *Leg = nullptr);
 
 /// Human-readable dump of a summary (the --trace-summary output).
 void printSummary(FILE *Out, const TraceSummary &S);

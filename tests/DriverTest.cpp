@@ -1,0 +1,303 @@
+//===- tests/DriverTest.cpp - Shared pipeline flag grammar tests ----------===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for compiler::driver: every flag of the shared grammar round-trips
+/// into PipelineOptions, invalid values are rejected with a diagnostic,
+/// non-pipeline flags stay Unknown (so front ends can layer their own), and
+/// compileAndRun / outcomeJson flatten outcomes the way the CLI, the bench
+/// binaries, and the fuzz legs rely on. The round-trip table is
+/// cross-checked against usageText() so the grammar and its docs can't
+/// drift apart.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+using namespace gofree;
+using namespace gofree::compiler;
+using namespace gofree::compiler::driver;
+
+namespace {
+
+PipelineOptions parsedOk(const std::string &Flag) {
+  PipelineOptions P;
+  std::string Err;
+  EXPECT_EQ(parseFlag(Flag, P, &Err), FlagParse::Ok) << Flag << ": " << Err;
+  return P;
+}
+
+std::string invalidErr(const std::string &Flag) {
+  PipelineOptions P;
+  std::string Err;
+  EXPECT_EQ(parseFlag(Flag, P, &Err), FlagParse::Invalid) << Flag;
+  EXPECT_FALSE(Err.empty()) << Flag << " gave no diagnostic";
+  return Err;
+}
+
+/// The flag names this suite exercises; compared against usageText() so a
+/// new flag without a round-trip test fails CoversEveryUsageLine.
+const std::set<std::string> &testedFlags() {
+  static const std::set<std::string> Names = {
+      "mode",        "entry",      "targets",    "gogc",
+      "gc-min-trigger", "mock",    "num-threads", "num-caches",
+      "verify-heap", "max-steps",  "migration-period",
+  };
+  return Names;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Flag round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(DriverFlagTest, ModeRoundTrips) {
+  EXPECT_EQ(parsedOk("--mode=go").Compile.Mode, CompileMode::Go);
+  EXPECT_EQ(parsedOk("--mode=gofree").Compile.Mode, CompileMode::GoFree);
+}
+
+TEST(DriverFlagTest, EntryRoundTrips) {
+  EXPECT_EQ(parsedOk("--entry=bench").Entry, "bench");
+}
+
+TEST(DriverFlagTest, TargetsRoundTrips) {
+  EXPECT_EQ(parsedOk("--targets=all").Compile.Targets,
+            escape::FreeTargets::All);
+  EXPECT_EQ(parsedOk("--targets=sm").Compile.Targets,
+            escape::FreeTargets::SlicesAndMaps);
+  EXPECT_EQ(parsedOk("--targets=none").Compile.Targets,
+            escape::FreeTargets::None);
+}
+
+TEST(DriverFlagTest, GogcRoundTrips) {
+  EXPECT_EQ(parsedOk("--gogc=250").Exec.Heap.Gogc, 250);
+  EXPECT_EQ(parsedOk("--gogc=-1").Exec.Heap.Gogc, -1); // Go-GCOff
+}
+
+TEST(DriverFlagTest, GcMinTriggerRoundTrips) {
+  EXPECT_EQ(parsedOk("--gc-min-trigger=65536").Exec.Heap.MinHeapTrigger,
+            65536u);
+  EXPECT_EQ(parsedOk("--gc-min-trigger=0").Exec.Heap.MinHeapTrigger, 0u);
+}
+
+TEST(DriverFlagTest, MockRoundTrips) {
+  EXPECT_EQ(parsedOk("--mock=off").Exec.Heap.Mock, rt::MockTcfree::Off);
+  EXPECT_EQ(parsedOk("--mock=zero").Exec.Heap.Mock, rt::MockTcfree::Zero);
+  EXPECT_EQ(parsedOk("--mock=flip").Exec.Heap.Mock, rt::MockTcfree::Flip);
+}
+
+TEST(DriverFlagTest, NumThreadsRoundTrips) {
+  EXPECT_EQ(parsedOk("--num-threads=3").Exec.NumThreads, 3);
+  EXPECT_EQ(parsedOk("--num-threads=1024").Exec.NumThreads, 1024);
+}
+
+TEST(DriverFlagTest, NumCachesRoundTrips) {
+  EXPECT_EQ(parsedOk("--num-caches=8").Exec.Heap.NumCaches, 8);
+}
+
+TEST(DriverFlagTest, VerifyHeapRoundTrips) {
+  EXPECT_TRUE(parsedOk("--verify-heap").Exec.Heap.Verify);
+  EXPECT_TRUE(parsedOk("--verify-heap=1").Exec.Heap.Verify);
+  EXPECT_TRUE(parsedOk("--verify-heap=true").Exec.Heap.Verify);
+  EXPECT_FALSE(parsedOk("--verify-heap=0").Exec.Heap.Verify);
+  EXPECT_FALSE(parsedOk("--verify-heap=false").Exec.Heap.Verify);
+}
+
+TEST(DriverFlagTest, MaxStepsRoundTrips) {
+  EXPECT_EQ(parsedOk("--max-steps=12345").Exec.Interp.MaxSteps, 12345u);
+}
+
+TEST(DriverFlagTest, MigrationPeriodRoundTrips) {
+  EXPECT_EQ(parsedOk("--migration-period=1024").Exec.Interp.MigrationPeriod,
+            1024u);
+  EXPECT_EQ(parsedOk("--migration-period=0").Exec.Interp.MigrationPeriod, 0u);
+}
+
+TEST(DriverFlagTest, CoversEveryUsageLine) {
+  // Each usage line is "  --name[=VALUE]  help". Every advertised flag must
+  // have a round-trip test above (and vice versa).
+  std::set<std::string> Advertised;
+  std::istringstream In(usageText());
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t Dash = Line.find("--");
+    ASSERT_NE(Dash, std::string::npos) << "usage line without flag: " << Line;
+    size_t End = Line.find_first_of("= ", Dash + 2);
+    ASSERT_NE(End, std::string::npos);
+    Advertised.insert(Line.substr(Dash + 2, End - Dash - 2));
+  }
+  EXPECT_EQ(Advertised, testedFlags())
+      << "usageText and the round-trip table disagree; update both";
+}
+
+//===----------------------------------------------------------------------===//
+// Invalid values and unknown flags
+//===----------------------------------------------------------------------===//
+
+TEST(DriverFlagTest, RejectsBadValues) {
+  EXPECT_NE(invalidErr("--mode=xyz").find("go|gofree"), std::string::npos);
+  EXPECT_NE(invalidErr("--targets=slices").find("all|sm|none"),
+            std::string::npos);
+  invalidErr("--gogc=abc");
+  invalidErr("--gc-min-trigger=-1");
+  invalidErr("--mock=poison");
+  invalidErr("--num-threads=0");
+  invalidErr("--num-threads=1025");
+  invalidErr("--num-caches=0");
+  invalidErr("--verify-heap=banana");
+  invalidErr("--max-steps=0");
+  invalidErr("--migration-period=-5");
+  // Missing values.
+  invalidErr("--mode");
+  invalidErr("--mode=");
+  invalidErr("--entry=");
+  invalidErr("--gogc");
+}
+
+TEST(DriverFlagTest, UnknownFlagsPassThrough) {
+  // Front-end-only flags and non-flags must stay Unknown, untouched.
+  PipelineOptions P;
+  EXPECT_EQ(parseFlag("--stats", P), FlagParse::Unknown);
+  EXPECT_EQ(parseFlag("--trace-out=t.jsonl", P), FlagParse::Unknown);
+  EXPECT_EQ(parseFlag("--json", P), FlagParse::Unknown);
+  EXPECT_EQ(parseFlag("prog.minigo", P), FlagParse::Unknown);
+  EXPECT_EQ(parseFlag("-mode=go", P), FlagParse::Unknown);
+}
+
+TEST(DriverFlagTest, ParseFlagsAppliesAllOrFails) {
+  PipelineOptions P;
+  std::string Err;
+  ASSERT_TRUE(parseFlags({"--mode=go", "--gogc=-1", "--verify-heap"}, P, &Err))
+      << Err;
+  EXPECT_EQ(P.Compile.Mode, CompileMode::Go);
+  EXPECT_EQ(P.Exec.Heap.Gogc, -1);
+  EXPECT_TRUE(P.Exec.Heap.Verify);
+
+  PipelineOptions Q;
+  EXPECT_FALSE(parseFlags({"--mode=go", "--stats"}, Q, &Err));
+  EXPECT_NE(Err.find("--stats"), std::string::npos);
+  EXPECT_FALSE(parseFlags({"--gogc=zz"}, Q, &Err));
+
+  std::vector<std::string> Vec = {"--num-threads=2", "--num-caches=2"};
+  PipelineOptions R;
+  ASSERT_TRUE(parseFlags(Vec, R, &Err)) << Err;
+  EXPECT_EQ(R.Exec.NumThreads, 2);
+  EXPECT_EQ(R.Exec.Heap.NumCaches, 2);
+}
+
+TEST(DriverFlagTest, LegNames) {
+  EXPECT_STREQ(legName(CompileMode::Go), "go");
+  EXPECT_STREQ(legName(CompileMode::GoFree), "gofree");
+}
+
+//===----------------------------------------------------------------------===//
+// compileAndRun flattening
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *OkProg = R"go(
+func main(n int) {
+  s := make([]int, n)
+  for i := 0; i < n; i = i + 1 {
+    s[i] = i * i
+  }
+  acc := 0
+  for i := 0; i < n; i = i + 1 {
+    acc = acc + s[i]
+  }
+  sink(acc)
+}
+)go";
+
+PipelineOptions optsFor(std::initializer_list<std::string_view> Flags) {
+  PipelineOptions P;
+  std::string Err;
+  EXPECT_TRUE(parseFlags(Flags, P, &Err)) << Err;
+  return P;
+}
+
+} // namespace
+
+TEST(DriverRunTest, OkProgramHasEmptyError) {
+  ExecOutcome O = compileAndRun(OkProg, optsFor({"--mode=gofree"}), {10});
+  EXPECT_TRUE(O.ok()) << O.Error;
+  EXPECT_EQ(O.Run.SinkCount, 1u);
+  EXPECT_NE(O.Run.Checksum, 0u);
+}
+
+TEST(DriverRunTest, CompileErrorIsFlattenedWithPrefix) {
+  ExecOutcome O = compileAndRun("func main(", optsFor({"--mode=go"}), {});
+  EXPECT_FALSE(O.ok());
+  EXPECT_EQ(O.Error.rfind("compile error:", 0), 0u) << O.Error;
+}
+
+TEST(DriverRunTest, PanicIsFlattened) {
+  ExecOutcome O = compileAndRun("func main(n int) { panic(7) }",
+                                optsFor({"--mode=go"}), {1});
+  EXPECT_FALSE(O.ok());
+  EXPECT_TRUE(O.Run.Panicked);
+  EXPECT_EQ(O.Run.PanicValue, 7);
+  EXPECT_NE(O.Error.find("panic"), std::string::npos) << O.Error;
+}
+
+TEST(DriverRunTest, RuntimeFaultIsFlattened) {
+  // Out-of-bounds write: a runtime fault, not a panic.
+  ExecOutcome O =
+      compileAndRun("func main(n int) { s := make([]int, 1)\n  s[n] = 3 }",
+                    optsFor({"--mode=go"}), {5});
+  EXPECT_FALSE(O.ok());
+  EXPECT_FALSE(O.Run.Panicked);
+  EXPECT_FALSE(O.Run.Error.empty());
+  EXPECT_NE(O.Error.find(O.Run.Error), std::string::npos)
+      << "flattened error should carry the interpreter fault";
+}
+
+TEST(DriverRunTest, OutOfFuelIsFlattened) {
+  ExecOutcome O = compileAndRun(OkProg, optsFor({"--mode=go", "--max-steps=5"}),
+                                {1000});
+  EXPECT_FALSE(O.ok());
+  EXPECT_TRUE(O.Run.OutOfFuel);
+}
+
+//===----------------------------------------------------------------------===//
+// outcomeJson
+//===----------------------------------------------------------------------===//
+
+TEST(DriverJsonTest, CarriesSchemaVersionLegAndObservables) {
+  ExecOutcome O = compileAndRun(OkProg, optsFor({"--mode=gofree"}), {10});
+  ASSERT_TRUE(O.ok()) << O.Error;
+  std::string J = outcomeJson(O, legName(CompileMode::GoFree));
+  EXPECT_EQ(J.rfind("{\"v\":1,", 0), 0u) << J;
+  EXPECT_NE(J.find("\"leg\":\"gofree\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"ok\":true"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"error\":\"\""), std::string::npos) << J;
+  char Want[64];
+  std::snprintf(Want, sizeof(Want), "\"checksum\":\"%016llx\"",
+                (unsigned long long)O.Run.Checksum);
+  EXPECT_NE(J.find(Want), std::string::npos) << J;
+  EXPECT_NE(J.find("\"stats\":{"), std::string::npos) << J;
+}
+
+TEST(DriverJsonTest, ErrorStaysOneEscapedLine) {
+  // Compile diagnostics are multi-line; the JSON record must stay one line
+  // with the newlines escaped.
+  ExecOutcome O = compileAndRun("func main(\nfunc g() {}",
+                                optsFor({"--mode=go"}), {});
+  ASSERT_FALSE(O.ok());
+  std::string J = outcomeJson(O, "go");
+  EXPECT_EQ(J.find('\n'), std::string::npos) << J;
+  EXPECT_NE(J.find("\"ok\":false"), std::string::npos) << J;
+  EXPECT_NE(J.find("compile error:"), std::string::npos) << J;
+}

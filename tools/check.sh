@@ -10,6 +10,11 @@
 #                             build-tsan tree with -DGOFREE_SANITIZE=thread
 #                             and run the concurrency suite (ctest label
 #                             tsan_smoke) under it
+#   tools/check.sh fuzz       differential fuzzing pass: a 200-seed corpus
+#                             with the regular build, then a shorter corpus
+#                             with the ThreadSanitizer build (the fuzz legs
+#                             include an N-thread leg, so this races real
+#                             mutator threads under TSan)
 #
 # The smoke test runs examples/quickstart.minigo under --trace-out and
 # asserts the trace is valid JSON-lines containing at least one GC event,
@@ -78,7 +83,18 @@ tsan)
   (cd "$ROOT/build-tsan" && ctest -L tsan_smoke --output-on-failure)
   echo "check.sh: tsan smoke OK"
   ;;
+fuzz)
+  cmake -B "$ROOT/build" -S "$ROOT"
+  cmake --build "$ROOT/build" -j --target gofree
+  "$ROOT/build/tools/gofree" fuzz --seed=1 --count=200 \
+    || fail "differential fuzz corpus failed (regular build)"
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DGOFREE_SANITIZE=thread
+  cmake --build "$ROOT/build-tsan" -j --target gofree
+  "$ROOT/build-tsan/tools/gofree" fuzz --seed=1 --count=40 \
+    || fail "differential fuzz corpus failed under ThreadSanitizer"
+  echo "check.sh: fuzz corpus OK (200 seeds regular, 40 seeds tsan)"
+  ;;
 *)
-  fail "unknown mode '$MODE' (expected 'all', 'smoke', or 'tsan')"
+  fail "unknown mode '$MODE' (expected 'all', 'smoke', 'tsan', or 'fuzz')"
   ;;
 esac

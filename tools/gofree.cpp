@@ -10,32 +10,33 @@
 //   gofree run prog.minigo [args...]      compile with GoFree and run main
 //   gofree compare prog.minigo [args...]  run under Go and GoFree, diff stats
 //   gofree dump prog.minigo               print analysis + instrumented code
+//   gofree fuzz [--seed=S] [--count=N]    differential fuzzing campaign
 //
-// Flags (before the file):
-//   --mode=go|gofree      pipeline to use for `run` (default gofree)
-//   --entry=NAME          entry function (default main)
-//   --gogc=N              GOGC pacing percent; -1 disables GC
-//   --mock=zero|flip      poisoning tcfree (robustness testing)
-//   --targets=all|sm|none free targets (default sm = slices and maps)
+// Pipeline flags (before the command) are shared with every other front
+// end through compiler::driver -- see `gofree` with no arguments for the
+// list. CLI-only flags:
 //   --stats               print runtime statistics after the run
+//   --json                print one machine-readable JSON line per run
 //   --trace-out=FILE      write the event trace as JSON-lines (for compare,
 //                         FILE.go and FILE.gofree, one per leg)
 //   --trace-summary       print an aggregated trace summary after the run
-//   --num-threads=N       run N real mutator threads on one shared heap
-//                         (each executes the entry function; checksums add).
-//                         Traces come from per-thread sinks merged into one
-//                         time-ordered stream.
+//
+// Exit codes: 0 on success, 1 when the program fails (frontend error,
+// runtime fault, panic, fuel, heap-invariant violation -- anything that
+// makes ExecOutcome::ok() false), 2 on usage errors.
 //
 //===----------------------------------------------------------------------===//
 
-#include "compiler/Pipeline.h"
+#include "compiler/Driver.h"
 #include "escape/Diagnostics.h"
+#include "fuzz/Fuzzer.h"
 #include "minigo/AstPrinter.h"
 #include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -50,39 +51,67 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: gofree [flags] run|compare|dump <file> [int args...]\n"
-               "flags: --mode=go|gofree --entry=NAME --gogc=N "
-               "--mock=zero|flip --targets=all|sm|none --stats\n"
-               "       --trace-out=FILE --trace-summary --num-threads=N\n");
+               "       gofree fuzz [--seed=S] [--count=N] [--threads=T] "
+               "[--no-reduce]\n"
+               "pipeline flags (shared with the bench binaries):\n%s"
+               "cli flags:\n"
+               "  --stats                      print runtime statistics\n"
+               "  --json                       one JSON line per run\n"
+               "  --trace-out=FILE             write the JSONL event trace\n"
+               "  --trace-summary              print a trace summary\n",
+               driver::usageText().c_str());
   return 2;
 }
 
-bool readFile(const std::string &Path, std::string &Out) {
-  std::ifstream In(Path);
-  if (!In)
+/// Reads \p Path into \p Out. Opens in binary mode (no newline mangling;
+/// byte-exact sources make fuzz reproducers portable) and rejects
+/// non-regular files up front: reading a directory used to yield an empty
+/// source and a baffling "missing entry function" error downstream.
+bool readFile(const std::string &Path, std::string &Out, std::string &Err) {
+  std::error_code Ec;
+  std::filesystem::file_status St = std::filesystem::status(Path, Ec);
+  if (Ec || !std::filesystem::exists(St)) {
+    Err = "cannot open " + Path + ": no such file";
     return false;
+  }
+  if (!std::filesystem::is_regular_file(St)) {
+    Err = "cannot read " + Path + ": not a regular file";
+    return false;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Err = "cannot open " + Path;
+    return false;
+  }
   std::stringstream Ss;
   Ss << In.rdbuf();
+  if (In.bad()) {
+    Err = "I/O error reading " + Path;
+    return false;
+  }
   Out = Ss.str();
   return true;
 }
 
-bool writeTrace(const std::string &Path, const trace::TraceSink &Sink) {
+bool writeTrace(const std::string &Path, const trace::TraceSink &Sink,
+                const char *Leg) {
   std::ofstream Out(Path);
   if (!Out) {
     std::fprintf(stderr, "gofree: cannot write trace to %s\n", Path.c_str());
     return false;
   }
-  trace::writeJsonLines(Out, Sink);
+  trace::writeJsonLines(Out, Sink, Leg);
   return true;
 }
 
-bool writeTrace(const std::string &Path, const trace::TraceHub &Hub) {
+bool writeTrace(const std::string &Path, const trace::TraceHub &Hub,
+                const char *Leg) {
   std::ofstream Out(Path);
   if (!Out) {
     std::fprintf(stderr, "gofree: cannot write trace to %s\n", Path.c_str());
     return false;
   }
-  trace::writeJsonLines(Out, Hub.merge(), Hub.dropped());
+  trace::writeJsonLines(Out, Hub.merge(), Hub.dropped(), Leg);
   return true;
 }
 
@@ -133,100 +162,110 @@ trace::TraceSummary exactSummary(const rt::StatsSnapshot &S,
   return T;
 }
 
-int runOnce(const Compilation &C, const std::string &Entry,
-            const std::vector<int64_t> &Args, const ExecOptions &EO,
-            bool Stats) {
-  ExecOutcome O = execute(C, Entry, Args, EO);
-  if (O.Run.Panicked) {
-    std::printf("panic: %lld\n", (long long)O.Run.PanicValue);
-  } else if (!O.Run.ok()) {
-    std::fprintf(stderr, "runtime error: %s\n", O.Run.Error.c_str());
+int64_t parseCliInt(const std::string &Flag, size_t Prefix, bool &Ok) {
+  char *End = nullptr;
+  const char *S = Flag.c_str() + Prefix;
+  int64_t V = std::strtoll(S, &End, 10);
+  Ok = End != S && *End == '\0';
+  return V;
+}
+
+int cmdFuzz(int Argc, char **Argv, int I) {
+  fuzz::FuzzOptions FO;
+  FO.Out = stdout;
+  for (; I < Argc; ++I) {
+    std::string Flag = Argv[I];
+    bool Ok = false;
+    if (Flag.rfind("--seed=", 0) == 0) {
+      int64_t V = parseCliInt(Flag, 7, Ok);
+      if (!Ok || V < 0)
+        return usage();
+      FO.Seed = (uint64_t)V;
+    } else if (Flag.rfind("--count=", 0) == 0) {
+      int64_t V = parseCliInt(Flag, 8, Ok);
+      if (!Ok || V < 1)
+        return usage();
+      FO.Count = (int)V;
+    } else if (Flag.rfind("--threads=", 0) == 0) {
+      int64_t V = parseCliInt(Flag, 10, Ok);
+      if (!Ok || V < 0 || V > 64)
+        return usage();
+      FO.MtThreads = (int)V;
+    } else if (Flag == "--no-reduce") {
+      FO.Reduce = false;
+    } else {
+      std::fprintf(stderr, "gofree fuzz: unknown flag '%s'\n", Flag.c_str());
+      return usage();
+    }
+  }
+  fuzz::FuzzReport R = fuzz::runFuzz(FO);
+  if (!R.ok()) {
+    std::fprintf(stderr, "gofree fuzz: seed %llu failed: %s\n",
+                 (unsigned long long)R.FailingSeed, R.Failure.c_str());
     return 1;
   }
-  std::printf("checksum %016llx over %llu sink() calls\n",
-              (unsigned long long)O.Run.Checksum,
-              (unsigned long long)O.Run.SinkCount);
-  if (Stats)
-    printStats(O.Stats, O.WallSeconds);
   return 0;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  CompileOptions CO;
-  ExecOptions EO;
-  std::string Entry = "main";
+  driver::PipelineOptions P;
   bool Stats = false;
   bool TraceSummary = false;
+  bool Json = false;
   std::string TraceOut;
 
   int I = 1;
   for (; I < Argc && std::strncmp(Argv[I], "--", 2) == 0; ++I) {
     std::string Flag = Argv[I];
+    std::string Err;
+    driver::FlagParse FP = driver::parseFlag(Flag, P, &Err);
+    if (FP == driver::FlagParse::Ok)
+      continue;
+    if (FP == driver::FlagParse::Invalid) {
+      std::fprintf(stderr, "gofree: %s\n", Err.c_str());
+      return 2;
+    }
+    // Unknown to the shared grammar: one of the CLI-layer flags.
     if (Flag == "--stats") {
       Stats = true;
     } else if (Flag == "--trace-summary") {
       TraceSummary = true;
+    } else if (Flag == "--json") {
+      Json = true;
     } else if (Flag.rfind("--trace-out=", 0) == 0) {
       TraceOut = Flag.substr(12);
       if (TraceOut.empty())
         return usage();
-    } else if (Flag.rfind("--mode=", 0) == 0) {
-      std::string V = Flag.substr(7);
-      if (V == "go")
-        CO.Mode = CompileMode::Go;
-      else if (V == "gofree")
-        CO.Mode = CompileMode::GoFree;
-      else
-        return usage();
-    } else if (Flag.rfind("--entry=", 0) == 0) {
-      Entry = Flag.substr(8);
-    } else if (Flag.rfind("--gogc=", 0) == 0) {
-      EO.Heap.Gogc = std::atoi(Flag.c_str() + 7);
-    } else if (Flag.rfind("--mock=", 0) == 0) {
-      std::string V = Flag.substr(7);
-      if (V == "zero")
-        EO.Heap.Mock = rt::MockTcfree::Zero;
-      else if (V == "flip")
-        EO.Heap.Mock = rt::MockTcfree::Flip;
-      else
-        return usage();
-    } else if (Flag.rfind("--num-threads=", 0) == 0) {
-      EO.NumThreads = std::atoi(Flag.c_str() + 14);
-      if (EO.NumThreads < 1)
-        return usage();
-    } else if (Flag.rfind("--targets=", 0) == 0) {
-      std::string V = Flag.substr(10);
-      if (V == "all")
-        CO.Targets = escape::FreeTargets::All;
-      else if (V == "sm")
-        CO.Targets = escape::FreeTargets::SlicesAndMaps;
-      else if (V == "none")
-        CO.Targets = escape::FreeTargets::None;
-      else
-        return usage();
     } else {
+      std::fprintf(stderr, "gofree: unknown flag '%s'\n", Flag.c_str());
       return usage();
     }
   }
-  if (Argc - I < 2)
+  if (Argc - I < 1)
     return usage();
   std::string Command = Argv[I++];
+
+  if (Command == "fuzz")
+    return cmdFuzz(Argc, Argv, I);
+
+  if (Argc - I < 1)
+    return usage();
   std::string Path = Argv[I++];
   std::vector<int64_t> Args;
   for (; I < Argc; ++I)
     Args.push_back(std::atoll(Argv[I]));
   bool Tracing = TraceSummary || !TraceOut.empty();
 
-  std::string Source;
-  if (!readFile(Path, Source)) {
-    std::fprintf(stderr, "gofree: cannot open %s\n", Path.c_str());
+  std::string Source, ReadErr;
+  if (!readFile(Path, Source, ReadErr)) {
+    std::fprintf(stderr, "gofree: %s\n", ReadErr.c_str());
     return 1;
   }
 
   if (Command == "dump") {
-    Compilation C = compile(Source, CO);
+    Compilation C = compile(Source, P.Compile);
     if (!C.ok()) {
       std::fprintf(stderr, "%s", C.Errors.c_str());
       return 1;
@@ -250,82 +289,94 @@ int main(int Argc, char **Argv) {
   }
 
   if (Command == "run") {
+    const char *Leg = driver::legName(P.Compile.Mode);
     std::unique_ptr<trace::TraceSink> Sink;
     std::unique_ptr<trace::TraceHub> Hub;
     if (Tracing) {
-      if (EO.NumThreads > 1) {
+      if (P.Exec.NumThreads > 1) {
         // The single-producer ring cannot take N writers; each worker gets
         // its own sink from the hub and the streams merge at drain time.
         // Compile-pass events use a hub sink too, so everything shares one
         // timeline.
         Hub = std::make_unique<trace::TraceHub>();
-        CO.Trace = Hub->makeSink();
-        EO.Hub = Hub.get();
+        P.Compile.Trace = Hub->makeSink();
+        P.Exec.Hub = Hub.get();
       } else {
         Sink = std::make_unique<trace::TraceSink>();
-        CO.Trace = Sink.get();
-        EO.Heap.Trace = Sink.get();
+        P.Compile.Trace = Sink.get();
+        P.Exec.Heap.Trace = Sink.get();
       }
     }
-    Compilation C = compile(Source, CO);
-    if (!C.ok()) {
+    Compilation C;
+    ExecOutcome O = driver::compileAndRun(Source, P, Args, &C);
+    if (Json) {
+      std::printf("%s\n", driver::outcomeJson(O, Leg).c_str());
+    } else if (!C.ok()) {
       std::fprintf(stderr, "%s", C.Errors.c_str());
-      return 1;
+    } else {
+      if (O.Run.Panicked)
+        std::printf("panic: %lld\n", (long long)O.Run.PanicValue);
+      else if (!O.ok())
+        std::fprintf(stderr, "gofree: %s\n", O.Error.c_str());
+      std::printf("checksum %016llx over %llu sink() calls\n",
+                  (unsigned long long)O.Run.Checksum,
+                  (unsigned long long)O.Run.SinkCount);
+      if (Stats)
+        printStats(O.Stats, O.WallSeconds);
     }
-    int Rc = runOnce(C, Entry, Args, EO, Stats);
-    if (Sink) {
-      if (!TraceOut.empty() && !writeTrace(TraceOut, *Sink))
-        return 1;
-      if (TraceSummary)
-        trace::printSummary(stdout, trace::summarize(*Sink));
-    } else if (Hub) {
-      if (!TraceOut.empty() && !writeTrace(TraceOut, *Hub))
-        return 1;
-      if (TraceSummary)
-        trace::printSummary(stdout,
-                            trace::summarize(Hub->merge(), Hub->dropped()));
+    if (C.ok()) {
+      if (Sink) {
+        if (!TraceOut.empty() && !writeTrace(TraceOut, *Sink, Leg))
+          return 1;
+        if (TraceSummary)
+          trace::printSummary(stdout, trace::summarize(*Sink));
+      } else if (Hub) {
+        if (!TraceOut.empty() && !writeTrace(TraceOut, *Hub, Leg))
+          return 1;
+        if (TraceSummary)
+          trace::printSummary(stdout,
+                              trace::summarize(Hub->merge(), Hub->dropped()));
+      }
     }
-    return Rc;
+    return O.ok() ? 0 : 1;
   }
 
   if (Command == "compare") {
-    CompileOptions GoOpts = CO;
-    GoOpts.Mode = CompileMode::Go;
-    CompileOptions FreeOpts = CO;
-    FreeOpts.Mode = CompileMode::GoFree;
+    driver::PipelineOptions GoP = P, FreeP = P;
+    GoP.Compile.Mode = CompileMode::Go;
+    FreeP.Compile.Mode = CompileMode::GoFree;
     // One sink per leg: sharing a sink (or any mutable counters) across
     // the legs would let the first run contaminate the second's report.
     std::unique_ptr<trace::TraceSink> GoSink, FreeSink;
     std::unique_ptr<trace::TraceHub> GoHub, FreeHub;
-    ExecOptions GoEO = EO, FreeEO = EO;
     if (Tracing) {
-      if (EO.NumThreads > 1) {
+      if (P.Exec.NumThreads > 1) {
         GoHub = std::make_unique<trace::TraceHub>();
         FreeHub = std::make_unique<trace::TraceHub>();
-        GoOpts.Trace = GoHub->makeSink();
-        FreeOpts.Trace = FreeHub->makeSink();
-        GoEO.Hub = GoHub.get();
-        FreeEO.Hub = FreeHub.get();
+        GoP.Compile.Trace = GoHub->makeSink();
+        FreeP.Compile.Trace = FreeHub->makeSink();
+        GoP.Exec.Hub = GoHub.get();
+        FreeP.Exec.Hub = FreeHub.get();
       } else {
         GoSink = std::make_unique<trace::TraceSink>();
         FreeSink = std::make_unique<trace::TraceSink>();
-        GoOpts.Trace = GoSink.get();
-        FreeOpts.Trace = FreeSink.get();
-        GoEO.Heap.Trace = GoSink.get();
-        FreeEO.Heap.Trace = FreeSink.get();
+        GoP.Compile.Trace = GoSink.get();
+        FreeP.Compile.Trace = FreeSink.get();
+        GoP.Exec.Heap.Trace = GoSink.get();
+        FreeP.Exec.Heap.Trace = FreeSink.get();
       }
     }
-    Compilation Go = compile(Source, GoOpts);
-    Compilation Free = compile(Source, FreeOpts);
+    Compilation Go, Free;
+    ExecOutcome OGo = driver::compileAndRun(Source, GoP, Args, &Go);
+    ExecOutcome OFree = driver::compileAndRun(Source, FreeP, Args, &Free);
     if (!Go.ok() || !Free.ok()) {
       std::fprintf(stderr, "%s", (Go.ok() ? Free : Go).Errors.c_str());
       return 1;
     }
-    ExecOutcome OGo = execute(Go, Entry, Args, GoEO);
-    ExecOutcome OFree = execute(Free, Entry, Args, FreeEO);
-    if (!OGo.Run.ok() || !OFree.Run.ok()) {
-      std::fprintf(stderr, "runtime error: %s\n",
-                   (OGo.Run.ok() ? OFree : OGo).Run.Error.c_str());
+    if (!OGo.ok() || !OFree.ok()) {
+      std::fprintf(stderr, "gofree: %s leg: %s\n",
+                   OGo.ok() ? "gofree" : "go",
+                   (OGo.ok() ? OFree : OGo).Error.c_str());
       return 1;
     }
     bool Same = OGo.Run.Checksum == OFree.Run.Checksum;
@@ -345,11 +396,17 @@ int main(int Argc, char **Argv) {
     // event ring), so it is right even when the trace dropped events.
     trace::printSummaryDiff(stdout, "Go", exactSummary(OGo.Stats, Go.Passes),
                             "GoFree", exactSummary(OFree.Stats, Free.Passes));
+    if (Json) {
+      std::printf("%s\n", driver::outcomeJson(OGo, "go").c_str());
+      std::printf("%s\n", driver::outcomeJson(OFree, "gofree").c_str());
+    }
     if (!TraceOut.empty()) {
-      bool Ok = GoSink ? writeTrace(TraceOut + ".go", *GoSink) &&
-                             writeTrace(TraceOut + ".gofree", *FreeSink)
-                       : writeTrace(TraceOut + ".go", *GoHub) &&
-                             writeTrace(TraceOut + ".gofree", *FreeHub);
+      bool Ok = GoSink ? writeTrace(TraceOut + ".go", *GoSink, "go") &&
+                             writeTrace(TraceOut + ".gofree", *FreeSink,
+                                        "gofree")
+                       : writeTrace(TraceOut + ".go", *GoHub, "go") &&
+                             writeTrace(TraceOut + ".gofree", *FreeHub,
+                                        "gofree");
       if (!Ok)
         return 1;
     }
