@@ -35,6 +35,8 @@ constexpr FlagSpec Specs[] = {
     {"mock", "off|zero|flip", "poisoning tcfree (robustness testing)"},
     {"num-threads", "N", "run N real mutator threads (checksums add)"},
     {"num-caches", "N", "thread caches in the heap (default 4)"},
+    {"gc-workers", "N", "parallel GC mark workers (default 1)"},
+    {"gc-eager-sweep", "", "sweep inside the GC pause instead of lazily"},
     {"verify-heap", "", "validate heap invariants at GC safepoints"},
     {"max-steps", "N", "interpreter fuel budget"},
     {"migration-period", "N",
@@ -161,6 +163,24 @@ FlagParse gofree::compiler::driver::parseFlag(std::string_view Flag,
     if (IV < 1 || IV > 4096)
       return invalid(Err, "--num-caches: must be in [1, 4096]");
     Opts.Exec.Heap.NumCaches = (int)IV;
+    return FlagParse::Ok;
+  }
+  if (N == "gc-workers") {
+    int64_t IV;
+    if (!WantInt(IV, Bad))
+      return Bad;
+    if (IV < 1 || IV > 256)
+      return invalid(Err, "--gc-workers: must be in [1, 256]");
+    Opts.Exec.Heap.GcWorkers = (int)IV;
+    return FlagParse::Ok;
+  }
+  if (N == "gc-eager-sweep") {
+    if (!HasValue || V == "1" || V == "true")
+      Opts.Exec.Heap.EagerSweep = true;
+    else if (V == "0" || V == "false")
+      Opts.Exec.Heap.EagerSweep = false;
+    else
+      return invalid(Err, "--gc-eager-sweep: expected no value or 0|1");
     return FlagParse::Ok;
   }
   if (N == "verify-heap") {

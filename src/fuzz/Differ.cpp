@@ -75,6 +75,9 @@ std::vector<LegResult> gofree::fuzz::standardLegs(const DiffOptions &Opts) {
             {"--mode=gofree",
              "--num-threads=" + std::to_string(Opts.MtThreads)},
             Opts.MtThreads));
+  // Parallel mark + lazy sweep: observables must not depend on how many
+  // workers marked or when spans got swept.
+  Legs.push_back(Leg("gofree-par", {"--mode=gofree", "--gc-workers=4"}));
   return Legs;
 }
 

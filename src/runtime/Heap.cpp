@@ -54,6 +54,10 @@ Heap::Heap(HeapOptions O) : Opts(O) {
   // bounds.
   if (Opts.NumCaches < 1)
     Opts.NumCaches = 1;
+  if (Opts.GcWorkers < 1)
+    Opts.GcWorkers = 1;
+  if (Opts.GcWorkers > 256)
+    Opts.GcWorkers = 256;
   NextTrigger.store(Opts.MinHeapTrigger, std::memory_order_relaxed);
   Central = std::make_unique<CentralList[]>((size_t)numSizeClasses());
   PageShards = std::make_unique<PageShard[]>(NumPageShards);
@@ -62,7 +66,8 @@ Heap::Heap(HeapOptions O) : Opts(O) {
     C.Current.assign((size_t)numSizeClasses(), nullptr);
 }
 
-Heap::~Heap() = default;
+// ~Heap lives in Gc.cpp: it must join the mark-worker pool and destroy the
+// GcMarkShared block, whose type is complete only there.
 
 int Heap::clampCacheId(int CacheId) const {
   // Same rationale as the NumCaches clamp: out-of-range ids must not
@@ -315,7 +320,11 @@ MSpan *Heap::newSpan(const Run &R, size_t ElemSize, int Class) {
     AllSpans.push_back(std::make_unique<MSpan>());
     S = AllSpans.back().get();
   }
-  S->reset(R.Base, R.NPages, ElemSize, Class, R.Chunk);
+  // Stamped with the current sweep generation: a fresh span is "swept" by
+  // definition, and the stamp also neutralizes any stale pointer to this
+  // control block left in the sweep queue (the claim CAS expects G - 2).
+  S->reset(R.Base, R.NPages, ElemSize, Class, R.Chunk,
+           SweepGenGlobal.load(std::memory_order_relaxed));
   registerSpan(S);
   Stats.Committed.fetch_add(R.NPages * PageSize, std::memory_order_relaxed);
   Stats.notePeaks();
@@ -358,6 +367,10 @@ void Heap::retireSpan(MSpan *S) {
   }
   S->State.store(SpanState::Free, std::memory_order_relaxed);
   S->OwnerCache.store(NoOwner, std::memory_order_relaxed);
+  // Defensive generation stamp (reset() re-stamps on reuse anyway): a
+  // retired span must never look claimable to a stale sweep-queue entry.
+  S->SweepGen.store(SweepGenGlobal.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
   SpanPool.push_back(S);
 }
 
@@ -404,6 +417,12 @@ uintptr_t Heap::allocSmall(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
   size_t ElemSize = classSize(Class);
   Cache &C = Caches[(size_t)CacheId];
   MSpan *S = C.Current[(size_t)Class];
+  // Lazy sweep: the cached span may be unswept since the last mark. Sweep
+  // it before reading the bitmaps -- dead slots become reusable right
+  // here, and the owner is the designated sweeper for owned spans (the
+  // credit/drain sweepers skip them; see Gc.cpp).
+  if (S)
+    ensureSwept(S, trace::SweepWhere::Owner);
   size_t Slot = S ? S->nextFree() : 0;
   if (!S || Slot == S->NElems) {
     S = refillCache(CacheId, Class);
@@ -432,21 +451,65 @@ uintptr_t Heap::allocSmall(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
 MSpan *Heap::refillCache(int CacheId, int Class) {
   Cache &C = Caches[(size_t)CacheId];
   CentralList &CL = Central[(size_t)Class];
-  {
-    std::lock_guard<std::mutex> Lock(CL.Mu);
-    // Return the exhausted span to the central full list.
-    if (MSpan *Old = C.Current[(size_t)Class]) {
-      Old->OwnerCache.store(NoOwner, std::memory_order_release);
-      CL.Full.push_back(Old);
-      C.Current[(size_t)Class] = nullptr;
+  // Stable for the whole refill: the generation only moves while the world
+  // is stopped, and we are an unparked mutator the stop waits for.
+  uint32_t G = SweepGenGlobal.load(std::memory_order_acquire);
+  for (;;) {
+    MSpan *Got = nullptr;
+    {
+      std::lock_guard<std::mutex> Lock(CL.Mu);
+      // Return the exhausted span to the central full list. It is swept by
+      // construction (allocSmall sweeps the current span before every
+      // use), so the stale-full scan below can never pick it back up.
+      if (MSpan *Old = C.Current[(size_t)Class]) {
+        Old->OwnerCache.store(NoOwner, std::memory_order_release);
+        Old->OnList = SpanList::Full;
+        CL.Full.push_back(Old);
+        C.Current[(size_t)Class] = nullptr;
+      }
+      if (!CL.Partial.empty()) {
+        Got = CL.Partial.back();
+        CL.Partial.pop_back();
+        Got->OnList = SpanList::None;
+      } else {
+        // Lazy sweep: a "full" span may be stale-full -- unswept since the
+        // last mark, holding garbage a sweep would free. Reclaiming one
+        // beats growing the heap. Swept spans on Full are genuinely full;
+        // the generation check skips them.
+        for (size_t I = CL.Full.size(); I-- > 0;) {
+          MSpan *S = CL.Full[I];
+          if (S->SweepGen.load(std::memory_order_relaxed) == G)
+            continue;
+          CL.Full.erase(CL.Full.begin() + (ptrdiff_t)I);
+          S->OnList = SpanList::None;
+          Got = S;
+          break;
+        }
+      }
     }
-    if (!CL.Partial.empty()) {
-      MSpan *S = CL.Partial.back();
-      CL.Partial.pop_back();
-      S->OwnerCache.store(CacheId, std::memory_order_release);
-      C.Current[(size_t)Class] = S;
-      return S;
+    if (!Got)
+      break; // Central miss: carve a fresh span below.
+    // Sweep outside the list lock. Popping the span (OnList = None) made
+    // it ours: a queue sweeper that claims it first finishes harmlessly
+    // (its fixup sees OnList None and leaves placement to us).
+    ensureSwept(Got, trace::SweepWhere::Refill);
+    if (Got->liveCount() == 0) {
+      // Everything in it was garbage: return the pages instead of caching.
+      std::lock_guard<std::mutex> Lock(Mu);
+      retireSpan(Got);
+      continue;
     }
+    if (Got->nextFree() == Got->NElems) {
+      // Swept and still genuinely full: put it back -- the generation
+      // check now skips it, so the loop cannot pick it again.
+      std::lock_guard<std::mutex> Lock(CL.Mu);
+      Got->OnList = SpanList::Full;
+      CL.Full.push_back(Got);
+      continue;
+    }
+    Got->OwnerCache.store(CacheId, std::memory_order_release);
+    C.Current[(size_t)Class] = Got;
+    return Got;
   }
   // Central miss: carve a fresh span out of the page heap. The class lock
   // is dropped first (lock order is central -> page heap, but there is no
@@ -548,6 +611,18 @@ bool Heap::tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source) {
     if (S->State.load(std::memory_order_acquire) != SpanState::InUse)
       return GiveUp(
           trace::GiveUpReason::DoubleFree); // Raced retirement.
+    // Lazy sweep: the span may still hold an object the last mark already
+    // condemned. Sweep first -- if the object was garbage, its alloc bit
+    // clears and this call is a double free (the liveness contract says a
+    // *live* object's address keeps it marked). Deadlock-free under Mu:
+    // any competing sweeper publishes the generation before it takes a
+    // lock. An emptied span is retired here, not leaked as floating InUse.
+    ensureSwept(S, trace::SweepWhere::Tcfree);
+    if (!S->allocBit(0)) {
+      if (S->liveCount() == 0)
+        retireSpan(S);
+      return GiveUp(trace::GiveUpReason::DoubleFree);
+    }
     if (Opts.Mock != MockTcfree::Off)
       return MockPoison(S->Base, S->ElemSize);
     S->clearAllocBit(0);
@@ -568,6 +643,10 @@ bool Heap::tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source) {
   if (S->State.load(std::memory_order_acquire) != SpanState::InUse ||
       S->OwnerCache.load(std::memory_order_acquire) != CacheId)
     return GiveUp(trace::GiveUpReason::ForeignSpan);
+  // Lazy sweep: sweep an owned-but-unswept span before touching its
+  // bitmaps, so a slot the last mark condemned reads as free (double-free
+  // detection) rather than being freed and double-counted.
+  ensureSwept(S, trace::SweepWhere::Tcfree);
   size_t Slot = S->slotOf(Addr);
   if (!S->allocBit(Slot))
     return GiveUp(

@@ -92,6 +92,17 @@ struct HeapOptions {
   MockTcfree Mock = MockTcfree::Off;
   /// Number of thread caches ("P"s). Values < 1 are clamped to 1.
   int NumCaches = 4;
+  /// Parallel mark workers (the collector counts as worker 0). 1 marks on
+  /// the collecting thread alone; N > 1 spins up N-1 persistent helper
+  /// threads on first use. Clamped into [1, 256].
+  int GcWorkers = 1;
+  /// Forces every cycle to sweep inside the stop-the-world window (the
+  /// seed's behavior). Off, sweeping is lazy: spans are swept on demand at
+  /// cache refill, by sweep credit on the allocation slow path, and as
+  /// leftovers at the start of the next cycle. Forced runGc() calls with
+  /// no other registered mutator still sweep eagerly so their post-GC
+  /// state is exact (tests rely on that); see docs/GC.md.
+  bool EagerSweep = false;
   /// Debug validation: run Heap::verifyInvariants at GC safepoints (right
   /// after the world stops and again after sweep). O(heap) per check, so
   /// off by default; the fuzz harness turns it on for every leg.
@@ -186,6 +197,16 @@ public:
   uint64_t gcTrigger() const {
     return NextTrigger.load(std::memory_order_relaxed);
   }
+
+  /// The pacing rule: marked * (1 + Gogc/100), floored at \p MinTrigger,
+  /// computed in 128 bits and saturated at UINT64_MAX so huge heaps or
+  /// huge GOGC values cannot wrap to a tiny trigger. Exposed for tests.
+  static uint64_t gcTriggerFor(uint64_t MarkedBytes, int Gogc,
+                               uint64_t MinTrigger);
+
+  /// Spans that survived the last mark but have not been swept yet.
+  /// Quiesced callers only (takes the page-heap lock).
+  size_t unsweptSpanCount();
 
   /// Number of dangling large-span control blocks awaiting retirement.
   /// Quiesced callers only.
@@ -349,9 +370,45 @@ private:
   void verifyAtSafepoint(const char *When);
   void poison(uintptr_t Addr, size_t Bytes);
   void maybeTriggerGc();
+  void runGcImpl(bool Forced);
+  /// True when no other mutator is registered (collector may be); under
+  /// this condition a forced cycle sweeps eagerly so its caller observes
+  /// the seed's exact post-GC state.
+  bool soloWorld();
+
+  // Parallel mark (Gc.cpp). GcMarkShared holds the worker contexts and the
+  // steal/termination state; defined in Gc.cpp only, hence the pointer.
+  struct GcMarkShared;
+  struct MarkItem {
+    uintptr_t Addr;
+    const TypeDesc *Desc;
+    size_t Bytes;
+  };
   void markPhase();
-  void sweepPhase();
-  void rebuildCentralLists();
+  void markWorkerMain(int Index);          ///< Helper-thread loop.
+  void runMarkWorker(int Index);           ///< One worker's cycle work.
+  void pushMark(int Worker, const MarkItem &Item);
+
+  // Lazy sweep (Gc.cpp).
+  /// Claims and sweeps \p S if it is unswept; returns true iff this call
+  /// swept it. \p Where tags the GcSweepLazy trace event.
+  bool trySweepSpan(MSpan *S, trace::SweepWhere Where);
+  /// Guarantees \p S is swept on return (sweeps it, or waits out another
+  /// sweeper). No locks held by the sweep itself.
+  void ensureSwept(MSpan *S, trace::SweepWhere Where);
+  /// The actual per-slot sweep of one claimed span. Returns bytes freed.
+  uint64_t sweepSpanSlots(MSpan *S, trace::SweepWhere Where);
+  /// After sweeping a span outside the pause: fix its central-list
+  /// placement, or retire it if empty.
+  void postSweepFixup(MSpan *S);
+  /// Sweeps up to \p Max spans from the sweep queue. Returns spans swept.
+  size_t sweepCredit(size_t Max);
+  void drainSweepQueue();
+  /// Sweeps every remaining unswept span while the world is stopped
+  /// (start of a cycle, or the eager path). Requires stopped world.
+  void finishSweepStw();
+  /// Rebuilds SweepWork from every unswept in-use span. Stopped world.
+  void buildSweepQueue();
 
   HeapOptions Opts;
   HeapStats Stats;
@@ -379,12 +436,28 @@ private:
   // GC state.
   std::atomic<GcPhase> Phase{GcPhase::Idle};
   std::atomic<uint64_t> NextTrigger;
-  struct MarkItem {
-    uintptr_t Addr;
-    const TypeDesc *Desc;
-    size_t Bytes;
-  };
-  std::vector<MarkItem> MarkStack; ///< Collector thread only.
+
+  // Parallel mark: worker contexts plus the persistent helper pool. The
+  // pool is spawned lazily on the first parallel cycle and joined by
+  // ~Heap; helpers sleep on PoolCv between cycles and wake when the
+  // collector publishes a new job (PoolJobSeq bump).
+  /// Owned; raw because GcMarkShared is complete only in Gc.cpp, where
+  /// ~Heap deletes it (a unique_ptr would need the deleter here).
+  GcMarkShared *Mark = nullptr;
+  std::vector<std::thread> GcPool;
+  std::mutex PoolMu;
+  std::condition_variable PoolCv;     ///< Helpers wait for a job.
+  std::condition_variable PoolDoneCv; ///< Collector waits for completion.
+  uint64_t PoolJobSeq = 0;            ///< Guarded by PoolMu.
+  int PoolJobsDone = 0;               ///< Guarded by PoolMu.
+  bool PoolShutdown = false;          ///< Guarded by PoolMu.
+
+  // Lazy sweep: the global sweep generation (see MSpan::SweepGen) and the
+  // credit-drain queue. SweepWork is rebuilt while the world is stopped
+  // and consumed lock-free via the SweepWorkNext cursor.
+  std::atomic<uint32_t> SweepGenGlobal{0};
+  std::vector<MSpan *> SweepWork;
+  std::atomic<size_t> SweepWorkNext{0};
 
   // Stop-the-world handshake. GcMu serializes whole cycles; StopWorld is
   // the request flag mutators poll at safepoints; the counters under

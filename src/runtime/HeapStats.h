@@ -40,6 +40,11 @@ enum class FreeSource : uint8_t {
 };
 inline constexpr int NumFreeSources = 4;
 
+/// Buckets of the stop-the-world pause-time histogram: bucket B counts
+/// pauses in [2^B, 2^(B+1)) microseconds (bucket 0 also takes sub-µs
+/// pauses, the last bucket is open-ended).
+inline constexpr int NumPauseBuckets = 16;
+
 /// Plain-value copy of the counters, for reporting and benchmarking.
 struct StatsSnapshot {
   uint64_t AllocedBytes = 0;
@@ -56,8 +61,13 @@ struct StatsSnapshot {
   uint64_t FreedCountBySource[NumFreeSources] = {};
   uint64_t GcCycles = 0;
   uint64_t GcNanos = 0;
+  uint64_t GcMarkNanos = 0;
+  uint64_t GcPauseNanos = 0;
+  uint64_t GcMaxPauseNanos = 0;
+  uint64_t GcPauseHist[NumPauseBuckets] = {};
   uint64_t GcSweptBytes = 0;
   uint64_t GcSweptCountByCat[NumAllocCats] = {};
+  uint64_t GcSpansSweptLazy = 0;
   uint64_t PeakCommitted = 0;
   uint64_t PeakLive = 0;
 
@@ -100,12 +110,19 @@ struct HeapStats {
   std::atomic<uint64_t> FreedCountBySource[NumFreeSources] = {};
   std::atomic<uint64_t> MockPoisonedCount{0};
 
-  // Garbage collection.
+  // Garbage collection. GcNanos is the whole cycle (pause plus any forced
+  // sweep drain); GcPauseNanos is just the stop-the-world window, which
+  // lazy sweeping makes much shorter than the cycle.
   std::atomic<uint64_t> GcCycles{0};
   std::atomic<uint64_t> GcNanos{0};
+  std::atomic<uint64_t> GcMarkNanos{0};
+  std::atomic<uint64_t> GcPauseNanos{0};
+  std::atomic<uint64_t> GcMaxPauseNanos{0};
+  std::atomic<uint64_t> GcPauseHist[NumPauseBuckets] = {};
   std::atomic<uint64_t> GcSweptBytes{0};
   std::atomic<uint64_t> GcSweptCount{0};
   std::atomic<uint64_t> GcSweptCountByCat[NumAllocCats] = {};
+  std::atomic<uint64_t> GcSpansSweptLazy{0};
 
   // Heap footprint (table 5 "maxheap").
   std::atomic<uint64_t> HeapLive{0};        ///< Live object bytes.
@@ -152,10 +169,30 @@ struct HeapStats {
     }
     S.GcCycles = GcCycles.load(std::memory_order_relaxed);
     S.GcNanos = GcNanos.load(std::memory_order_relaxed);
+    S.GcMarkNanos = GcMarkNanos.load(std::memory_order_relaxed);
+    S.GcPauseNanos = GcPauseNanos.load(std::memory_order_relaxed);
+    S.GcMaxPauseNanos = GcMaxPauseNanos.load(std::memory_order_relaxed);
+    for (int I = 0; I < NumPauseBuckets; ++I)
+      S.GcPauseHist[I] = GcPauseHist[I].load(std::memory_order_relaxed);
+    S.GcSpansSweptLazy = GcSpansSweptLazy.load(std::memory_order_relaxed);
     S.GcSweptBytes = GcSweptBytes.load(std::memory_order_relaxed);
     S.PeakCommitted = PeakCommitted.load(std::memory_order_relaxed);
     S.PeakLive = PeakLive.load(std::memory_order_relaxed);
     return S;
+  }
+
+  /// Records one stop-the-world pause: total, CAS-max, and histogram.
+  void notePause(uint64_t Nanos) {
+    GcPauseNanos.fetch_add(Nanos, std::memory_order_relaxed);
+    uint64_t M = GcMaxPauseNanos.load(std::memory_order_relaxed);
+    while (Nanos > M && !GcMaxPauseNanos.compare_exchange_weak(
+                            M, Nanos, std::memory_order_relaxed))
+      ;
+    uint64_t Us = Nanos / 1000;
+    int B = 0;
+    while (B + 1 < NumPauseBuckets && Us >= (2ULL << B))
+      ++B;
+    GcPauseHist[B].fetch_add(1, std::memory_order_relaxed);
   }
 
   void notePeaks() {

@@ -19,8 +19,12 @@
 //   - cache ownership (MSpan.h): a cached span is in-use, of the cache
 //     slot's size class, owned by that cache, and cached nowhere else;
 //   - central lists: listed spans are in-use, unowned, of the list's
-//     class, on exactly one list, and on Partial iff they have a free
-//     slot.
+//     class, on exactly one list, tagged with the matching OnList value,
+//     and a span on Partial has a free slot (a span on Full with free
+//     slots is legal only while it is stale-full, i.e. unswept);
+//   - lazy sweep: every in-use span's SweepGen is the current generation
+//     or exactly two behind it, and every unowned small span is reachable
+//     through a central list (nothing leaks off-list).
 //
 // Precondition: the heap is quiesced (world stopped, or no concurrent
 // users). Locks are still taken -- cheap, and keeps TSan quiet.
@@ -103,11 +107,19 @@ bool Heap::verifyInvariants(std::string *Report) {
         if (S->OwnerCache.load(std::memory_order_relaxed) != NoOwner)
           V.add("central[%d]: span %p still owned by cache %d", Cl, (void *)S,
                 S->OwnerCache.load(std::memory_order_relaxed));
+        SpanList Tag = OnPartial ? SpanList::Partial : SpanList::Full;
+        if (S->OnList != Tag)
+          V.add("central[%d]: span %p on %s list but tagged %d", Cl, (void *)S,
+                OnPartial ? "partial" : "full", (int)S->OnList);
         bool HasFree = S->nextFree() != S->NElems;
+        bool Swept = S->SweepGen.load(std::memory_order_relaxed) ==
+                     SweepGenGlobal.load(std::memory_order_relaxed);
         if (OnPartial && !HasFree)
           V.add("central[%d]: full span %p on partial list", Cl, (void *)S);
-        if (!OnPartial && HasFree)
-          V.add("central[%d]: span %p with free slots on full list", Cl,
+        // A full-listed span may have free slots only while stale-full
+        // (unswept garbage keeps its bits set until someone sweeps it).
+        if (!OnPartial && HasFree && Swept)
+          V.add("central[%d]: swept span %p with free slots on full list", Cl,
                 (void *)S);
       }
     }
@@ -220,6 +232,28 @@ bool Heap::verifyInvariants(std::string *Report) {
       if (CacheIt != CachedBy.end() && Owner != CacheIt->second)
         V.add("span %p: cached by %d but owner is %d", (void *)S,
               CacheIt->second, Owner);
+      // Lazy sweep: at a quiesced point a span is either swept (current
+      // generation) or cleanly unswept (exactly two behind); a claim
+      // generation (G - 1) would mean a sweeper died mid-span.
+      uint32_t G = SweepGenGlobal.load(std::memory_order_relaxed);
+      uint32_t Gen = S->SweepGen.load(std::memory_order_relaxed);
+      if (Gen != G && Gen != G - 2)
+        V.add("span %p: sweep generation %u with global %u", (void *)S, Gen,
+              G);
+      // List-membership cross-check: OnList says where the span is, and an
+      // unowned small span must be reachable through a central list or it
+      // has leaked off every structure that could ever hand it out again.
+      if (S->SizeClass >= 0) {
+        bool Listed = OnCentral.count(S) != 0;
+        if ((S->OnList != SpanList::None) != Listed)
+          V.add("span %p: OnList tag %d but %s a central list", (void *)S,
+                (int)S->OnList, Listed ? "on" : "not on");
+        if (Owner == NoOwner && !Listed)
+          V.add("span %p: unowned small span on no central list", (void *)S);
+      } else if (S->OnList != SpanList::None) {
+        V.add("span %p: large span with OnList tag %d", (void *)S,
+              (int)S->OnList);
+      }
       // Every page of an in-use span must map back to it.
       for (size_t P = 0; P < S->NPages; ++P) {
         uintptr_t Page = (S->Base >> PageShift) + P;

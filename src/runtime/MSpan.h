@@ -60,6 +60,16 @@ enum class SpanState : uint8_t {
   Free,     ///< Control block in the idle pool.
 };
 
+/// Which central list a small span sits on, if any. Guarded by the span's
+/// central-list mutex (the per-size-class CentralList::Mu); lets sweepers
+/// move a span between lists without rebuilding them wholesale.
+enum class SpanList : uint8_t {
+  None,    ///< Owned by a cache, dangling, free, or a large span.
+  Partial, ///< On CentralList::Partial (has free slots).
+  Full,    ///< On CentralList::Full (believed full; may be stale-full
+           ///< until lazily swept).
+};
+
 /// A span: NPages contiguous pages carved into NElems slots of ElemSize.
 struct MSpan {
   uintptr_t Base = 0;
@@ -74,6 +84,18 @@ struct MSpan {
   /// invariant in the file comment.
   std::atomic<int> OwnerCache{NoOwner};
   std::atomic<SpanState> State{SpanState::Free};
+  /// Lazy-sweep generation, following Go's sweepgen protocol. With G the
+  /// heap's global generation (bumped by 2 while the world is stopped at
+  /// the end of mark):
+  ///   SweepGen == G      the span is swept and ready to use,
+  ///   SweepGen == G - 2  the span survived mark but is not yet swept,
+  ///   SweepGen == G - 1  a sweeper claimed it and is sweeping right now.
+  /// Sweepers claim with a CAS G-2 -> G-1 and publish with a release store
+  /// of G, so exactly one sweeper processes each span per cycle and
+  /// everyone else can spin-wait on the store.
+  std::atomic<uint32_t> SweepGen{0};
+  /// Central-list membership; guarded by the owning CentralList::Mu.
+  SpanList OnList = SpanList::None;
   /// Next slot to try when bump-allocating; tcfreeSmall rewinds it. Owner
   /// thread (or stopped-world collector) only.
   size_t FreeIndex = 0;
@@ -85,7 +107,7 @@ struct MSpan {
   std::vector<uint8_t> SlotCats;
 
   void reset(uintptr_t NewBase, size_t Pages, size_t Elem, int Class,
-             size_t ChunkId) {
+             size_t ChunkId, uint32_t Gen) {
     Base = NewBase;
     NPages = Pages;
     ElemSize = Elem;
@@ -94,6 +116,8 @@ struct MSpan {
     SizeClass = Class;
     OwnerCache.store(NoOwner, std::memory_order_relaxed);
     State.store(SpanState::InUse, std::memory_order_release);
+    SweepGen.store(Gen, std::memory_order_relaxed);
+    OnList = SpanList::None;
     FreeIndex = 0;
     AllocBits.assign((NElems + 63) / 64, 0);
     MarkBits.assign((NElems + 63) / 64, 0);
@@ -112,6 +136,17 @@ struct MSpan {
     return (MarkBits[Slot >> 6] >> (Slot & 63)) & 1;
   }
   void setMarkBit(size_t Slot) { MarkBits[Slot >> 6] |= 1ULL << (Slot & 63); }
+  /// Atomically sets the mark bit for \p Slot; returns true iff this call
+  /// transitioned it from clear to set. This is the one bitmap accessor
+  /// that may race (parallel mark workers); everything else follows the
+  /// ownership invariant above.
+  bool tryMarkBit(size_t Slot) {
+    std::atomic_ref<uint64_t> Word(MarkBits[Slot >> 6]);
+    uint64_t Bit = 1ULL << (Slot & 63);
+    if (Word.load(std::memory_order_relaxed) & Bit)
+      return false;
+    return !(Word.fetch_or(Bit, std::memory_order_relaxed) & Bit);
+  }
   void clearMarks() { MarkBits.assign(MarkBits.size(), 0); }
 
   /// Slot index containing \p Addr. Precondition: contains(Addr).

@@ -47,7 +47,15 @@ struct TypeDesc {
   std::vector<PtrSlot> Slots;   ///< Empty for pointer-free data.
 
   bool hasPointers() const {
-    return IsArray ? (Elem && Elem->hasPointers()) : !Slots.empty();
+    // Iterative on purpose: descriptor chains can be arbitrarily deep
+    // (nested arrays), and the scanner may ask about every level.
+    const TypeDesc *D = this;
+    while (D->IsArray) {
+      D = D->Elem;
+      if (!D)
+        return false;
+    }
+    return !D->Slots.empty();
   }
 };
 

@@ -34,6 +34,28 @@ const char *eventKindName(EventKind K) {
     return "alloc";
   case EventKind::PassTime:
     return "pass";
+  case EventKind::GcMarkWorker:
+    return "gc-mark-worker";
+  case EventKind::GcSweepLazy:
+    return "gc-sweep-lazy";
+  }
+  return "unknown";
+}
+
+const char *sweepWhereName(uint8_t W) {
+  switch (W) {
+  case 0:
+    return "stw";
+  case 1:
+    return "refill";
+  case 2:
+    return "credit";
+  case 3:
+    return "owner";
+  case 4:
+    return "tcfree";
+  case 5:
+    return "drain";
   }
   return "unknown";
 }
@@ -196,6 +218,18 @@ static void foldEvent(TraceSummary &S, const Event &E) {
         S.PassSeen[E.Arg] = true;
       }
       break;
+    case EventKind::GcMarkWorker:
+      ++S.GcMarkWorkersSeen;
+      S.GcMarkWorkerNanos += E.V0;
+      break;
+    case EventKind::GcSweepLazy:
+      // A lazy sweep reclaims the same garbage an STW sweep would have, so
+      // it lands in the same totals; GcLazySweeps records how much of the
+      // sweeping moved off the pause.
+      ++S.GcLazySweeps;
+      S.GcSweptBytes += E.V0;
+      S.GcSweptObjects += E.V1;
+      break;
   }
 }
 
@@ -302,6 +336,20 @@ static void formatEvent(char *Line, size_t Size, const Event &E,
                     "}\n",
                     E.TimeNs, passName((Pass)E.Arg), E.V0);
       break;
+    case EventKind::GcMarkWorker:
+      std::snprintf(Line, Size,
+                    ",\"t\":%" PRIu64
+                    ",\"ev\":\"gc-mark-worker\",\"worker\":%u,\"ns\":%" PRIu64
+                    ",\"objects\":%" PRIu64 "}\n",
+                    E.TimeNs, (unsigned)E.Arg, E.V0, E.V1);
+      break;
+    case EventKind::GcSweepLazy:
+      std::snprintf(Line, Size,
+                    ",\"t\":%" PRIu64
+                    ",\"ev\":\"gc-sweep-lazy\",\"where\":\"%s\",\"bytes\":%" PRIu64
+                    ",\"objects\":%" PRIu64 "}\n",
+                    E.TimeNs, sweepWhereName(E.Arg), E.V0, E.V1);
+      break;
     default:
       std::snprintf(Line, Size,
                     ",\"t\":%" PRIu64 ",\"ev\":\"unknown\",\"kind\":%u}\n",
@@ -356,6 +404,13 @@ void printSummary(FILE *Out, const TraceSummary &S) {
                " objects / %" PRIu64 " bytes\n",
                S.GcPaceTriggers, S.GcCycles, ms(S.GcCycleNanos),
                ms(S.GcMarkNanos), S.GcSweptObjects, S.GcSweptBytes);
+  if (S.GcMarkWorkersSeen)
+    std::fprintf(Out,
+                 "  gc workers: %" PRIu64 " worker-cycles, %.3f ms busy\n",
+                 S.GcMarkWorkersSeen, ms(S.GcMarkWorkerNanos));
+  if (S.GcLazySweeps)
+    std::fprintf(Out, "  gc lazy sweeps: %" PRIu64 " spans outside the pause\n",
+                 S.GcLazySweeps);
 
   std::fprintf(Out,
                "  tcfree: %" PRIu64 " freed (%" PRIu64 " bytes), %" PRIu64

@@ -51,8 +51,25 @@ enum class EventKind : uint8_t {
   StackAlloc,        ///< Stack allocation (escape analysis win). Arg =
                      ///< category, V0 = bytes.
   PassTime,          ///< One compiler pass finished. Arg = Pass, V0 = nanos.
+  GcMarkWorker,      ///< One parallel mark worker's contribution to a
+                     ///< cycle. Arg = worker index, V0 = busy nanos,
+                     ///< V1 = objects marked.
+  GcSweepLazy,       ///< One span swept outside the pause. Arg = where
+                     ///< (SweepWhere), V0 = bytes reclaimed, V1 = slots.
 };
-inline constexpr int NumEventKinds = 10;
+inline constexpr int NumEventKinds = 12;
+
+/// Which code path performed a lazy (outside-the-pause) span sweep; the
+/// Arg of GcSweepLazy events.
+enum class SweepWhere : uint8_t {
+  Stw = 0, ///< Leftover swept in the next cycle's pause (not traced).
+  Refill,  ///< Cache refill swept a span popped from a central list.
+  Credit,  ///< Allocation slow path drained sweep credit.
+  Owner,   ///< Owner cache swept its own current span before allocating.
+  Tcfree,  ///< tcfree on a large object swept its span first.
+  Drain,   ///< Forced-GC drain of the whole sweep queue.
+};
+inline constexpr int NumSweepWheres = 6;
 
 /// Why a tcfree call did not reclaim memory (section 5's safety checks).
 /// Mock is special: the mock-tcfree robustness mode poisons the object
@@ -88,6 +105,7 @@ inline constexpr int NumAllocCats = 3;
 inline constexpr int NumFreeSources = 4;
 
 const char *eventKindName(EventKind K);
+const char *sweepWhereName(uint8_t W);
 const char *giveUpReasonName(GiveUpReason R);
 const char *passName(Pass P);
 const char *allocCatName(uint8_t Cat);
@@ -216,6 +234,11 @@ struct TraceSummary {
   uint64_t GcCycleNanos = 0;
   uint64_t GcSweptBytes = 0;
   uint64_t GcSweptObjects = 0;
+  uint64_t GcMarkWorkerNanos = 0;  ///< Summed busy time of mark workers.
+  uint64_t GcMarkWorkersSeen = 0;  ///< GcMarkWorker events folded.
+  uint64_t GcLazySweeps = 0;       ///< GcSweepLazy events folded; their
+                                   ///< bytes/objects land in GcSweptBytes
+                                   ///< and GcSweptObjects like STW sweeps.
 
   uint64_t TcfreeFreedCount = 0;
   uint64_t TcfreeFreedBytes = 0;

@@ -414,6 +414,178 @@ TEST(TraceHubTest, ParallelEmittersMergeOrdered) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Parallel mark workers + lazy sweeping under real mutator contention
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// {3 pattern words, next}: chain nodes for the parallel-mark torture. The
+/// mark workers must chase these chains concurrently, stealing chunks from
+/// each other when their own stacks run dry.
+const TypeDesc *chainNodeDesc() {
+  static const TypeDesc D{"chainnode", 32, false, nullptr,
+                          {{24, SlotKind::Raw}}};
+  return &D;
+}
+} // namespace
+
+TEST(ConcurrencyGcWorkersTest, ParallelMarkTortureKeepsChainsAlive) {
+  // Four mutators race four mark workers: each thread builds linked chains
+  // and roots only the heads, so every interior node's liveness depends on
+  // the parallel mark phase tracing it -- a missed mark, a torn mark bit,
+  // or a botched steal shows up as a dead or clobbered chain node. Forced
+  // cycles from non-solo threads sweep lazily, so mutators also race the
+  // refill/credit sweep paths the whole time.
+  HeapOptions HO;
+  HO.NumCaches = 4;
+  HO.GcWorkers = 4;
+  HO.MinHeapTrigger = 256 << 10;
+  Heap H(HO);
+
+  constexpr int NumThreads = 4;
+  constexpr int NumChains = 40;
+  constexpr int ChainLen = 64;
+
+  std::vector<std::unique_ptr<RetainedRoots>> Roots;
+  for (int T = 0; T < NumThreads; ++T) {
+    Roots.push_back(std::make_unique<RetainedRoots>());
+    H.addRootScanner(Roots.back().get());
+  }
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      RetainedRoots &R = *Roots[(size_t)T];
+      Heap::MutatorScope Scope(H, T);
+      uint64_t Serial = 0;
+      for (int C = 0; C < NumChains; ++C) {
+        // The chain must be rooted *while under construction*: another
+        // thread's GC can stop us at any allocation safepoint, and an
+        // unrooted partial chain would (correctly) be swept and its slots
+        // recycled into later nodes, aliasing the chain onto itself. So
+        // the entry goes in first and tracks the growing head; only this
+        // thread writes it, and the collector reads it only while this
+        // thread is parked.
+        R.Objs.push_back({0, 24, 0});
+        uintptr_t Head = 0;
+        for (int I = 0; I < ChainLen; ++I) {
+          uintptr_t N = H.allocate(32, chainNodeDesc(), AllocCat::Other, T);
+          ASSERT_NE(N, 0u);
+          uint64_t Pattern = patternFor(T, Serial++);
+          writePattern(N, 24, Pattern);
+          std::memcpy(reinterpret_cast<void *>(N + 24), &Head, 8);
+          Head = N;
+          R.Objs.back() = {Head, 24, Pattern};
+          // Interleaved garbage: every chain node comes with an unrooted
+          // sibling for the lazy and STW sweeps to reclaim.
+          H.allocate(48, nullptr, AllocCat::Other, T);
+        }
+        // From here the entry roots the finished head; the other 63 nodes
+        // live or die by the mark phase tracing the chain.
+        if (C % 8 == 4)
+          H.runGc();
+      }
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  // Walk every retained chain: all ChainLen nodes must still be there.
+  for (auto &R : Roots)
+    for (const RetainedRoots::Obj &O : R->Objs) {
+      EXPECT_TRUE(checkPattern(O.Addr, O.Bytes, O.Pattern));
+      uintptr_t N = O.Addr;
+      int Len = 0;
+      while (N != 0 && Len <= ChainLen) {
+        ASSERT_TRUE(H.isLiveObject(N)) << "chain node swept at depth " << Len;
+        ++Len;
+        std::memcpy(&N, reinterpret_cast<void *>(N + 24), 8);
+      }
+      EXPECT_EQ(Len, ChainLen);
+    }
+
+  EXPECT_GE(H.stats().snap().GcCycles, 1u);
+  std::string Report;
+  EXPECT_TRUE(H.verifyInvariants(&Report)) << Report;
+  EXPECT_TRUE(H.pageHeapConsistent());
+  for (auto &R : Roots)
+    H.removeRootScanner(R.get());
+}
+
+TEST(ConcurrencyGcWorkersTest, LazySweepNeverDoubleCountsBytes) {
+  // Spans get swept concurrently from cache refills, the owner fast path,
+  // tcfree, and the allocation slow path's sweep credit. The SweepGen CAS
+  // must hand each span to exactly one sweeper: a double sweep counts
+  // GcSweptBytes twice and drives HeapLive negative, a lost span strands
+  // bytes forever. After the dust settles, the books must balance to the
+  // exact byte: everything ever allocated is still live, was tcfreed, or
+  // was swept -- once.
+  HeapOptions HO;
+  HO.NumCaches = 4;
+  HO.GcWorkers = 2;
+  HO.MinHeapTrigger = 128 << 10;
+  Heap H(HO);
+
+  constexpr int NumThreads = 4;
+  constexpr uint64_t Iters = 4000;
+  std::vector<std::unique_ptr<RetainedRoots>> Roots;
+  for (int T = 0; T < NumThreads; ++T) {
+    Roots.push_back(std::make_unique<RetainedRoots>());
+    H.addRootScanner(Roots.back().get());
+  }
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      RetainedRoots &R = *Roots[(size_t)T];
+      Heap::MutatorScope Scope(H, T);
+      for (uint64_t I = 0; I < Iters; ++I) {
+        size_t Bytes = sizeFor(I);
+        uint64_t Pattern = patternFor(T, I);
+        uintptr_t A = H.allocate(Bytes, nullptr, AllocCat::Other, T);
+        ASSERT_NE(A, 0u);
+        writePattern(A, Bytes, Pattern);
+        R.Objs.push_back({A, Bytes, Pattern});
+        if (R.Objs.size() > 48) {
+          // Half the overflow is tcfreed, half dropped for the GC: both
+          // reclamation paths stay busy against the paced lazy cycles.
+          RetainedRoots::Obj Victim = R.Objs.front();
+          EXPECT_TRUE(checkPattern(Victim.Addr, Victim.Bytes, Victim.Pattern));
+          if (I % 2 == 0)
+            H.tcfreeObject(Victim.Addr, T, FreeSource::TcfreeObject);
+          R.Objs.erase(R.Objs.begin());
+        }
+        if (I % 1500 == 750)
+          H.runGc();
+      }
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  // Quiesce: a solo forced cycle sweeps eagerly, so no debt remains and
+  // only the rooted survivors count as live.
+  H.runGc();
+  ASSERT_EQ(H.unsweptSpanCount(), 0u);
+  StatsSnapshot S = H.stats().snap();
+  uint64_t LiveExpected = 0;
+  for (auto &R : Roots)
+    for (const RetainedRoots::Obj &O : R->Objs) {
+      EXPECT_TRUE(H.isLiveObject(O.Addr));
+      EXPECT_TRUE(checkPattern(O.Addr, O.Bytes, O.Pattern));
+      ++LiveExpected;
+    }
+  EXPECT_EQ(LiveExpected, (uint64_t)NumThreads * 48);
+  EXPECT_EQ(S.AllocedBytes, S.GcSweptBytes + S.tcfreeFreedBytes() +
+                                H.stats().HeapLive.load())
+      << "swept/freed/live bytes do not add back up to allocated bytes";
+  std::string Report;
+  EXPECT_TRUE(H.verifyInvariants(&Report)) << Report;
+  EXPECT_TRUE(H.pageHeapConsistent());
+  for (auto &R : Roots)
+    H.removeRootScanner(R.get());
+}
+
 TEST(TraceHubTest, DroppedEventsAreCountedAcrossSinks) {
   trace::TraceHub Hub(/*CapacityPerSink=*/8);
   trace::TraceSink *A = Hub.makeSink();

@@ -51,6 +51,7 @@ const std::set<std::string> &testedFlags() {
   static const std::set<std::string> Names = {
       "mode",        "entry",      "targets",    "gogc",
       "gc-min-trigger", "mock",    "num-threads", "num-caches",
+      "gc-workers",  "gc-eager-sweep",
       "verify-heap", "max-steps",  "migration-period",
   };
   return Names;
@@ -106,6 +107,20 @@ TEST(DriverFlagTest, NumCachesRoundTrips) {
   EXPECT_EQ(parsedOk("--num-caches=8").Exec.Heap.NumCaches, 8);
 }
 
+TEST(DriverFlagTest, GcWorkersRoundTrips) {
+  EXPECT_EQ(parsedOk("--gc-workers=4").Exec.Heap.GcWorkers, 4);
+  EXPECT_EQ(parsedOk("--gc-workers=1").Exec.Heap.GcWorkers, 1);
+  EXPECT_EQ(parsedOk("--gc-workers=256").Exec.Heap.GcWorkers, 256);
+}
+
+TEST(DriverFlagTest, GcEagerSweepRoundTrips) {
+  EXPECT_TRUE(parsedOk("--gc-eager-sweep").Exec.Heap.EagerSweep);
+  EXPECT_TRUE(parsedOk("--gc-eager-sweep=1").Exec.Heap.EagerSweep);
+  EXPECT_TRUE(parsedOk("--gc-eager-sweep=true").Exec.Heap.EagerSweep);
+  EXPECT_FALSE(parsedOk("--gc-eager-sweep=0").Exec.Heap.EagerSweep);
+  EXPECT_FALSE(parsedOk("--gc-eager-sweep=false").Exec.Heap.EagerSweep);
+}
+
 TEST(DriverFlagTest, VerifyHeapRoundTrips) {
   EXPECT_TRUE(parsedOk("--verify-heap").Exec.Heap.Verify);
   EXPECT_TRUE(parsedOk("--verify-heap=1").Exec.Heap.Verify);
@@ -155,6 +170,10 @@ TEST(DriverFlagTest, RejectsBadValues) {
   invalidErr("--num-threads=0");
   invalidErr("--num-threads=1025");
   invalidErr("--num-caches=0");
+  invalidErr("--gc-workers=0");
+  invalidErr("--gc-workers=257");
+  invalidErr("--gc-workers=four");
+  invalidErr("--gc-eager-sweep=banana");
   invalidErr("--verify-heap=banana");
   invalidErr("--max-steps=0");
   invalidErr("--migration-period=-5");

@@ -407,6 +407,208 @@ TEST(GcTest, TcfreeReducesGcFrequency) {
 }
 
 //===----------------------------------------------------------------------===//
+// Pacer arithmetic: gcTriggerFor saturation boundaries
+//===----------------------------------------------------------------------===//
+
+TEST(GcPacerTest, TriggerBasics) {
+  EXPECT_EQ(Heap::gcTriggerFor(100, 100, 0), 200u);
+  EXPECT_EQ(Heap::gcTriggerFor(100, 50, 0), 150u);
+  EXPECT_EQ(Heap::gcTriggerFor(0, 100, 0), 0u);
+}
+
+TEST(GcPacerTest, MinTriggerIsAFloor) {
+  EXPECT_EQ(Heap::gcTriggerFor(10, 100, 4096), 4096u);
+  EXPECT_EQ(Heap::gcTriggerFor(1ull << 20, 100, 4096), 2ull << 20);
+}
+
+TEST(GcPacerTest, NegativeGogcDisablesPacing) {
+  EXPECT_EQ(Heap::gcTriggerFor(0, -1, 0), UINT64_MAX);
+  EXPECT_EQ(Heap::gcTriggerFor(UINT64_MAX, -1, 4096), UINT64_MAX);
+}
+
+TEST(GcPacerTest, HugeHeapSaturatesInsteadOfWrapping) {
+  // The seed computed marked * (100 + GOGC) / 100 in 64 bits; a big heap
+  // or a big GOGC wrapped it into a tiny trigger, i.e. a permanent GC
+  // storm. The fixed pacer saturates at UINT64_MAX instead.
+  EXPECT_EQ(Heap::gcTriggerFor(UINT64_MAX, 100, 0), UINT64_MAX);
+  EXPECT_EQ(Heap::gcTriggerFor(1ull << 63, 100, 0), UINT64_MAX);
+  EXPECT_EQ(Heap::gcTriggerFor(UINT64_MAX / 2, 300, 0), UINT64_MAX);
+  EXPECT_EQ(Heap::gcTriggerFor(UINT64_MAX, INT32_MAX, 0), UINT64_MAX);
+}
+
+TEST(GcPacerTest, JustBelowSaturationIsExact) {
+  // 2 * (2^63 - 1) = UINT64_MAX - 1: the largest doubling that still fits
+  // in 64 bits must come out exact, not clamped.
+  uint64_t M = (1ull << 63) - 1;
+  EXPECT_EQ(Heap::gcTriggerFor(M, 100, 0), UINT64_MAX - 1);
+  // GOGC=0 never overflows: trigger == marked even at the top of range.
+  EXPECT_EQ(Heap::gcTriggerFor(UINT64_MAX, 0, 0), UINT64_MAX);
+}
+
+//===----------------------------------------------------------------------===//
+// Scan-depth regressions: marking must stay O(1) deep in C++ stack
+//===----------------------------------------------------------------------===//
+
+TEST(GcScanTest, DeeplyNestedArrayDescriptorsScanIteratively) {
+  // A 16k-deep chain of single-element nested arrays. The seed burned one
+  // gcScanRegion recursion frame per nesting level, so a chain like this
+  // overflowed the C++ stack; the iterative scanner defers each level to
+  // the mark stack instead.
+  constexpr size_t Depth = 16 * 1024;
+  static const TypeDesc Base{"deepbase", 8, false, nullptr,
+                             {{0, SlotKind::Raw}}};
+  std::vector<TypeDesc> Chain;
+  Chain.reserve(Depth); // No reallocation: Elem pointers must stay stable.
+  const TypeDesc *Prev = &Base;
+  for (size_t I = 0; I < Depth; ++I) {
+    Chain.push_back(TypeDesc{"[]deep", 8, true, Prev, {}});
+    Prev = &Chain.back();
+  }
+
+  Heap H;
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  uintptr_t Target = H.allocate(16, nodeDesc(), AllocCat::Other, 0);
+  uintptr_t Obj = H.allocate(8, Prev, AllocCat::Other, 0);
+  writeWord(Obj, Target);
+  Roots.Direct.push_back(Obj);
+  H.runGc();
+  EXPECT_TRUE(H.isLiveObject(Obj));
+  EXPECT_TRUE(H.isLiveObject(Target))
+      << "pointer under " << Depth << " array levels was not scanned";
+}
+
+TEST(GcScanTest, HugeFlatPointerArraySplitsOntoMarkStack) {
+  // 8192 pointer slots = 64 KiB, far past the array-split threshold: the
+  // scanner must chunk the array onto the mark stack and still visit every
+  // slot, including the very last one.
+  Heap H;
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  constexpr size_t Slots = 8192;
+  uintptr_t Arr = H.allocate(Slots * 8, ptrArrayDesc(), AllocCat::Slice, 0);
+  std::vector<uintptr_t> Targets;
+  for (int I = 0; I < 64; ++I)
+    Targets.push_back(H.allocate(16, nodeDesc(), AllocCat::Other, 0));
+  for (size_t I = 0; I < Slots; ++I)
+    writeWord(Arr + I * 8, Targets[I % Targets.size()]);
+  // The final slot alone keeps one sentinel alive: if chunking dropped the
+  // array's tail, this catches it.
+  uintptr_t Tail = H.allocate(16, nodeDesc(), AllocCat::Other, 0);
+  writeWord(Arr + (Slots - 1) * 8, Tail);
+  uintptr_t Dead = H.allocate(16, nodeDesc(), AllocCat::Other, 0);
+  Roots.Direct.push_back(Arr);
+  H.runGc();
+  for (uintptr_t T : Targets)
+    EXPECT_TRUE(H.isLiveObject(T));
+  EXPECT_TRUE(H.isLiveObject(Tail));
+  EXPECT_FALSE(H.isLiveObject(Dead));
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel marking
+//===----------------------------------------------------------------------===//
+
+TEST(GcParallelTest, FourWorkersMarkTheSameLiveSet) {
+  HeapOptions O;
+  O.GcWorkers = 4;
+  Heap H(O);
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  // A forest of linked lists with garbage interleaved between the nodes,
+  // so the workers have real pointer chasing and stealing to do.
+  std::vector<uintptr_t> Live, Dead;
+  for (int L = 0; L < 32; ++L) {
+    uintptr_t Head = 0;
+    for (int I = 0; I < 64; ++I) {
+      uintptr_t N = H.allocate(16, nodeDesc(), AllocCat::Other, 0);
+      writeWord(N + 8, Head);
+      Head = N;
+      Live.push_back(N);
+      Dead.push_back(H.allocate(16, nodeDesc(), AllocCat::Other, 0));
+    }
+    Roots.Direct.push_back(Head);
+  }
+  H.runGc();
+  for (uintptr_t A : Live)
+    EXPECT_TRUE(H.isLiveObject(A));
+  for (uintptr_t A : Dead)
+    EXPECT_FALSE(H.isLiveObject(A));
+  std::string Report;
+  EXPECT_TRUE(H.verifyInvariants(&Report)) << Report;
+  // A second cycle reuses the worker pool rather than respawning it.
+  H.runGc();
+  for (uintptr_t A : Live)
+    EXPECT_TRUE(H.isLiveObject(A));
+}
+
+//===----------------------------------------------------------------------===//
+// Lazy sweeping
+//===----------------------------------------------------------------------===//
+
+TEST(GcLazySweepTest, PacedGcDefersSweepingToAllocation) {
+  HeapOptions O;
+  O.MinHeapTrigger = 64 * 1024;
+  Heap H(O);
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  // Garbage across several size classes, so one paced cycle leaves spans
+  // of the non-triggering classes unswept when the pause ends.
+  const size_t Sizes[] = {32, 256, 2048};
+  size_t UnsweptAfterMark = 0;
+  bool Cycled = false;
+  for (int Spin = 0; !Cycled && Spin < 100000; ++Spin) {
+    for (size_t Sz : Sizes) {
+      H.allocate(Sz, scalarDesc(), AllocCat::Other, 0);
+      if (H.stats().GcCycles.load() != 0) {
+        // Probe immediately: later allocations would pay the debt down.
+        UnsweptAfterMark = H.unsweptSpanCount();
+        Cycled = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(Cycled);
+  EXPECT_GT(UnsweptAfterMark, 0u)
+      << "paced GC swept everything inside the pause";
+  // Keep allocating: cache refills and sweep credit pay the debt down.
+  for (int I = 0; I < 2000; ++I)
+    for (size_t Sz : Sizes)
+      H.allocate(Sz, scalarDesc(), AllocCat::Other, 0);
+  EXPECT_GT(H.stats().GcSpansSweptLazy.load(), 0u);
+  std::string Report;
+  EXPECT_TRUE(H.verifyInvariants(&Report)) << Report;
+  // A forced cycle from a solo thread sweeps eagerly: no debt remains.
+  H.runGc();
+  EXPECT_EQ(H.unsweptSpanCount(), 0u);
+  EXPECT_TRUE(H.verifyInvariants(&Report)) << Report;
+}
+
+TEST(GcLazySweepTest, EmptyCachedSpanIsDetachedAndRetired) {
+  // Every object in a cache-owned current span dies: the STW sweep must
+  // detach the span from the owning cache and retire it rather than leave
+  // the cache holding a retired span (finishSweepStw's OwnerCache branch).
+  Heap H;
+  TestRoots Roots;
+  H.setRootScanner(&Roots);
+  std::vector<uintptr_t> Objs;
+  for (int I = 0; I < 8; ++I)
+    Objs.push_back(H.allocate(32, scalarDesc(), AllocCat::Other, 0));
+  H.runGc(); // Forced + solo thread => eager sweep inside the pause.
+  for (uintptr_t A : Objs)
+    EXPECT_FALSE(H.isLiveObject(A));
+  EXPECT_EQ(H.unsweptSpanCount(), 0u);
+  std::string Report;
+  ASSERT_TRUE(H.verifyInvariants(&Report)) << Report;
+  // The next allocation must get a fresh span through the normal refill
+  // path, not scribble on the retired one.
+  uintptr_t B = H.allocate(32, scalarDesc(), AllocCat::Other, 0);
+  EXPECT_TRUE(H.isLiveObject(B));
+  EXPECT_EQ(H.stats().HeapLive.load(), 32u);
+  ASSERT_TRUE(H.verifyInvariants(&Report)) << Report;
+}
+
+//===----------------------------------------------------------------------===//
 // Mock (poisoning) tcfree for the robustness methodology
 //===----------------------------------------------------------------------===//
 

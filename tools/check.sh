@@ -15,6 +15,13 @@
 #                             with the ThreadSanitizer build (the fuzz legs
 #                             include an N-thread leg, so this races real
 #                             mutator threads under TSan)
+#   tools/check.sh gc         GC-focused pass: the parallel-mark / lazy-sweep
+#                             torture tests under ThreadSanitizer, then a
+#                             100-seed fuzz slice whose gofree-par leg runs
+#                             every program with --gc-workers=4 and (like all
+#                             legs) --verify-heap
+#   tools/check.sh bench      GC pause benchmark: runs bench_gc_pause and
+#                             writes BENCH_gc_pause.json at the repo root
 #
 # The smoke test runs examples/quickstart.minigo under --trace-out and
 # asserts the trace is valid JSON-lines containing at least one GC event,
@@ -94,7 +101,31 @@ fuzz)
     || fail "differential fuzz corpus failed under ThreadSanitizer"
   echo "check.sh: fuzz corpus OK (200 seeds regular, 40 seeds tsan)"
   ;;
+gc)
+  # Parallel mark + lazy sweep torture under TSan: real mutator threads race
+  # the mark workers and all four concurrent sweep entry points.
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DGOFREE_SANITIZE=thread
+  cmake --build "$ROOT/build-tsan" -j --target concurrency_test
+  "$ROOT/build-tsan/tests/concurrency_test" \
+    --gtest_filter='ConcurrencyGcWorkersTest.*:ConcurrencyTortureTest.*' \
+    || fail "GC torture tests failed under ThreadSanitizer"
+  # Fuzz slice: the gofree-par leg runs every seed with --gc-workers=4, and
+  # DiffOptions.Verify (on by default) adds --verify-heap to every leg.
+  cmake -B "$ROOT/build" -S "$ROOT"
+  cmake --build "$ROOT/build" -j --target gofree
+  "$ROOT/build/tools/gofree" fuzz --seed=1 --count=100 \
+    || fail "GC fuzz slice failed (--gc-workers=4 leg, --verify-heap)"
+  echo "check.sh: gc pass OK (tsan torture + 100-seed parallel-GC fuzz)"
+  ;;
+bench)
+  cmake -B "$ROOT/build" -S "$ROOT"
+  cmake --build "$ROOT/build" -j --target bench_gc_pause
+  "$ROOT/build/bench/bench_gc_pause" --json > "$ROOT/BENCH_gc_pause.json" \
+    || fail "bench_gc_pause failed"
+  "$ROOT/build/bench/bench_gc_pause" --quick
+  echo "check.sh: bench OK (wrote BENCH_gc_pause.json)"
+  ;;
 *)
-  fail "unknown mode '$MODE' (expected 'all', 'smoke', 'tsan', or 'fuzz')"
+  fail "unknown mode '$MODE' (expected 'all', 'smoke', 'tsan', 'fuzz', 'gc', or 'bench')"
   ;;
 esac
