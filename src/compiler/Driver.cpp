@@ -28,6 +28,8 @@ struct FlagSpec {
 
 constexpr FlagSpec Specs[] = {
     {"mode", "go|gofree", "pipeline to compile with (default gofree)"},
+    {"engine", "vm|ast", "execution engine: bytecode VM or tree-walker "
+                         "(default vm)"},
     {"entry", "NAME", "entry function (default main)"},
     {"targets", "all|sm|none", "free targets (default sm = slices and maps)"},
     {"gogc", "N", "GOGC pacing percent; negative disables GC"},
@@ -97,6 +99,17 @@ FlagParse gofree::compiler::driver::parseFlag(std::string_view Flag,
       Opts.Compile.Mode = CompileMode::GoFree;
     else
       return invalid(Err, "--mode: expected go|gofree, got '" + V + "'");
+    return FlagParse::Ok;
+  }
+  if (N == "engine") {
+    if (!WantValue(Bad))
+      return Bad;
+    if (V == "vm")
+      Opts.Exec.Engine = ExecEngine::Vm;
+    else if (V == "ast")
+      Opts.Exec.Engine = ExecEngine::Ast;
+    else
+      return invalid(Err, "--engine: expected vm|ast, got '" + V + "'");
     return FlagParse::Ok;
   }
   if (N == "entry") {

@@ -8,6 +8,8 @@
 #include "compiler/Pipeline.h"
 
 #include "minigo/Frontend.h"
+#include "vm/Compiler.h"
+#include "vm/Vm.h"
 
 #include <chrono>
 #include <thread>
@@ -95,11 +97,21 @@ ExecOutcome gofree::compiler::execute(const Compilation &C,
   }
   if (Opts.NumThreads <= 1) {
     rt::Heap Heap(Opts.Heap);
-    interp::Interp I(*C.Prog, C.Analysis, Heap, Opts.Interp);
-    auto Start = std::chrono::steady_clock::now();
-    O.Run = I.run(Entry, Args);
-    auto End = std::chrono::steady_clock::now();
-    O.WallSeconds = std::chrono::duration<double>(End - Start).count();
+    // Engine construction (including bytecode compilation for the VM) is
+    // setup, not execution: only run() is timed.
+    auto TimedRun = [&](auto &Engine) {
+      auto Start = std::chrono::steady_clock::now();
+      O.Run = Engine.run(Entry, Args);
+      auto End = std::chrono::steady_clock::now();
+      O.WallSeconds = std::chrono::duration<double>(End - Start).count();
+    };
+    if (Opts.Engine == ExecEngine::Ast) {
+      interp::Interp I(*C.Prog, C.Analysis, Heap, Opts.Interp);
+      TimedRun(I);
+    } else {
+      vm::Vm V(*C.Prog, C.Analysis, Heap, Opts.Interp);
+      TimedRun(V);
+    }
     O.Stats = Heap.stats().snap();
     flattenOutcome(O, Heap, Opts.Heap.Verify);
     return O;
@@ -116,6 +128,11 @@ ExecOutcome gofree::compiler::execute(const Compilation &C,
   // would race. Worker events go to per-thread hub sinks (or nowhere).
   Opts.Heap.Trace = nullptr;
   rt::Heap Heap(Opts.Heap);
+  // A vm::Module is immutable during execution, so all workers share one
+  // compilation instead of each compiling its own copy.
+  vm::Module SharedModule;
+  if (Opts.Engine == ExecEngine::Vm)
+    SharedModule = vm::compileProgram(*C.Prog);
   std::vector<interp::RunResult> Results((size_t)N);
   auto Start = std::chrono::steady_clock::now();
   {
@@ -130,10 +147,18 @@ ExecOutcome gofree::compiler::execute(const Compilation &C,
         // becomes a registered mutator, and deregisters after the scope
         // ends (scanner add/remove waits out GC cycles, which a mutator
         // must not block on).
-        interp::Interp I(*C.Prog, C.Analysis, Heap, IO);
-        {
-          rt::Heap::MutatorScope Scope(Heap, W, Sink);
-          Results[(size_t)W] = I.run(Entry, Args);
+        if (Opts.Engine == ExecEngine::Ast) {
+          interp::Interp I(*C.Prog, C.Analysis, Heap, IO);
+          {
+            rt::Heap::MutatorScope Scope(Heap, W, Sink);
+            Results[(size_t)W] = I.run(Entry, Args);
+          }
+        } else {
+          vm::Vm V(*C.Prog, C.Analysis, Heap, IO, &SharedModule);
+          {
+            rt::Heap::MutatorScope Scope(Heap, W, Sink);
+            Results[(size_t)W] = V.run(Entry, Args);
+          }
         }
       });
     }

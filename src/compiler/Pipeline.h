@@ -76,10 +76,20 @@ struct Compilation {
 /// the diagnostics.
 Compilation compile(const std::string &Source, CompileOptions Opts = {});
 
+/// Which execution engine runs the compiled program. Both produce
+/// bit-identical observable behavior (the fuzz differ enforces it); the
+/// tree-walker survives as the oracle leg and for debugging.
+enum class ExecEngine : uint8_t {
+  Vm,  ///< Bytecode VM (src/vm): compile once, dispatch a flat opcode
+       ///< stream. The default.
+  Ast, ///< Tree-walking interpreter (src/interp).
+};
+
 /// Execution options: runtime configuration plus interpreter knobs.
 struct ExecOptions {
   rt::HeapOptions Heap;
   interp::InterpOptions Interp;
+  ExecEngine Engine = ExecEngine::Vm;
   /// Number of real mutator threads. 1 runs the classic single-threaded
   /// pipeline. N > 1 runs N workers on one shared heap, each with its own
   /// interpreter, thread cache (cache id = worker index; Heap.NumCaches is

@@ -57,9 +57,18 @@ std::vector<LegResult> gofree::fuzz::standardLegs(const DiffOptions &Opts) {
   };
 
   std::vector<LegResult> Legs;
-  // The reference leg MUST stay first: stock Go, no frees at all.
-  Legs.push_back(Leg("go", {"--mode=go"}));
+  // The reference leg MUST stay first: stock Go, no frees at all, executed
+  // by the tree-walking interpreter -- the oracle both compilers and both
+  // engines are measured against.
+  Legs.push_back(Leg("go", {"--mode=go", "--engine=ast"}));
+  // Engine law: the bytecode VM must reproduce the tree-walker's
+  // observables bit for bit on the very same compilation.
+  Legs.push_back(Leg("vm", {"--mode=go", "--engine=vm"}));
+  // The remaining legs run on the default engine (the VM); gofree-ast
+  // re-checks the instrumented pipeline on the tree-walker so an
+  // engine-specific tcfree bug cannot hide behind a matching pair.
   Legs.push_back(Leg("gofree", {"--mode=gofree"}));
+  Legs.push_back(Leg("gofree-ast", {"--mode=gofree", "--engine=ast"}));
   Legs.push_back(Leg("gofree-all", {"--mode=gofree", "--targets=all"}));
   // Poisoning legs: tcfree "succeeds" but scribbles on the object instead
   // of freeing it. Soundness says observables cannot change.

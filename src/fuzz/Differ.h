@@ -7,10 +7,12 @@
 ///
 /// \file
 /// The fuzzer's oracle. One MiniGo program is run through several pipeline
-/// "legs" -- stock Go (the reference), GoFree with the default and the
-/// aggressive target set, GoFree with zero/flip mock-tcfree poisoning,
-/// GoFree with GC disabled, with forced cache migration, and with N real
-/// mutator threads -- and their observables are compared:
+/// "legs" -- stock Go on the tree-walking interpreter (the reference),
+/// stock Go on the bytecode VM (the engine-equivalence law), GoFree with
+/// the default and the aggressive target set, GoFree back on the
+/// tree-walker, GoFree with zero/flip mock-tcfree poisoning, GoFree with
+/// GC disabled, with forced cache migration, and with N real mutator
+/// threads -- and their observables are compared:
 ///
 ///  - checksum, sink count, panic flag/value and runtime-fault string must
 ///    match the Go leg exactly (the multi-threaded leg runs the entry N

@@ -7,6 +7,8 @@
 
 #include "interp/Interp.h"
 
+#include "support/GoArith.h"
+
 #include <algorithm>
 #include <cstring>
 
@@ -52,7 +54,8 @@ Interp::Interp(const Program &Prog, const escape::ProgramAnalysis &Analysis,
 
 Interp::~Interp() { Heap.removeRootScanner(this); }
 
-static void scanValueRoots(rt::Heap &H, TypeLower &Types, const Value &V) {
+void gofree::interp::scanValueRoots(rt::Heap &H, TypeLower &Types,
+                                    const Value &V) {
   if (!V.Ty)
     return;
   switch (V.Ty->kind()) {
@@ -99,65 +102,12 @@ void Interp::scanRoots(rt::Heap &H) {
 // Memory helpers
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-uint64_t readU64(uintptr_t Addr) {
-  uint64_t V;
-  std::memcpy(&V, reinterpret_cast<void *>(Addr), 8);
-  return V;
-}
-
-void writeU64(uintptr_t Addr, uint64_t V) {
-  std::memcpy(reinterpret_cast<void *>(Addr), &V, 8);
-}
-
-} // namespace
-
 Value Interp::loadValue(uintptr_t Addr, const Type *Ty) {
-  Value V;
-  V.Ty = Ty;
-  switch (Ty->kind()) {
-  case Type::TK_Int:
-  case Type::TK_Bool:
-    V.I = (int64_t)readU64(Addr);
-    return V;
-  case Type::TK_Pointer:
-  case Type::TK_Map:
-    V.A = readU64(Addr);
-    return V;
-  case Type::TK_Slice:
-    std::memcpy(&V.S, reinterpret_cast<void *>(Addr), sizeof(rt::SliceHeader));
-    return V;
-  case Type::TK_Struct:
-    V.A = Addr; // Structs are references to storage; stores copy bytes.
-    return V;
-  default:
-    assert(false && "unloadable type");
-    return V;
-  }
+  return loadValueAt(Addr, Ty);
 }
 
 void Interp::storeValue(uintptr_t Addr, const Value &V) {
-  switch (V.Ty->kind()) {
-  case Type::TK_Int:
-  case Type::TK_Bool:
-    writeU64(Addr, (uint64_t)V.I);
-    return;
-  case Type::TK_Pointer:
-  case Type::TK_Map:
-    writeU64(Addr, V.A);
-    return;
-  case Type::TK_Slice:
-    std::memcpy(reinterpret_cast<void *>(Addr), &V.S, sizeof(rt::SliceHeader));
-    return;
-  case Type::TK_Struct:
-    if (Addr != V.A)
-      std::memmove(reinterpret_cast<void *>(Addr),
-                   reinterpret_cast<void *>(V.A), V.Ty->size());
-    return;
-  default:
-    assert(false && "unstorable type");
-  }
+  storeValueAt(Addr, V);
 }
 
 rt::MapCtx Interp::mapCtxFor(const Type *MapTy) {
@@ -329,6 +279,8 @@ Value Interp::evalMake(const MakeExpr *ME) {
     } else {
       V.S.Data = rt::sliceAllocArray(Heap, Types.arrayOf(Elem), Cap,
                                      Elem->size(), Opts.CacheId);
+      if (!V.S.Data)
+        return fault("make: invalid slice size");
     }
     return V;
   }
@@ -423,8 +375,12 @@ Value Interp::evalAppend(const AppendExpr *AE) {
   }
   pushTemp(Elem);
   const Type *ElemTy = AE->SliceArg->Ty->elem();
-  rt::sliceGrowForAppend(Heap, S.S, Types.arrayOf(ElemTy), ElemTy->size(),
-                         Opts.CacheId, Opts.Slice);
+  if (rt::sliceGrowForAppend(Heap, S.S, Types.arrayOf(ElemTy), ElemTy->size(),
+                             Opts.CacheId, Opts.Slice) ==
+      rt::SliceGrow::Overflow) {
+    popTemps(Mark);
+    return fault("growslice: cap out of range");
+  }
   storeValue(S.S.Data + (uintptr_t)S.S.Len * ElemTy->size(), Elem);
   ++S.S.Len;
   popTemps(Mark);
@@ -465,7 +421,8 @@ Value Interp::evalExpr(const Expr *E) {
     if (interrupted())
       return Value{};
     V.Ty = E->Ty;
-    V.I = UE->Op == UnaryOp::Neg ? -V.I : !V.I;
+    // Go negation wraps: -INT64_MIN is INT64_MIN, not UB.
+    V.I = UE->Op == UnaryOp::Neg ? arith::wrapNeg(V.I) : !V.I;
     return V;
   }
   case ExprKind::Binary: {
@@ -493,19 +450,25 @@ Value Interp::evalExpr(const Expr *E) {
     Value V;
     V.Ty = E->Ty;
     switch (BE->Op) {
-    case BinaryOp::Add: V.I = L.I + R.I; break;
-    case BinaryOp::Sub: V.I = L.I - R.I; break;
-    case BinaryOp::Mul: V.I = L.I * R.I; break;
-    case BinaryOp::Div:
-      if (R.I == 0)
+    // Add/Sub/Mul wrap in two's complement and Div/Mod handle the
+    // INT64_MIN / -1 edge, per the Go spec (see support/GoArith.h).
+    case BinaryOp::Add: V.I = arith::wrapAdd(L.I, R.I); break;
+    case BinaryOp::Sub: V.I = arith::wrapSub(L.I, R.I); break;
+    case BinaryOp::Mul: V.I = arith::wrapMul(L.I, R.I); break;
+    case BinaryOp::Div: {
+      bool DivZero = false;
+      V.I = arith::goDiv(L.I, R.I, DivZero);
+      if (DivZero)
         return fault("integer divide by zero");
-      V.I = L.I / R.I;
       break;
-    case BinaryOp::Mod:
-      if (R.I == 0)
+    }
+    case BinaryOp::Mod: {
+      bool DivZero = false;
+      V.I = arith::goMod(L.I, R.I, DivZero);
+      if (DivZero)
         return fault("integer divide by zero");
-      V.I = L.I % R.I;
       break;
+    }
     case BinaryOp::Lt: V.I = L.I < R.I; break;
     case BinaryOp::Le: V.I = L.I <= R.I; break;
     case BinaryOp::Gt: V.I = L.I > R.I; break;
@@ -849,7 +812,9 @@ Interp::Flow Interp::execAssign(const AssignStmt *AS) {
     for (size_t I = 0; I < AS->Lhs.size(); ++I)
       if (!StoreInto(AS->Lhs[I], Results[I])) {
         popTemps(Mark);
-        return Flow::Fault;
+        // A panic raised while evaluating the lvalue must unwind as a
+        // panic (running this frame's defers), not as a fault.
+        return unwindStmt();
       }
     popTemps(Mark);
     return Flow::Normal;
@@ -859,7 +824,7 @@ Interp::Flow Interp::execAssign(const AssignStmt *AS) {
     if (interrupted())
       return unwindStmt();
     if (!StoreInto(AS->Lhs[I], V))
-      return Flow::Fault;
+      return unwindStmt();
   }
   return Flow::Normal;
 }
@@ -979,7 +944,7 @@ Interp::Flow Interp::execStmt(const Stmt *S) {
       Value V = evalExpr(A);
       if (interrupted()) {
         popTemps(Mark);
-        return Flow::Fault;
+        return unwindStmt();
       }
       pushTemp(V);
       Rec.Args.push_back(V);

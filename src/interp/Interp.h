@@ -25,7 +25,9 @@
 #include "runtime/MapRt.h"
 #include "runtime/SliceRt.h"
 
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -62,6 +64,11 @@ struct InterpOptions {
   /// ownership invariant to hold, so the pipeline forces this to 0 there
   /// (genuine cross-thread contention replaces the simulation).
   uint64_t MigrationPeriod = 0;
+  /// Test hook honored by the bytecode VM only: force a full collection
+  /// every this-many executed opcodes (0 disables). The GC-torture tests
+  /// use it to run a collection at essentially every dispatch point,
+  /// proving the operand stack and call frames root everything.
+  uint64_t GcEveryNSteps = 0;
   rt::SliceRtOptions Slice;
   rt::MapRtOptions Map;
 };
@@ -87,6 +94,73 @@ private:
   std::vector<std::pair<std::unique_ptr<char[]>, size_t>> Slabs;
   size_t Used = 0;
 };
+
+/// Reads a typed value from storage / writes one back. Shared by the
+/// tree-walking interpreter and the bytecode VM so the two engines have
+/// bit-identical memory representations (struct values are storage
+/// references; stores copy bytes).
+/// Raw 8-byte loads/stores (every scalar slot is 8 bytes wide).
+inline uint64_t readU64(uintptr_t Addr) {
+  uint64_t V;
+  std::memcpy(&V, reinterpret_cast<void *>(Addr), 8);
+  return V;
+}
+
+inline void writeU64(uintptr_t Addr, uint64_t V) {
+  std::memcpy(reinterpret_cast<void *>(Addr), &V, 8);
+}
+
+inline Value loadValueAt(uintptr_t Addr, const minigo::Type *Ty) {
+  Value V;
+  V.Ty = Ty;
+  switch (Ty->kind()) {
+  case minigo::Type::TK_Int:
+  case minigo::Type::TK_Bool:
+    V.I = (int64_t)readU64(Addr);
+    return V;
+  case minigo::Type::TK_Pointer:
+  case minigo::Type::TK_Map:
+    V.A = readU64(Addr);
+    return V;
+  case minigo::Type::TK_Slice:
+    std::memcpy(&V.S, reinterpret_cast<void *>(Addr), sizeof(rt::SliceHeader));
+    return V;
+  case minigo::Type::TK_Struct:
+    V.A = Addr; // Structs are references to storage; stores copy bytes.
+    return V;
+  default:
+    assert(false && "unloadable type");
+    return V;
+  }
+}
+
+inline void storeValueAt(uintptr_t Addr, const Value &V) {
+  switch (V.Ty->kind()) {
+  case minigo::Type::TK_Int:
+  case minigo::Type::TK_Bool:
+    writeU64(Addr, (uint64_t)V.I);
+    return;
+  case minigo::Type::TK_Pointer:
+  case minigo::Type::TK_Map:
+    writeU64(Addr, V.A);
+    return;
+  case minigo::Type::TK_Slice:
+    std::memcpy(reinterpret_cast<void *>(Addr), &V.S, sizeof(rt::SliceHeader));
+    return;
+  case minigo::Type::TK_Struct:
+    if (Addr != V.A)
+      std::memmove(reinterpret_cast<void *>(Addr),
+                   reinterpret_cast<void *>(V.A), V.Ty->size());
+    return;
+  default:
+    assert(false && "unstorable type");
+  }
+}
+
+/// Marks whatever \p V keeps alive: pointers and maps by address, slices by
+/// their backing array, struct references by scanning the pointed-to region
+/// with its lowered descriptor. Both engines use this for temporary roots.
+void scanValueRoots(rt::Heap &H, TypeLower &Types, const Value &V);
 
 /// One stack-allocated object, for precise root scanning.
 struct StackObj {

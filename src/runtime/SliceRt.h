@@ -41,17 +41,39 @@ struct SliceRtOptions {
   bool FreeOldOnGrow = false;
 };
 
+/// Ceiling on a slice backing array, far beyond anything the heap could
+/// actually satisfy. Requests above it are treated as impossible up front,
+/// so the byte-size math below never wraps size_t and a corrupt/hostile
+/// capacity cannot turn into a small allocation with a huge Cap.
+inline constexpr uint64_t MaxSliceBytes = uint64_t(1) << 46;
+
+/// Overflow-checked Cap * ElemSize. Returns false (leaving \p Bytes
+/// untouched) when Cap is negative or the product exceeds MaxSliceBytes.
+bool sliceByteSize(int64_t Cap, size_t ElemSize, size_t &Bytes);
+
 /// Allocates a heap backing array for \p Cap elements described by
 /// \p ArrayDesc (an IsArray descriptor whose Elem size is the element
-/// size). Returns the array address.
+/// size). Returns the array address, or 0 if the byte size is impossible
+/// (see sliceByteSize) — callers surface that as a "make: invalid slice
+/// size" fault.
 uintptr_t sliceAllocArray(Heap &H, const TypeDesc *ArrayDesc, int64_t Cap,
                           size_t ElemSize, int CacheId);
 
+/// Outcome of sliceGrowForAppend.
+enum class SliceGrow {
+  NoGrow,   ///< Capacity was already sufficient; header untouched.
+  Grew,     ///< Reallocated the backing array and copied.
+  Overflow, ///< Even Len+1 elements are unrepresentable; caller must fault.
+};
+
 /// Grows \p Hdr in place to hold at least Len+1 elements, copying the
-/// existing contents. Returns true if a reallocation happened.
-bool sliceGrowForAppend(Heap &H, SliceHeader &Hdr, const TypeDesc *ArrayDesc,
-                        size_t ElemSize, int CacheId,
-                        const SliceRtOptions &Opts);
+/// existing contents. The growth policy saturates at the largest
+/// representable capacity instead of wrapping int64_t; when not even Len+1
+/// elements fit under MaxSliceBytes it returns Overflow without touching
+/// the header or the heap.
+SliceGrow sliceGrowForAppend(Heap &H, SliceHeader &Hdr,
+                             const TypeDesc *ArrayDesc, size_t ElemSize,
+                             int CacheId, const SliceRtOptions &Opts);
 
 /// TcfreeSlice (table 4): unwraps the backing array address and forwards it
 /// to tcfree. Safe on stack-backed and empty slices (gives up).

@@ -1,0 +1,74 @@
+//===- support/GoArith.h - Go integer arithmetic semantics -----*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Go's defined semantics for 64-bit signed integer arithmetic, shared by
+/// the tree-walking interpreter and the bytecode VM so the differential
+/// checksum law holds bit-for-bit between them.
+///
+/// Per the Go spec, signed arithmetic wraps in two's complement (there is
+/// no undefined overflow), and the one overflow case of division,
+/// INT64_MIN / -1, wraps to INT64_MIN with remainder 0 instead of
+/// faulting. Raw C++ `+`/`-`/`*`/`/` on int64_t would be UB in exactly
+/// these cases (and INT64_MIN / -1 raises SIGFPE on x86), so every
+/// evaluator must route through these helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_SUPPORT_GOARITH_H
+#define GOFREE_SUPPORT_GOARITH_H
+
+#include <cstdint>
+
+namespace gofree {
+namespace arith {
+
+/// Two's-complement wrapping add/sub/mul/neg. Computed in uint64_t, where
+/// overflow is defined; the value-preserving cast back to int64_t is
+/// well-defined two's complement in C++20.
+inline int64_t wrapAdd(int64_t L, int64_t R) {
+  return (int64_t)((uint64_t)L + (uint64_t)R);
+}
+inline int64_t wrapSub(int64_t L, int64_t R) {
+  return (int64_t)((uint64_t)L - (uint64_t)R);
+}
+inline int64_t wrapMul(int64_t L, int64_t R) {
+  return (int64_t)((uint64_t)L * (uint64_t)R);
+}
+inline int64_t wrapNeg(int64_t V) { return (int64_t)(0 - (uint64_t)V); }
+
+/// Go quotient. \p DivideByZero is set (and 0 returned) when R == 0 -- the
+/// caller raises its "integer divide by zero" fault. INT64_MIN / -1 wraps
+/// to INT64_MIN (Go spec: "the one exception ... x / -1 = x" for the most
+/// negative value); in C++ that expression is UB and traps on x86.
+inline int64_t goDiv(int64_t L, int64_t R, bool &DivideByZero) {
+  if (R == 0) {
+    DivideByZero = true;
+    return 0;
+  }
+  DivideByZero = false;
+  if (L == INT64_MIN && R == -1)
+    return INT64_MIN;
+  return L / R;
+}
+
+/// Go remainder; same contract as goDiv. INT64_MIN % -1 is 0.
+inline int64_t goMod(int64_t L, int64_t R, bool &DivideByZero) {
+  if (R == 0) {
+    DivideByZero = true;
+    return 0;
+  }
+  DivideByZero = false;
+  if (L == INT64_MIN && R == -1)
+    return 0;
+  return L % R;
+}
+
+} // namespace arith
+} // namespace gofree
+
+#endif // GOFREE_SUPPORT_GOARITH_H

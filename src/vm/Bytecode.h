@@ -1,0 +1,274 @@
+//===- vm/Bytecode.h - MiniGo bytecode chunks and opcodes ------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compact bytecode the VM executes (see docs/VM.md). One Chunk per
+/// function: a word-coded stream of opcodes and operands over a module-wide
+/// set of constant pools. Operands are indices into those pools (or raw
+/// small integers: byte offsets, argument counts, jump targets), so the
+/// stream itself is a flat vector<uint32_t> with no embedded pointers.
+///
+/// Allocation sites (make/new/composite) and tcfree statements keep a
+/// pointer back to their AST node in a side pool: the node carries exactly
+/// the fields the runtime needs (AllocId, const-size info, field lists) and
+/// outlives the module, so re-encoding them per-opcode would only add a
+/// second copy to keep in sync.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_VM_BYTECODE_H
+#define GOFREE_VM_BYTECODE_H
+
+#include "minigo/Ast.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gofree {
+namespace vm {
+
+/// Opcodes. The operand words each op consumes are listed in the comment;
+/// `t` is a TypePool index, `v` a VarPool index, `f` a FuncPool index,
+/// `k` an IntPool index, `off` a raw byte offset, `tgt` an absolute code
+/// index. The operand stack grows upward; "pop a, b" pops a first (a was
+/// on top).
+enum class Op : uint32_t {
+  // Constants and variables.
+  Const,    ///< t k    : push {Ty, I=IntPool[k]}
+  Nil,      ///< t      : push the zero value of Ty
+  LoadVar,  ///< v      : push load(varAddr(v), v->Ty)
+  Pop,      ///<        : drop the top value
+  PopN,     ///< n      : drop the top n values
+  Pick,     ///< d      : push a copy of the value d slots below the top
+            ///<          (d=1 duplicates the top)
+
+  // Control flow (within one chunk).
+  Jump,            ///< tgt
+  JumpIfFalse,     ///< tgt : pop cond, jump when zero
+  JumpIfFalsePeek, ///< tgt : peek cond, jump when zero (And short-circuit)
+  JumpIfTruePeek,  ///< tgt : peek cond, jump when non-zero (Or)
+
+  // Arithmetic and logic (Go wrap semantics; see support/GoArith.h).
+  Neg, ///< t : pop v, push -v (wrapping)
+  Not, ///< t : pop v, push !v
+  Add, ///< t : pop r, l, push l+r     (likewise Sub/Mul/Div/Mod)
+  Sub, ///< t
+  Mul, ///< t
+  Div, ///< t : faults "integer divide by zero"
+  Mod, ///< t
+  Lt,  ///< t : pop r, l, push l<r     (likewise Le/Gt/Ge)
+  Le,  ///< t
+  Gt,  ///< t
+  Ge,  ///< t
+  Eq,  ///< t cls : cls 0 = scalar, 1 = slice, 2 = address (ptr/map)
+  Ne,  ///< t cls
+
+  // Loads through pointers, fields, and indices.
+  Deref,      ///< t     : pop p (nil check), push load(p, t)
+  MkPtr,      ///< t     : pop raw address, push {Ty=t, A=addr} (AddrOf)
+  FieldPtr,   ///< off t : pop p (nil check), push load(p.A+off, t)
+  FieldVal,   ///< off t : pop struct s, push load(s.A+off, t)
+  IndexSlice, ///< t     : pop i, s (bounds check), push load of element
+  IndexMap,   ///< t     : pop k, m; nil map reads zero; struct values get
+              ///<         a frame-arena copy (the interpreter's rule)
+
+  // Lvalues: raw storage addresses as untyped (Ty=null) stack values. The
+  // compiler guarantees no allocating op runs between the first Lval* op
+  // of an address computation and the Store that consumes it, so the GC
+  // never sees an unrooted interior address with a dead base (the same
+  // window discipline Interp::evalLvalueAddr relies on).
+  LvalVar,      ///< v   : push {A=varAddr(v)}
+  LvalDeref,    ///<     : pop p (nil check), push {A=p.A}
+  LvalFieldPtr, ///< off : pop p (nil check), push {A=p.A+off}
+  LvalField,    ///< off : pop raw a, push {A=a+off}
+  LvalIndex,    ///< sz  : pop i, s (bounds check), push {A=data+i*sz}
+
+  // Stores.
+  Store,        ///<     : pop raw addr, pop v, storeValue(addr, v)
+  StoreVarInit, ///< v   : initVarSlot(v) (may heap-box), pop v, store
+  InitVar,      ///< v   : initVarSlot(v) only (zero / fresh box)
+  MapNilCheck,  ///<     : peek map, fault "assignment to entry in nil map"
+  StoreMap,     ///< t   : stack [v, m, k]; mapAssign(m, k, v); pop 3
+
+  // Calls, defers, returns.
+  Call,      ///< f argc t : args on stack; push one result (zero {t} if
+             ///<            the callee returns nothing)
+  CallMulti, ///< f argc   : push every result (multi-value contexts)
+  CallStmt,  ///< f argc   : discard results (expression statements)
+  Defer,     ///< f argc   : pop argc args into a DeferRecord
+  Return,    ///< n        : pop n values into the frame's return slot
+  MissingRet,///<          : fault "missing return in 'NAME'"
+
+  // Allocation and built-ins.
+  Make,      ///< m   : Makes[m]; operands per Len/CapExpr presence
+  New,       ///< n   : News[n]
+  Composite, ///< c   : Composites[c]; push the (rooted) object
+  SetField,  ///< off : pop v, peek obj, store into obj.A+off
+  LenSlice,  ///< t
+  LenMap,    ///< t
+  CapOf,     ///< t
+  Append,    ///< t   : stack [s, v] (both stay rooted across growth)
+  Slicing,   ///< t flags : bit0 = has lo, bit1 = has hi
+  Copy,      ///< t sz    : pop src, dst; push count
+
+  // Statements with runtime support.
+  Panic,  ///<   : pop v; record panic
+  Sink,   ///<   : pop v; fold into the checksum
+  Delete, ///<   : pop k, m; mapDelete
+  Tcfree, ///< s : Tcfrees[s]
+};
+
+/// X-macro over every opcode, in encoding order. The VM's threaded-dispatch
+/// jump table is generated from this list; the static_asserts below pin it
+/// to the enum so the two cannot drift.
+#define GOFREE_VM_FOR_EACH_OP(X)                                             \
+  X(Const) X(Nil) X(LoadVar) X(Pop) X(PopN) X(Pick)                          \
+  X(Jump) X(JumpIfFalse) X(JumpIfFalsePeek) X(JumpIfTruePeek)                \
+  X(Neg) X(Not) X(Add) X(Sub) X(Mul) X(Div) X(Mod)                           \
+  X(Lt) X(Le) X(Gt) X(Ge) X(Eq) X(Ne)                                        \
+  X(Deref) X(MkPtr) X(FieldPtr) X(FieldVal) X(IndexSlice) X(IndexMap)        \
+  X(LvalVar) X(LvalDeref) X(LvalFieldPtr) X(LvalField) X(LvalIndex)          \
+  X(Store) X(StoreVarInit) X(InitVar) X(MapNilCheck) X(StoreMap)             \
+  X(Call) X(CallMulti) X(CallStmt) X(Defer) X(Return) X(MissingRet)          \
+  X(Make) X(New) X(Composite) X(SetField)                                    \
+  X(LenSlice) X(LenMap) X(CapOf) X(Append) X(Slicing) X(Copy)                \
+  X(Panic) X(Sink) X(Delete) X(Tcfree)
+
+namespace detail {
+/// Re-derives each opcode's position from the X-macro and checks it against
+/// the hand-written enum above.
+enum class OpOrder : uint32_t {
+#define GOFREE_VM_OP_ORDER(x) x,
+  GOFREE_VM_FOR_EACH_OP(GOFREE_VM_OP_ORDER)
+#undef GOFREE_VM_OP_ORDER
+      Count_
+};
+#define GOFREE_VM_OP_CHECK(x)                                                \
+  static_assert((uint32_t)OpOrder::x == (uint32_t)Op::x,                     \
+                "GOFREE_VM_FOR_EACH_OP out of sync with enum Op");
+GOFREE_VM_FOR_EACH_OP(GOFREE_VM_OP_CHECK)
+#undef GOFREE_VM_OP_CHECK
+static_assert((uint32_t)OpOrder::Count_ == (uint32_t)Op::Tcfree + 1,
+              "GOFREE_VM_FOR_EACH_OP misses an opcode");
+} // namespace detail
+
+/// The compiled body of one function.
+struct Chunk {
+  const minigo::FuncDecl *Fn = nullptr;
+  std::vector<uint32_t> Code;
+};
+
+/// A compiled program: one chunk per function plus the shared pools the
+/// opcode operands index into. Immutable once built, so parallel workers
+/// can execute one module concurrently; the AST it points into must
+/// outlive it.
+struct Module {
+  const minigo::Program *Prog = nullptr;
+  std::vector<Chunk> Chunks;
+  std::unordered_map<const minigo::FuncDecl *, uint32_t> ChunkOf;
+
+  std::vector<int64_t> Ints;
+  std::vector<const minigo::Type *> Types;
+  std::vector<const minigo::VarDecl *> Vars;
+  std::vector<const minigo::FuncDecl *> Funcs;
+  std::vector<const minigo::MakeExpr *> Makes;
+  std::vector<const minigo::NewExpr *> News;
+  std::vector<const minigo::CompositeExpr *> Composites;
+  std::vector<const minigo::TcfreeStmt *> Tcfrees;
+
+  const Chunk *chunkFor(const minigo::FuncDecl *Fn) const {
+    auto It = ChunkOf.find(Fn);
+    return It == ChunkOf.end() ? nullptr : &Chunks[It->second];
+  }
+};
+
+/// Mnemonic for one opcode (disassembly, tests, docs).
+const char *opName(Op O);
+
+/// How many operand words follow \p O in the code stream. Header-inline
+/// because the dispatch loop decodes with it once per executed opcode.
+constexpr unsigned opOperands(Op O) {
+  switch (O) {
+  case Op::Pop:
+  case Op::LvalDeref:
+  case Op::Store:
+  case Op::MapNilCheck:
+  case Op::Panic:
+  case Op::Sink:
+  case Op::Delete:
+  case Op::MissingRet:
+    return 0;
+  case Op::Nil:
+  case Op::LoadVar:
+  case Op::PopN:
+  case Op::Pick:
+  case Op::Jump:
+  case Op::JumpIfFalse:
+  case Op::JumpIfFalsePeek:
+  case Op::JumpIfTruePeek:
+  case Op::Neg:
+  case Op::Not:
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Div:
+  case Op::Mod:
+  case Op::Lt:
+  case Op::Le:
+  case Op::Gt:
+  case Op::Ge:
+  case Op::Deref:
+  case Op::MkPtr:
+  case Op::IndexSlice:
+  case Op::IndexMap:
+  case Op::LvalVar:
+  case Op::LvalFieldPtr:
+  case Op::LvalField:
+  case Op::LvalIndex:
+  case Op::StoreVarInit:
+  case Op::InitVar:
+  case Op::StoreMap:
+  case Op::Return:
+  case Op::Make:
+  case Op::New:
+  case Op::Composite:
+  case Op::SetField:
+  case Op::LenSlice:
+  case Op::LenMap:
+  case Op::CapOf:
+  case Op::Append:
+  case Op::Tcfree:
+    return 1;
+  case Op::Const:
+  case Op::Eq:
+  case Op::Ne:
+  case Op::FieldPtr:
+  case Op::FieldVal:
+  case Op::CallMulti:
+  case Op::CallStmt:
+  case Op::Defer:
+  case Op::Slicing:
+  case Op::Copy:
+    return 2;
+  case Op::Call:
+    return 3;
+  }
+  assert(false && "unknown opcode");
+  return 0;
+}
+
+/// Human-readable listing of one chunk / a whole module.
+std::string disassemble(const Module &M, const Chunk &C);
+std::string disassemble(const Module &M);
+
+} // namespace vm
+} // namespace gofree
+
+#endif // GOFREE_VM_BYTECODE_H

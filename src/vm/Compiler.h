@@ -1,0 +1,33 @@
+//===- vm/Compiler.h - MiniGo AST to bytecode --------------------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a checked (and, in GoFree mode, instrumented) program into a
+/// vm::Module: one bytecode chunk per function. Compilation is purely
+/// syntax-directed — every evaluation-order and rooting decision of the
+/// tree-walking interpreter is preserved in the emitted opcode sequence so
+/// the two engines are observationally identical (the fuzz differ's
+/// checksum law).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_VM_COMPILER_H
+#define GOFREE_VM_COMPILER_H
+
+#include "vm/Bytecode.h"
+
+namespace gofree {
+namespace vm {
+
+/// Compiles every function of \p Prog. The program must have passed Sema
+/// (types resolved, frames laid out); it must outlive the module.
+Module compileProgram(const minigo::Program &Prog);
+
+} // namespace vm
+} // namespace gofree
+
+#endif // GOFREE_VM_COMPILER_H

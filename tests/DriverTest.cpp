@@ -49,7 +49,7 @@ std::string invalidErr(const std::string &Flag) {
 /// new flag without a round-trip test fails CoversEveryUsageLine.
 const std::set<std::string> &testedFlags() {
   static const std::set<std::string> Names = {
-      "mode",        "entry",      "targets",    "gogc",
+      "mode",        "engine",     "entry",      "targets",    "gogc",
       "gc-min-trigger", "mock",    "num-threads", "num-caches",
       "gc-workers",  "gc-eager-sweep",
       "verify-heap", "max-steps",  "migration-period",
@@ -66,6 +66,11 @@ const std::set<std::string> &testedFlags() {
 TEST(DriverFlagTest, ModeRoundTrips) {
   EXPECT_EQ(parsedOk("--mode=go").Compile.Mode, CompileMode::Go);
   EXPECT_EQ(parsedOk("--mode=gofree").Compile.Mode, CompileMode::GoFree);
+}
+
+TEST(DriverFlagTest, EngineRoundTrips) {
+  EXPECT_EQ(parsedOk("--engine=vm").Exec.Engine, ExecEngine::Vm);
+  EXPECT_EQ(parsedOk("--engine=ast").Exec.Engine, ExecEngine::Ast);
 }
 
 TEST(DriverFlagTest, EntryRoundTrips) {

@@ -10,6 +10,12 @@
 #                             build-tsan tree with -DGOFREE_SANITIZE=thread
 #                             and run the concurrency suite (ctest label
 #                             tsan_smoke) under it
+#   tools/check.sh ubsan      UndefinedBehaviorSanitizer pass: configure a
+#                             separate build-ubsan tree with
+#                             -DGOFREE_SANITIZE=undefined, run the full test
+#                             suite and a 100-seed fuzz slice under it (the
+#                             int64 wrap/boundary arithmetic of both engines
+#                             must be UB-free by construction)
 #   tools/check.sh fuzz       differential fuzzing pass: a 200-seed corpus
 #                             with the regular build, then a shorter corpus
 #                             with the ThreadSanitizer build (the fuzz legs
@@ -20,8 +26,9 @@
 #                             100-seed fuzz slice whose gofree-par leg runs
 #                             every program with --gc-workers=4 and (like all
 #                             legs) --verify-heap
-#   tools/check.sh bench      GC pause benchmark: runs bench_gc_pause and
-#                             writes BENCH_gc_pause.json at the repo root
+#   tools/check.sh bench      benchmarks: runs bench_gc_pause and bench_vm
+#                             and writes BENCH_gc_pause.json / BENCH_vm.json
+#                             at the repo root
 #
 # The smoke test runs examples/quickstart.minigo under --trace-out and
 # asserts the trace is valid JSON-lines containing at least one GC event,
@@ -90,6 +97,19 @@ tsan)
   (cd "$ROOT/build-tsan" && ctest -L tsan_smoke --output-on-failure)
   echo "check.sh: tsan smoke OK"
   ;;
+ubsan)
+  # UBSan halts on the first report (-fno-sanitize-recover is set by the
+  # top-level CMakeLists), so a clean run proves the wrap arithmetic, the
+  # slice-growth overflow guards and both execution engines are UB-free.
+  cmake -B "$ROOT/build-ubsan" -S "$ROOT" -DGOFREE_SANITIZE=undefined
+  cmake --build "$ROOT/build-ubsan" -j
+  # Instrumentation inflates native frames ~4x; the MaxFrames=4096 recursion
+  # guard tests need more than the default 8 MiB C stack to reach the guard.
+  (cd "$ROOT/build-ubsan" && ulimit -s 65536 && ctest --output-on-failure -j)
+  (ulimit -s 65536 && "$ROOT/build-ubsan/tools/gofree" fuzz --seed=1 --count=100) \
+    || fail "differential fuzz corpus failed under UBSan"
+  echo "check.sh: ubsan pass OK (full suite + 100-seed fuzz)"
+  ;;
 fuzz)
   cmake -B "$ROOT/build" -S "$ROOT"
   cmake --build "$ROOT/build" -j --target gofree
@@ -119,13 +139,16 @@ gc)
   ;;
 bench)
   cmake -B "$ROOT/build" -S "$ROOT"
-  cmake --build "$ROOT/build" -j --target bench_gc_pause
+  cmake --build "$ROOT/build" -j --target bench_gc_pause --target bench_vm
   "$ROOT/build/bench/bench_gc_pause" --json > "$ROOT/BENCH_gc_pause.json" \
     || fail "bench_gc_pause failed"
   "$ROOT/build/bench/bench_gc_pause" --quick
-  echo "check.sh: bench OK (wrote BENCH_gc_pause.json)"
+  "$ROOT/build/bench/bench_vm" --json > "$ROOT/BENCH_vm.json" \
+    || fail "bench_vm failed"
+  "$ROOT/build/bench/bench_vm"
+  echo "check.sh: bench OK (wrote BENCH_gc_pause.json, BENCH_vm.json)"
   ;;
 *)
-  fail "unknown mode '$MODE' (expected 'all', 'smoke', 'tsan', 'fuzz', 'gc', or 'bench')"
+  fail "unknown mode '$MODE' (expected 'all', 'smoke', 'tsan', 'ubsan', 'fuzz', 'gc', or 'bench')"
   ;;
 esac
