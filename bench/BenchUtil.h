@@ -92,7 +92,7 @@ inline std::vector<std::string> settingFlags(Setting S) {
   std::vector<std::string> Flags;
   Flags.push_back(S == Setting::GoFree ? "--mode=gofree" : "--mode=go");
   if (S == Setting::GoGcOff)
-    Flags.push_back("--gogc=-1");
+    Flags.push_back("--gc=gogc=-1");
   return Flags;
 }
 

@@ -83,8 +83,8 @@ struct MarkPoint {
 MarkPoint measureMark(int Workers, size_t NumChains, size_t ChainLen,
                       int Cycles) {
   HeapOptions O;
-  O.GcWorkers = Workers;
-  O.MinHeapTrigger = 1ull << 30; // Only forced cycles, no pacer noise.
+  O.Gc.Workers = Workers;
+  O.Gc.MinHeapTrigger = 1ull << 30; // Only forced cycles, no pacer noise.
   Heap H(O);
   Retained R;
   H.setRootScanner(&R);
@@ -115,12 +115,12 @@ struct PausePoint {
 PausePoint measurePause(const char *Name, int Workers, bool Eager,
                         size_t Churn) {
   HeapOptions O;
-  O.GcWorkers = Workers;
-  O.EagerSweep = Eager;
+  O.Gc.Workers = Workers;
+  O.Gc.EagerSweep = Eager;
   // A small retained graph and a high trigger: each cycle marks little but
   // has megabytes of dead spans to sweep, which is exactly the work lazy
   // sweeping evicts from the pause window.
-  O.MinHeapTrigger = 8ull << 20;
+  O.Gc.MinHeapTrigger = 8ull << 20;
   Heap H(O);
   Retained R;
   H.setRootScanner(&R);

@@ -61,7 +61,7 @@ uint64_t workerOps(Heap &H, int Tid, uint64_t Ops) {
 double runConfig(int NumThreads, uint64_t OpsPerThread) {
   HeapOptions HO;
   HO.NumCaches = NumThreads;
-  HO.Gogc = -1; // Pure allocator contention; GC pacing measured elsewhere.
+  HO.Gc.Gogc = -1; // Pure allocator contention; GC pacing measured elsewhere.
   Heap H(HO);
   std::vector<std::thread> Threads;
   auto Start = std::chrono::steady_clock::now();

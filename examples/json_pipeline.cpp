@@ -45,7 +45,7 @@ int main(int Argc, char **Argv) {
 
   for (int Gogc : {25, 50, 100, 200, 400}) {
     ExecOptions EO;
-    EO.Heap.Gogc = Gogc;
+    EO.Heap.Gc.Gogc = Gogc;
     ExecOutcome OGo = execute(Go, W.Entry, {NDocs}, EO);
     ExecOutcome OFree = execute(Free, W.Entry, {NDocs}, EO);
     if (!OGo.Run.ok() || !OFree.Run.ok() ||

@@ -38,7 +38,7 @@ public:
 int main() {
   std::printf("== GoFree runtime tour ==\n\n");
   HeapOptions Opts;
-  Opts.MinHeapTrigger = 256 * 1024;
+  Opts.Gc.MinHeapTrigger = 256 * 1024;
   Heap H(Opts);
   Handles Roots;
   H.setRootScanner(&Roots);

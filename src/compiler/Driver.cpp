@@ -10,6 +10,8 @@
 #include <charconv>
 #include <cinttypes>
 #include <cstdio>
+#include <mutex>
+#include <set>
 
 using namespace gofree;
 using namespace gofree::compiler;
@@ -32,14 +34,12 @@ constexpr FlagSpec Specs[] = {
                          "(default vm)"},
     {"entry", "NAME", "entry function (default main)"},
     {"targets", "all|sm|none", "free targets (default sm = slices and maps)"},
-    {"gogc", "N", "GOGC pacing percent; negative disables GC"},
-    {"gc-min-trigger", "BYTES", "floor for the GC trigger (default 4 MiB)"},
+    {"gc", "BACKEND[,KEY=V...]",
+     "collector: marksweep|generational|rc + gogc/min-trigger/workers/"
+     "eager-sweep/verify/nursery/promote-after/zct-threshold keys"},
     {"mock", "off|zero|flip", "poisoning tcfree (robustness testing)"},
     {"num-threads", "N", "run N real mutator threads (checksums add)"},
     {"num-caches", "N", "thread caches in the heap (default 4)"},
-    {"gc-workers", "N", "parallel GC mark workers (default 1)"},
-    {"gc-eager-sweep", "", "sweep inside the GC pause instead of lazily"},
-    {"verify-heap", "", "validate heap invariants at GC safepoints"},
     {"max-steps", "N", "interpreter fuel budget"},
     {"migration-period", "N",
      "rotate the thread-cache id every N steps (single-threaded only)"},
@@ -55,6 +55,110 @@ FlagParse invalid(std::string *Err, const std::string &Msg) {
   if (Err)
     *Err = Msg;
   return FlagParse::Invalid;
+}
+
+/// One stderr line, once per process per deprecated flag, so scripted runs
+/// keep working while nudging toward the structured --gc syntax.
+void warnDeprecated(const std::string &Old, const std::string &New) {
+  static std::mutex Mu;
+  static std::set<std::string> Warned;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Warned.insert(Old).second)
+    std::fprintf(stderr, "warning: %s is deprecated; use %s\n", Old.c_str(),
+                 New.c_str());
+}
+
+/// Applies one `--gc=` config string to \p Cfg. Grammar: comma-separated
+/// tokens; a token without '=' names the backend, `key=val` tokens set one
+/// knob each. Only mentioned fields change, so a leg's flags compose with
+/// flags layered before it (the fuzz harness relies on this).
+bool parseGcConfig(std::string_view Spec, rt::GcConfig &Cfg,
+                   std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    invalid(Err, "--gc: " + Msg);
+    return false;
+  };
+  while (!Spec.empty()) {
+    size_t Comma = Spec.find(',');
+    std::string_view Tok = Spec.substr(0, Comma);
+    Spec = Comma == std::string_view::npos ? std::string_view()
+                                           : Spec.substr(Comma + 1);
+    if (Tok.empty())
+      return Fail("empty token");
+    size_t Eq = Tok.find('=');
+    if (Eq == std::string_view::npos) {
+      if (!rt::parseGcBackendKind(Tok, Cfg.Backend))
+        return Fail("unknown backend '" + std::string(Tok) +
+                    "' (expected marksweep|generational|rc)");
+      continue;
+    }
+    std::string Key(Tok.substr(0, Eq)), Val(Tok.substr(Eq + 1));
+    int64_t IV = 0;
+    bool IsInt = parseI64(Val, IV);
+    auto WantInt = [&]() {
+      if (!IsInt)
+        Fail(Key + ": '" + Val + "' is not an integer");
+      return IsInt;
+    };
+    auto WantNonNeg = [&]() {
+      if (!WantInt())
+        return false;
+      if (IV >= 0)
+        return true;
+      Fail(Key + ": must be non-negative");
+      return false;
+    };
+    if (Key == "gogc") {
+      if (!WantInt())
+        return false;
+      Cfg.Gogc = (int)IV;
+    } else if (Key == "min-trigger") {
+      if (!WantNonNeg())
+        return false;
+      Cfg.MinHeapTrigger = (uint64_t)IV;
+    } else if (Key == "workers") {
+      if (!WantInt())
+        return false;
+      if (IV < 1 || IV > 256)
+        return Fail("workers: must be in [1, 256]");
+      Cfg.Workers = (int)IV;
+    } else if (Key == "eager-sweep") {
+      if (Val == "1" || Val == "true")
+        Cfg.EagerSweep = true;
+      else if (Val == "0" || Val == "false")
+        Cfg.EagerSweep = false;
+      else
+        return Fail("eager-sweep: expected 0|1");
+    } else if (Key == "verify") {
+      if (Val == "1" || Val == "true")
+        Cfg.Verify = true;
+      else if (Val == "0" || Val == "false")
+        Cfg.Verify = false;
+      else
+        return Fail("verify: expected 0|1");
+    } else if (Key == "nursery") {
+      if (!WantInt())
+        return false;
+      if (IV < 1)
+        return Fail("nursery: must be positive");
+      Cfg.NurseryBytes = (uint64_t)IV;
+    } else if (Key == "promote-after") {
+      if (!WantInt())
+        return false;
+      if (IV < 1)
+        return Fail("promote-after: must be positive");
+      Cfg.PromoteAfter = (int)IV;
+    } else if (Key == "zct-threshold") {
+      if (!WantInt())
+        return false;
+      if (IV < 1)
+        return Fail("zct-threshold: must be positive");
+      Cfg.ZctThreshold = (uint64_t)IV;
+    } else {
+      return Fail("unknown key '" + Key + "'");
+    }
+  }
+  return true;
 }
 
 } // namespace
@@ -131,11 +235,22 @@ FlagParse gofree::compiler::driver::parseFlag(std::string_view Flag,
       return invalid(Err, "--targets: expected all|sm|none, got '" + V + "'");
     return FlagParse::Ok;
   }
+  if (N == "gc") {
+    if (!WantValue(Bad))
+      return Bad;
+    if (!parseGcConfig(Value, Opts.Exec.Heap.Gc, Err))
+      return FlagParse::Invalid;
+    return FlagParse::Ok;
+  }
+  // Deprecated aliases for the pre-GcConfig ad-hoc GC flags. Each parses
+  // into the same GcConfig field the --gc key would set, warns once, and
+  // stays out of usageText (docs steer to --gc).
   if (N == "gogc") {
     int64_t IV;
     if (!WantInt(IV, Bad))
       return Bad;
-    Opts.Exec.Heap.Gogc = (int)IV;
+    warnDeprecated("--gogc", "--gc=gogc=N");
+    Opts.Exec.Heap.Gc.Gogc = (int)IV;
     return FlagParse::Ok;
   }
   if (N == "gc-min-trigger") {
@@ -144,7 +259,8 @@ FlagParse gofree::compiler::driver::parseFlag(std::string_view Flag,
       return Bad;
     if (IV < 0)
       return invalid(Err, "--gc-min-trigger: must be non-negative");
-    Opts.Exec.Heap.MinHeapTrigger = (uint64_t)IV;
+    warnDeprecated("--gc-min-trigger", "--gc=min-trigger=BYTES");
+    Opts.Exec.Heap.Gc.MinHeapTrigger = (uint64_t)IV;
     return FlagParse::Ok;
   }
   if (N == "mock") {
@@ -184,25 +300,28 @@ FlagParse gofree::compiler::driver::parseFlag(std::string_view Flag,
       return Bad;
     if (IV < 1 || IV > 256)
       return invalid(Err, "--gc-workers: must be in [1, 256]");
-    Opts.Exec.Heap.GcWorkers = (int)IV;
+    warnDeprecated("--gc-workers", "--gc=workers=N");
+    Opts.Exec.Heap.Gc.Workers = (int)IV;
     return FlagParse::Ok;
   }
   if (N == "gc-eager-sweep") {
     if (!HasValue || V == "1" || V == "true")
-      Opts.Exec.Heap.EagerSweep = true;
+      Opts.Exec.Heap.Gc.EagerSweep = true;
     else if (V == "0" || V == "false")
-      Opts.Exec.Heap.EagerSweep = false;
+      Opts.Exec.Heap.Gc.EagerSweep = false;
     else
       return invalid(Err, "--gc-eager-sweep: expected no value or 0|1");
+    warnDeprecated("--gc-eager-sweep", "--gc=eager-sweep=0|1");
     return FlagParse::Ok;
   }
   if (N == "verify-heap") {
     if (!HasValue || V == "1" || V == "true")
-      Opts.Exec.Heap.Verify = true;
+      Opts.Exec.Heap.Gc.Verify = true;
     else if (V == "0" || V == "false")
-      Opts.Exec.Heap.Verify = false;
+      Opts.Exec.Heap.Gc.Verify = false;
     else
       return invalid(Err, "--verify-heap: expected no value or 0|1");
+    warnDeprecated("--verify-heap", "--gc=verify=0|1");
     return FlagParse::Ok;
   }
   if (N == "max-steps") {
@@ -265,7 +384,7 @@ bool gofree::compiler::driver::parseFlags(const std::vector<std::string> &Flags,
 std::string gofree::compiler::driver::usageText() {
   std::string Out;
   for (const FlagSpec &S : Specs) {
-    char Line[128];
+    char Line[192];
     std::string Lhs = std::string("--") + S.Name;
     if (S.Value[0])
       Lhs += std::string("=") + S.Value;
@@ -340,7 +459,7 @@ std::string gofree::compiler::driver::outcomeJson(const ExecOutcome &O,
   std::string Err = jsonEscape(O.Error);
   if (Err.size() > 320)
     Err = Err.substr(0, 320) + "...";
-  char Buf[1024];
+  char Buf[1536];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"v\":%d,\"leg\":\"%s\",\"ok\":%s,\"error\":\"%s\","
@@ -350,13 +469,18 @@ std::string gofree::compiler::driver::outcomeJson(const ExecOutcome &O,
       "\"stats\":{\"alloced_bytes\":%" PRIu64 ",\"alloc_count\":%" PRIu64
       ",\"tcfree_calls\":%" PRIu64 ",\"tcfree_giveups\":%" PRIu64
       ",\"freed_bytes\":%" PRIu64 ",\"gc_cycles\":%" PRIu64
-      ",\"peak_committed\":%" PRIu64 ",\"peak_live\":%" PRIu64 "}}",
+      ",\"peak_committed\":%" PRIu64 ",\"peak_live\":%" PRIu64 "},"
+      "\"gc\":{\"backend\":\"%s\",\"minor_cycles\":%" PRIu64
+      ",\"major_cycles\":%" PRIu64 ",\"barrier_hits\":%" PRIu64
+      ",\"zct_drains\":%" PRIu64 "}}",
       trace::JsonSchemaVersion, Leg, O.ok() ? "true" : "false",
       Err.c_str(), O.Run.Checksum, O.Run.SinkCount,
       O.Run.Steps, O.Run.Panicked ? "true" : "false",
       (long long)O.Run.PanicValue, O.WallSeconds, O.Stats.GcNanos * 1e-9,
       O.Stats.AllocedBytes, O.Stats.AllocCount, O.Stats.TcfreeCalls,
       O.Stats.TcfreeGiveUps, O.Stats.tcfreeFreedBytes(), O.Stats.GcCycles,
-      O.Stats.PeakCommitted, O.Stats.PeakLive);
+      O.Stats.PeakCommitted, O.Stats.PeakLive,
+      O.GcBackend ? O.GcBackend : "marksweep", O.Stats.GcMinorCycles,
+      O.Stats.GcMajorCycles, O.Stats.GcBarrierHits, O.Stats.GcZctDrains);
   return Buf;
 }

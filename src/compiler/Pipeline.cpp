@@ -113,7 +113,8 @@ ExecOutcome gofree::compiler::execute(const Compilation &C,
       TimedRun(V);
     }
     O.Stats = Heap.stats().snap();
-    flattenOutcome(O, Heap, Opts.Heap.Verify);
+    O.GcBackend = Heap.gcBackend().name();
+    flattenOutcome(O, Heap, Opts.Heap.Gc.Verify);
     return O;
   }
 
@@ -184,6 +185,7 @@ ExecOutcome gofree::compiler::execute(const Compilation &C,
       O.Run.Error = R.Error;
   }
   O.Stats = Heap.stats().snap();
-  flattenOutcome(O, Heap, Opts.Heap.Verify);
+  O.GcBackend = Heap.gcBackend().name();
+  flattenOutcome(O, Heap, Opts.Heap.Gc.Verify);
   return O;
 }

@@ -108,6 +108,9 @@ struct ExecOptions {
 struct ExecOutcome {
   interp::RunResult Run;
   rt::StatsSnapshot Stats;
+  /// Stable name of the collector backend the run used (rt::gcBackendName;
+  /// the `gc.backend` field of `gofree run --json` v2). Static storage.
+  const char *GcBackend = "marksweep";
   double WallSeconds = 0.0;
   /// Flattened failure description, empty on success. Folds the cases
   /// callers used to probe separately: a panic ("panic: N"), an interpreter

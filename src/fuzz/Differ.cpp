@@ -38,13 +38,15 @@ std::string hex64(uint64_t V) {
 } // namespace
 
 std::vector<LegResult> gofree::fuzz::standardLegs(const DiffOptions &Opts) {
+  // Common flags come after each leg's own, and --gc tokens only touch the
+  // keys they mention, so a leg's backend choice composes with the shared
+  // min-trigger/verify settings.
   std::vector<std::string> Common = {
       "--max-steps=" + std::to_string(Opts.MaxSteps),
-      "--gc-min-trigger=" + std::to_string(Opts.GcMinTrigger),
+      "--gc=min-trigger=" + std::to_string(Opts.GcMinTrigger) +
+          (Opts.Verify ? ",verify=1" : ""),
       "--num-caches=4",
   };
-  if (Opts.Verify)
-    Common.push_back("--verify-heap");
 
   auto Leg = [&](const char *Name, std::vector<std::string> Flags,
                  int Factor = 1) {
@@ -75,7 +77,7 @@ std::vector<LegResult> gofree::fuzz::standardLegs(const DiffOptions &Opts) {
   Legs.push_back(Leg("gofree-zero", {"--mode=gofree", "--mock=zero"}));
   Legs.push_back(
       Leg("gofree-flip", {"--mode=gofree", "--targets=all", "--mock=flip"}));
-  Legs.push_back(Leg("gofree-gcoff", {"--mode=gofree", "--gogc=-1"}));
+  Legs.push_back(Leg("gofree-gcoff", {"--mode=gofree", "--gc=gogc=-1"}));
   Legs.push_back(
       Leg("gofree-mig", {"--mode=gofree", "--migration-period=1024"}));
   if (Opts.MtThreads > 1)
@@ -86,7 +88,15 @@ std::vector<LegResult> gofree::fuzz::standardLegs(const DiffOptions &Opts) {
             Opts.MtThreads));
   // Parallel mark + lazy sweep: observables must not depend on how many
   // workers marked or when spans got swept.
-  Legs.push_back(Leg("gofree-par", {"--mode=gofree", "--gc-workers=4"}));
+  Legs.push_back(Leg("gofree-par", {"--mode=gofree", "--gc=workers=4"}));
+  // Collector backends: a tiny nursery / low drain threshold forces many
+  // minor cycles and ZCT drains per seed, and observables still may not
+  // depend on which collector reclaimed the garbage.
+  Legs.push_back(Leg(
+      "gofree-gen",
+      {"--mode=gofree", "--gc=generational,nursery=32768,promote-after=1"}));
+  Legs.push_back(
+      Leg("gofree-rc", {"--mode=gofree", "--gc=rc,zct-threshold=256"}));
   return Legs;
 }
 

@@ -107,13 +107,14 @@ Value Interp::loadValue(uintptr_t Addr, const Type *Ty) {
 }
 
 void Interp::storeValue(uintptr_t Addr, const Value &V) {
-  storeValueAt(Addr, V);
+  storeValueAt(Heap, Types, Addr, V);
 }
 
 rt::MapCtx Interp::mapCtxFor(const Type *MapTy) {
   rt::MapCtx Ctx;
   Ctx.H = &Heap;
   Ctx.BucketArrayDesc = Types.mapBuckets(MapTy->elem());
+  Ctx.ValueDesc = Types.lower(MapTy->elem());
   Ctx.ValueSize = MapTy->elem()->size();
   Ctx.CacheId = Opts.CacheId;
   Ctx.Opts = Opts.Map;
@@ -687,10 +688,13 @@ Value Interp::evalExpr(const Expr *E) {
       return Value{};
     int64_t N = std::min(Dst.S.Len, Src.S.Len);
     size_t ElemSize = CE->Dst->Ty->elem()->size();
-    if (N > 0)
+    if (N > 0) {
+      Heap.gcCopyBarrier(Dst.S.Data, Src.S.Data, (size_t)N * ElemSize,
+                         Types.arrayOf(CE->Dst->Ty->elem()));
       std::memmove(reinterpret_cast<void *>(Dst.S.Data),
                    reinterpret_cast<void *>(Src.S.Data),
                    (size_t)N * ElemSize);
+    }
     Value V;
     V.Ty = E->Ty;
     V.I = N;

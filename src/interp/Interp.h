@@ -157,6 +157,35 @@ inline void storeValueAt(uintptr_t Addr, const Value &V) {
   }
 }
 
+/// Barrier-aware store: notifies the heap's write barrier for every pointer
+/// slot the store will overwrite, then performs the plain store. Both
+/// engines route every store that may target the heap through this overload;
+/// stores into frame slots also pass through, but the barrier's address-range
+/// filter rejects them before any backend work. The barrier must observe the
+/// slot's *old* value, so it runs strictly before the bytes move.
+inline void storeValueAt(rt::Heap &H, TypeLower &Types, uintptr_t Addr,
+                         const Value &V) {
+  if (H.gcBarrierActive()) {
+    switch (V.Ty->kind()) {
+    case minigo::Type::TK_Pointer:
+    case minigo::Type::TK_Map:
+      H.gcWriteBarrier(Addr, V.A);
+      break;
+    case minigo::Type::TK_Slice:
+      // SliceHeader = {Data, Len, Cap}; Data (offset 0) is the only pointer.
+      H.gcWriteBarrier(Addr, V.S.Data);
+      break;
+    case minigo::Type::TK_Struct:
+      if (Addr != V.A)
+        H.gcCopyBarrier(Addr, V.A, V.Ty->size(), Types.lower(V.Ty));
+      break;
+    default:
+      break;
+    }
+  }
+  storeValueAt(Addr, V);
+}
+
 /// Marks whatever \p V keeps alive: pointers and maps by address, slices by
 /// their backing array, struct references by scanning the pointed-to region
 /// with its lowered descriptor. Both engines use this for temporary roots.

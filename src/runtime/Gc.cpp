@@ -136,6 +136,10 @@ struct Heap::GcMarkShared {
   // start; workers consume it by strided partition.
   std::vector<uintptr_t> Roots;
   std::vector<RootScanner *> Providers;
+  /// Extra root *slot addresses* (e.g. the generational remembered set):
+  /// workers load each slot's 8-byte value and mark it. Copied in by
+  /// markPhase per cycle.
+  std::vector<uintptr_t> ExtraSlots;
 
   void barrier() {
     std::unique_lock<std::mutex> Lock(BMu);
@@ -182,7 +186,7 @@ uint64_t Heap::gcTriggerFor(uint64_t MarkedBytes, int Gogc,
 }
 
 void Heap::maybeTriggerGc() {
-  if (Opts.Gogc < 0 || !HasScanner.load(std::memory_order_relaxed) ||
+  if (Opts.Gc.Gogc < 0 || !HasScanner.load(std::memory_order_relaxed) ||
       currentThreadIsCollector())
     return;
   // Someone else mid-cycle? We'd only park inside runGcImpl; the pacer can
@@ -190,48 +194,64 @@ void Heap::maybeTriggerGc() {
   if (Phase.load(std::memory_order_relaxed) != GcPhase::Idle)
     return;
   uint64_t Live = Stats.HeapLive.load(std::memory_order_relaxed);
-  if (Live < NextTrigger.load(std::memory_order_relaxed))
+  GcCycleKind K = Backend->pace(Live);
+  if (K == GcCycleKind::None)
     return;
-  // Over the trigger: pay down sweep debt before starting another cycle.
-  // HeapLive still counts unswept garbage, so sweeping may well drop us
-  // back under the trigger -- and a cycle that starts while the last one's
-  // sweep work is unfinished would make pauses back up into a storm.
-  if (sweepCredit(8) > 0)
-    return;
-  if (trace::TraceSink *T = traceSink())
-    T->emit(trace::EventKind::GcPaceTrigger, 0, Live,
-            NextTrigger.load(std::memory_order_relaxed));
-  runGcImpl(false);
+  if (K == GcCycleKind::Full) {
+    // Over the trigger: pay down sweep debt before starting another cycle.
+    // HeapLive still counts unswept garbage, so sweeping may well drop us
+    // back under the trigger -- and a cycle that starts while the last
+    // one's sweep work is unfinished would make pauses back up into a
+    // storm. (Partial cycles never apply: their backends sweep eagerly,
+    // so no debt exists.)
+    if (sweepCredit(8) > 0)
+      return;
+    if (trace::TraceSink *T = traceSink())
+      T->emit(trace::EventKind::GcPaceTrigger, 0, Live,
+              NextTrigger.load(std::memory_order_relaxed));
+  }
+  runGcImpl(K, /*Forced=*/false);
 }
 
 //===----------------------------------------------------------------------===//
 // The cycle
 //===----------------------------------------------------------------------===//
 
-void Heap::runGc() { runGcImpl(/*Forced=*/true); }
+void Heap::runGc() { runGcImpl(GcCycleKind::Full, /*Forced=*/true); }
+
+void Heap::runGcCycle(GcCycleKind Kind) {
+  if (Kind == GcCycleKind::None)
+    return;
+  runGcImpl(Kind, /*Forced=*/true);
+}
 
 bool Heap::soloWorld() {
   std::lock_guard<std::mutex> Lock(ParkMu);
   return RegisteredMutators - (currentThreadIsMutatorHere() ? 1 : 0) <= 0;
 }
 
-void Heap::runGcImpl(bool Forced) {
+void Heap::runGcImpl(GcCycleKind Kind, bool Forced) {
   if (currentThreadIsCollector())
     return; // Re-entrant force (e.g. from a root scanner) is a no-op.
-  uint64_t CyclesBefore = Stats.GcCycles.load(std::memory_order_acquire);
+  assert(Kind != GcCycleKind::None && "None is not a runnable cycle");
+  // The lost-the-race protocol is keyed per cycle *kind*: a thread that
+  // wanted a Full must not be satisfied by a Minor or a ZCT drain that
+  // completed while it waited.
+  std::atomic<uint64_t> &Seq = CycleSeq[(size_t)Kind];
+  uint64_t SeqBefore = Seq.load(std::memory_order_acquire);
   // Trying, not blocking, on GcMu: a registered mutator that blocked here
   // would deadlock the winning collector, which is waiting for this very
   // thread to park. Lose the race -> park (if asked) and let the winner's
   // cycle count for us.
   while (!GcMu.try_lock()) {
     safepoint();
-    if (Stats.GcCycles.load(std::memory_order_acquire) != CyclesBefore)
-      return; // The concurrent cycle completed; done.
+    if (Seq.load(std::memory_order_acquire) != SeqBefore)
+      return; // A concurrent cycle of this kind completed; done.
     std::this_thread::yield();
   }
   std::lock_guard<std::mutex> GcLock(GcMu, std::adopt_lock);
-  if (Stats.GcCycles.load(std::memory_order_acquire) != CyclesBefore)
-    return; // A whole cycle ran between our entry and the lock.
+  if (Seq.load(std::memory_order_acquire) != SeqBefore)
+    return; // A whole cycle of this kind ran before we got the lock.
 
   GcThread.store(std::this_thread::get_id(), std::memory_order_relaxed);
   // The pause clock starts before the stop request: time spent waiting for
@@ -241,9 +261,49 @@ void Heap::runGcImpl(bool Forced) {
 
   // A forced cycle with the world to itself sweeps eagerly: its caller is
   // single-threaded and expects the seed's exact post-GC heap (freed
-  // bytes, retired spans) the moment runGc returns.
-  bool Eager = Opts.EagerSweep || (Forced && soloWorld());
+  // bytes, retired spans) the moment runGc returns. (The generational and
+  // rc backends force EagerSweep outright; see the Heap constructor.)
+  bool Eager = Opts.Gc.EagerSweep || (Forced && soloWorld());
 
+  auto Start = std::chrono::steady_clock::now();
+  Backend->collectStw(Kind, Eager);
+  uint64_t CycleNanos = nanosSince(Start);
+
+  Stats.GcNanos.fetch_add(CycleNanos, std::memory_order_relaxed);
+  switch (Kind) {
+  case GcCycleKind::Full:
+    Stats.GcMajorCycles.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case GcCycleKind::Minor:
+    Stats.GcMinorCycles.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case GcCycleKind::ZctDrain:
+    Stats.GcZctDrains.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case GcCycleKind::None:
+    break;
+  }
+  Stats.notePause(nanosSince(PauseStart));
+  if (trace::TraceSink *T = traceSink())
+    T->emit(trace::EventKind::GcCycleEnd, (uint32_t)Kind, CycleNanos,
+            Stats.HeapLive.load(std::memory_order_relaxed));
+  // The release bumps are what losers of the GcMu race key off; everything
+  // above must be visible before them.
+  Seq.fetch_add(1, std::memory_order_release);
+  Stats.GcCycles.fetch_add(1, std::memory_order_release);
+
+  startTheWorld();
+  GcThread.store(std::thread::id{}, std::memory_order_relaxed);
+
+  // A forced full cycle promises "garbage is collected" even with other
+  // mutators around: finish the sweep work outside the pause rather than
+  // leaving it all to lazy sweepers. (Solo forced cycles took the eager
+  // path and have nothing queued; partial cycles never queue sweep work.)
+  if (Kind == GcCycleKind::Full && Forced && !Eager)
+    drainSweepQueue();
+}
+
+void Heap::fullMarkSweepStw(bool Eager) {
   trace::TraceSink *T = traceSink();
 
   // Backstop sweep: whatever the last cycle's lazy sweepers did not get to
@@ -276,7 +336,7 @@ void Heap::runGcImpl(bool Forced) {
   if (T)
     T->emit(trace::EventKind::GcMarkStart, 0,
             Stats.HeapLive.load(std::memory_order_relaxed));
-  markPhase();
+  markPhase(GcMarkMode::Full);
   if (T)
     T->emit(trace::EventKind::GcMarkEnd, 0, nanosSince(Start));
 
@@ -314,46 +374,31 @@ void Heap::runGcImpl(bool Forced) {
 
   // Pacing on this cycle's *marked* bytes, not HeapLive: under lazy sweep
   // HeapLive still counts unswept garbage and would inflate the trigger.
-  NextTrigger.store(gcTriggerFor(Mark->MarkedBytesTotal, Opts.Gogc,
-                                 Opts.MinHeapTrigger),
+  NextTrigger.store(gcTriggerFor(Mark->MarkedBytesTotal, Opts.Gc.Gogc,
+                                 Opts.Gc.MinHeapTrigger),
                     std::memory_order_relaxed);
-
-  uint64_t Live = Stats.HeapLive.load(std::memory_order_relaxed);
-  uint64_t CycleNanos = nanosSince(Start);
-  Stats.GcNanos.fetch_add(CycleNanos, std::memory_order_relaxed);
-  Stats.notePause(nanosSince(PauseStart));
-  if (T)
-    T->emit(trace::EventKind::GcCycleEnd, 0, CycleNanos, Live);
-  // The release bump is what losers of the GcMu race key off; everything
-  // above must be visible before it.
-  Stats.GcCycles.fetch_add(1, std::memory_order_release);
-
-  startTheWorld();
-  GcThread.store(std::thread::id{}, std::memory_order_relaxed);
-
-  // A forced cycle promises "garbage is collected" even with other
-  // mutators around: finish the sweep work outside the pause rather than
-  // leaving it all to lazy sweepers. (Solo forced cycles took the eager
-  // path above and have nothing queued.)
-  if (Forced && !Eager)
-    drainSweepQueue();
 }
 
 //===----------------------------------------------------------------------===//
 // Mark phase
 //===----------------------------------------------------------------------===//
 
-void Heap::markPhase() {
+void Heap::markPhase(GcMarkMode Mode,
+                     const std::vector<uintptr_t> *ExtraSlots) {
   // The world is stopped: mutator state is stable and happens-before us
   // (see the park handshake), so span interiors need no locks here. The
   // helper threads inherit that edge through PoolMu.
-  int W = Opts.GcWorkers;
+  int W = Opts.Gc.Workers;
+  MarkMode = Mode;
   if (!Mark)
     Mark = new GcMarkShared;
   GcMarkShared &M = *Mark;
   while ((int)M.Workers.size() < W)
     M.Workers.push_back(std::make_unique<GcMarkShared::Worker>());
   M.NumWorkers = W;
+  M.ExtraSlots.clear();
+  if (ExtraSlots)
+    M.ExtraSlots = *ExtraSlots;
   for (int I = 0; I < W; ++I) {
     GcMarkShared::Worker &Wk = *M.Workers[(size_t)I];
     Wk.Active.clear();
@@ -440,17 +485,30 @@ void Heap::runMarkWorker(int Index) {
   TlsMarkIdx = Index;
 
   // 1. Clear mark bits, partitioned by span index. (AllSpans is stable:
-  // the world is stopped and we hold GcMu.)
+  // the world is stopped and we hold GcMu.) A minor cycle only clears --
+  // and will only sweep -- young spans; old spans' stale bits are never
+  // consulted (gcMarkAddr skips old spans entirely in Minor mode).
   for (size_t I = (size_t)Index; I < AllSpans.size(); I += (size_t)N) {
     MSpan *S = AllSpans[I].get();
-    if (S->State.load(std::memory_order_relaxed) == SpanState::InUse)
-      S->clearMarks();
+    if (S->State.load(std::memory_order_relaxed) != SpanState::InUse)
+      continue;
+    if (MarkMode == GcMarkMode::Minor &&
+        S->Gen.load(std::memory_order_relaxed) != GenYoung)
+      continue;
+    S->clearMarks();
   }
   // 2. Barrier: nobody marks until every span's bits are clear.
   M.barrier();
-  // 3. Roots, partitioned the same way.
+  // 3. Roots, partitioned the same way. ExtraSlots hold slot *addresses*
+  // (remembered-set entries); their current values are the roots.
   for (size_t I = (size_t)Index; I < M.Roots.size(); I += (size_t)N)
     gcMarkAddr(M.Roots[I]);
+  for (size_t I = (size_t)Index; I < M.ExtraSlots.size(); I += (size_t)N) {
+    uintptr_t P;
+    std::memcpy(&P, reinterpret_cast<void *>(M.ExtraSlots[I]),
+                sizeof(uintptr_t));
+    gcMarkAddr(P);
+  }
   for (size_t I = (size_t)Index; I < M.Providers.size(); I += (size_t)N)
     M.Providers[I]->scanRoots(*this);
 
@@ -560,6 +618,12 @@ void Heap::gcMarkAddr(uintptr_t Addr) {
   // Dangling spans are skipped rather than marked (section 5).
   if (S->State.load(std::memory_order_relaxed) != SpanState::InUse)
     return;
+  // Minor cycles neither mark nor trace old spans: the remembered set
+  // already contributed every old->young edge as a root, and old spans
+  // are not swept, so their objects need no mark bits.
+  if (MarkMode == GcMarkMode::Minor &&
+      S->Gen.load(std::memory_order_relaxed) != GenYoung)
+    return;
   size_t Slot = S->slotOf(Addr);
   // AllocBits are stable during mark (every span was swept before the
   // cycle started; see the backstop in runGcImpl), so this racy-looking
@@ -573,6 +637,11 @@ void Heap::gcMarkAddr(uintptr_t Addr) {
   GcMarkShared::Worker &W = *Mark->Workers[(size_t)WI];
   ++W.MarkedObjs;
   W.MarkedBytes += S->ElemSize;
+  // RootsOnly (the rc drain's rooted-object check) marks but does not
+  // trace: only direct root referents matter, deferred refcounts cover
+  // the heap->heap edges.
+  if (MarkMode == GcMarkMode::RootsOnly)
+    return;
   const TypeDesc *Desc = S->SlotDescs[Slot];
   if (Desc && Desc->hasPointers())
     pushMark(WI, {S->slotAddr(Slot), Desc, S->ElemSize});
@@ -809,37 +878,41 @@ void Heap::finishSweepStw() {
       continue;
     S->SweepGen.store(G - 1, std::memory_order_relaxed);
     sweepSpanSlots(S, trace::SweepWhere::Stw);
-    if (S->liveCount() == 0) {
-      int Owner = S->OwnerCache.load(std::memory_order_relaxed);
-      if (Owner != NoOwner) {
-        Cache &C = Caches[(size_t)Owner];
-        if (S->SizeClass >= 0 && C.Current[(size_t)S->SizeClass] == S)
-          C.Current[(size_t)S->SizeClass] = nullptr;
-        S->OwnerCache.store(NoOwner, std::memory_order_relaxed);
-      }
-      if (S->SizeClass >= 0 && S->OnList != SpanList::None) {
-        CentralList &CL = Central[(size_t)S->SizeClass];
-        // Crossing the list mutex (uncontended -- everyone is parked) is
-        // what hands the edit over to post-restart refills.
-        std::lock_guard<std::mutex> Lock(CL.Mu);
-        auto &V = S->OnList == SpanList::Partial ? CL.Partial : CL.Full;
-        V.erase(std::find(V.begin(), V.end(), S));
-        S->OnList = SpanList::None;
-      }
-      ToRetire.push_back(S);
-    } else if (S->SizeClass >= 0 && S->OnList == SpanList::Full &&
-               S->nextFree() != S->NElems) {
-      CentralList &CL = Central[(size_t)S->SizeClass];
-      std::lock_guard<std::mutex> Lock(CL.Mu);
-      CL.Full.erase(std::find(CL.Full.begin(), CL.Full.end(), S));
-      S->OnList = SpanList::Partial;
-      CL.Partial.push_back(S);
-    }
+    stwFixSpanPlacement(S, ToRetire);
   }
   if (!ToRetire.empty()) {
     std::lock_guard<std::mutex> Lock(Mu);
     for (MSpan *S : ToRetire)
       retireSpan(S);
+  }
+}
+
+void Heap::stwFixSpanPlacement(MSpan *S, std::vector<MSpan *> &ToRetire) {
+  if (S->liveCount() == 0) {
+    int Owner = S->OwnerCache.load(std::memory_order_relaxed);
+    if (Owner != NoOwner) {
+      Cache &C = Caches[(size_t)Owner];
+      if (S->SizeClass >= 0 && C.Current[(size_t)S->SizeClass] == S)
+        C.Current[(size_t)S->SizeClass] = nullptr;
+      S->OwnerCache.store(NoOwner, std::memory_order_relaxed);
+    }
+    if (S->SizeClass >= 0 && S->OnList != SpanList::None) {
+      CentralList &CL = Central[(size_t)S->SizeClass];
+      // Crossing the list mutex (uncontended -- everyone is parked) is
+      // what hands the edit over to post-restart refills.
+      std::lock_guard<std::mutex> Lock(CL.Mu);
+      auto &V = S->OnList == SpanList::Partial ? CL.Partial : CL.Full;
+      V.erase(std::find(V.begin(), V.end(), S));
+      S->OnList = SpanList::None;
+    }
+    ToRetire.push_back(S);
+  } else if (S->SizeClass >= 0 && S->OnList == SpanList::Full &&
+             S->nextFree() != S->NElems) {
+    CentralList &CL = Central[(size_t)S->SizeClass];
+    std::lock_guard<std::mutex> Lock(CL.Mu);
+    CL.Full.erase(std::find(CL.Full.begin(), CL.Full.end(), S));
+    S->OnList = SpanList::Partial;
+    CL.Partial.push_back(S);
   }
 }
 
@@ -857,6 +930,41 @@ void Heap::buildSweepQueue() {
       SweepWork.push_back(S);
   }
   SweepWorkNext.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Write barrier slow paths
+//===----------------------------------------------------------------------===//
+
+void Heap::gcWriteBarrierSlow(uintptr_t Slot, uintptr_t NewVal) {
+  // Cheap bounds filter: most barriered stores target interpreter stack
+  // slots or other C++ memory. The bounds are conservative (malloc'd
+  // C++ allocations can interleave with arena chunks), so lookupSpan
+  // below is the real heap test.
+  if (Slot < HeapLo.load(std::memory_order_relaxed) ||
+      Slot >= HeapHi.load(std::memory_order_relaxed))
+    return;
+  MSpan *S = lookupSpan(Slot);
+  if (!S || S->State.load(std::memory_order_relaxed) != SpanState::InUse)
+    return;
+  // The old value is read from memory -- this is why the barrier must run
+  // *before* the store it covers.
+  uintptr_t Old;
+  std::memcpy(&Old, reinterpret_cast<void *>(Slot), sizeof(uintptr_t));
+  if (Old == NewVal)
+    return;
+  Stats.GcBarrierHits.fetch_add(1, std::memory_order_relaxed);
+  Backend->writeBarrier(*S, Slot, Old, NewVal);
+}
+
+void Heap::gcCopyBarrierSlow(uintptr_t Dst, uintptr_t Src, size_t Bytes,
+                             const TypeDesc *Desc) {
+  // Replay the copy's pointer stores through the plain barrier: for each
+  // pointer slot, the destination slot is about to receive the source
+  // slot's current value.
+  forEachPtrSlot(Src, Desc, Bytes, [&](uintptr_t FieldAddr, uintptr_t P) {
+    gcWriteBarrierSlow(Dst + (FieldAddr - Src), P);
+  });
 }
 
 size_t Heap::unsweptSpanCount() {

@@ -54,11 +54,18 @@ Heap::Heap(HeapOptions O) : Opts(O) {
   // bounds.
   if (Opts.NumCaches < 1)
     Opts.NumCaches = 1;
-  if (Opts.GcWorkers < 1)
-    Opts.GcWorkers = 1;
-  if (Opts.GcWorkers > 256)
-    Opts.GcWorkers = 256;
-  NextTrigger.store(Opts.MinHeapTrigger, std::memory_order_relaxed);
+  if (Opts.Gc.Workers < 1)
+    Opts.Gc.Workers = 1;
+  if (Opts.Gc.Workers > 256)
+    Opts.Gc.Workers = 256;
+  // The generational and rc backends free inside their partial cycles'
+  // pauses; a lazy sweeper racing a partial cycle's bookkeeping has no
+  // sound protocol, so those backends always sweep full cycles eagerly.
+  if (Opts.Gc.Backend != GcBackendKind::MarkSweep)
+    Opts.Gc.EagerSweep = true;
+  NextTrigger.store(Opts.Gc.MinHeapTrigger, std::memory_order_relaxed);
+  Backend = makeGcBackend(*this, Opts.Gc);
+  BarrierOn = Opts.Gc.Backend != GcBackendKind::MarkSweep;
   Central = std::make_unique<CentralList[]>((size_t)numSizeClasses());
   PageShards = std::make_unique<PageShard[]>(NumPageShards);
   Caches.resize((size_t)Opts.NumCaches);
@@ -326,6 +333,18 @@ MSpan *Heap::newSpan(const Run &R, size_t ElemSize, int Class) {
   S->reset(R.Base, R.NPages, ElemSize, Class, R.Chunk,
            SweepGenGlobal.load(std::memory_order_relaxed));
   registerSpan(S);
+  // Widen the write barrier's conservative heap bounds (monotonic; spans
+  // come and go but chunks never shrink).
+  uintptr_t Lo = HeapLo.load(std::memory_order_relaxed);
+  while (R.Base < Lo &&
+         !HeapLo.compare_exchange_weak(Lo, R.Base, std::memory_order_relaxed))
+    ;
+  uintptr_t End = R.Base + R.NPages * PageSize;
+  uintptr_t Hi = HeapHi.load(std::memory_order_relaxed);
+  while (End > Hi &&
+         !HeapHi.compare_exchange_weak(Hi, End, std::memory_order_relaxed))
+    ;
+  Backend->spanCreated(*S);
   Stats.Committed.fetch_add(R.NPages * PageSize, std::memory_order_relaxed);
   Stats.notePeaks();
   return S;
@@ -435,6 +454,8 @@ uintptr_t Heap::allocSmall(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
   S->SlotCats[Slot] = (uint8_t)Cat;
   uintptr_t Addr = S->slotAddr(Slot);
   std::memset(reinterpret_cast<void *>(Addr), 0, ElemSize);
+  if (BarrierOn)
+    Backend->noteAlloc(*S, Slot);
 
   Stats.AllocedBytes.fetch_add(ElemSize, std::memory_order_relaxed);
   Stats.AllocCount.fetch_add(1, std::memory_order_relaxed);
@@ -539,6 +560,8 @@ uintptr_t Heap::allocLarge(size_t Bytes, const TypeDesc *Desc, AllocCat Cat) {
     S->SlotCats[0] = (uint8_t)Cat;
   }
   std::memset(reinterpret_cast<void *>(S->Base), 0, S->ElemSize);
+  if (BarrierOn)
+    Backend->noteAlloc(*S, 0);
 
   Stats.AllocedBytes.fetch_add(S->ElemSize, std::memory_order_relaxed);
   Stats.AllocCount.fetch_add(1, std::memory_order_relaxed);
@@ -625,6 +648,8 @@ bool Heap::tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source) {
     }
     if (Opts.Mock != MockTcfree::Off)
       return MockPoison(S->Base, S->ElemSize);
+    if (BarrierOn)
+      Backend->noteExplicitFree(*S, 0); // Fields still intact here.
     S->clearAllocBit(0);
     unregisterSpan(S);
     freePages(S->Base, S->NPages, S->Chunk);
@@ -653,6 +678,8 @@ bool Heap::tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source) {
         trace::GiveUpReason::DoubleFree); // Benign double free (section 5).
   if (Opts.Mock != MockTcfree::Off)
     return MockPoison(S->slotAddr(Slot), S->ElemSize);
+  if (BarrierOn)
+    Backend->noteExplicitFree(*S, Slot); // Fields still intact here.
   S->clearAllocBit(Slot);
   S->SlotDescs[Slot] = nullptr;
   if (Slot < S->FreeIndex)

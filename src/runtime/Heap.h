@@ -46,6 +46,7 @@
 #ifndef GOFREE_RUNTIME_HEAP_H
 #define GOFREE_RUNTIME_HEAP_H
 
+#include "runtime/GcBackend.h"
 #include "runtime/HeapStats.h"
 #include "runtime/MSpan.h"
 #include "runtime/SizeClasses.h"
@@ -81,32 +82,15 @@ public:
 /// so any live object wrongly freed makes the program observably misbehave.
 enum class MockTcfree : uint8_t { Off, Zero, Flip };
 
-/// Runtime configuration.
+/// Runtime configuration. All collector policy lives in GcConfig (see
+/// GcBackend.h); the former ad-hoc Gogc / MinHeapTrigger / GcWorkers /
+/// EagerSweep / Verify fields are its members now.
 struct HeapOptions {
-  /// GOGC: the next GC triggers when live bytes reach
-  /// live-after-last-GC * (1 + Gogc/100). Negative disables GC entirely
-  /// (the paper's Go-GCOff setting).
-  int Gogc = 100;
-  /// Floor for the first/next GC trigger (Go's 4 MiB default).
-  uint64_t MinHeapTrigger = 4ull << 20;
+  /// Collector selection and tuning (`--gc=<backend>[,key=val...]`).
+  GcConfig Gc;
   MockTcfree Mock = MockTcfree::Off;
   /// Number of thread caches ("P"s). Values < 1 are clamped to 1.
   int NumCaches = 4;
-  /// Parallel mark workers (the collector counts as worker 0). 1 marks on
-  /// the collecting thread alone; N > 1 spins up N-1 persistent helper
-  /// threads on first use. Clamped into [1, 256].
-  int GcWorkers = 1;
-  /// Forces every cycle to sweep inside the stop-the-world window (the
-  /// seed's behavior). Off, sweeping is lazy: spans are swept on demand at
-  /// cache refill, by sweep credit on the allocation slow path, and as
-  /// leftovers at the start of the next cycle. Forced runGc() calls with
-  /// no other registered mutator still sweep eagerly so their post-GC
-  /// state is exact (tests rely on that); see docs/GC.md.
-  bool EagerSweep = false;
-  /// Debug validation: run Heap::verifyInvariants at GC safepoints (right
-  /// after the world stops and again after sweep). O(heap) per check, so
-  /// off by default; the fuzz harness turns it on for every leg.
-  bool Verify = false;
   /// Optional event sink; null disables tracing (the only cost left on the
   /// hot paths is this null check). Not owned; must outlive the heap.
   /// A mutator registered with a per-thread sink (MutatorScope) overrides
@@ -155,10 +139,43 @@ public:
   size_t tcfreeBatch(const uintptr_t *Addrs, size_t N, int CacheId,
                      FreeSource Source);
 
-  /// Runs a full stop-the-world mark-sweep cycle now. If another thread is
-  /// already collecting, parks until that cycle finishes instead of
-  /// running a second one.
+  /// Runs a full stop-the-world collection now (on every backend: the rc
+  /// backend's backup mark-sweep doubles as its cycle collector). If
+  /// another thread is already collecting, parks until that cycle
+  /// finishes instead of running a second one.
   void runGc();
+
+  /// Forces one cycle of the given kind (test / embedder hook). Full is
+  /// runGc(); Minor and ZctDrain are no-ops unless the active backend
+  /// implements them (marksweep treats both as Full).
+  void runGcCycle(GcCycleKind Kind);
+
+  /// The active collector backend (never null).
+  const GcBackend &gcBackend() const { return *Backend; }
+
+  /// True when the active backend needs the mutator write barrier. A
+  /// plain bool fixed at construction: marksweep runs barrier-free.
+  bool gcBarrierActive() const { return BarrierOn; }
+
+  /// The write barrier. MUST be called *before* the store it covers (the
+  /// old slot value is read from memory): engines call it for every
+  /// pointer-bearing store whose destination may be a heap object. Stack
+  /// and other non-heap destinations are filtered here, so callers need
+  /// no address classification of their own.
+  void gcWriteBarrier(uintptr_t Slot, uintptr_t NewVal) {
+    if (BarrierOn)
+      gcWriteBarrierSlow(Slot, NewVal);
+  }
+
+  /// The bulk-copy barrier: \p Bytes bytes laid out as \p Desc are about
+  /// to be copied from \p Src to \p Dst (both unmodified yet). Runs the
+  /// write barrier for every pointer slot of the region; call it *before*
+  /// the memcpy/memmove.
+  void gcCopyBarrier(uintptr_t Dst, uintptr_t Src, size_t Bytes,
+                     const TypeDesc *Desc) {
+    if (BarrierOn && Dst != Src && Desc && Desc->hasPointers())
+      gcCopyBarrierSlow(Dst, Src, Bytes, Desc);
+  }
 
   /// Registers \p S as the only root provider (legacy single-threaded
   /// API). Passing null clears all scanners. GC cannot run without one.
@@ -291,6 +308,13 @@ public:
 
 private:
   friend class MutatorScope;
+  // Backends are policy layered over the heap's mechanism; they reach the
+  // span lifecycle, marker, and sweep internals directly. Friendship is
+  // not inherited, so each concrete backend is named.
+  friend class GcBackend;
+  friend class MarkSweepGc;
+  friend class GenerationalGc;
+  friend class RcGc;
 
   struct Cache {
     std::vector<MSpan *> Current; ///< One span per size class, or null.
@@ -370,11 +394,19 @@ private:
   void verifyAtSafepoint(const char *When);
   void poison(uintptr_t Addr, size_t Bytes);
   void maybeTriggerGc();
-  void runGcImpl(bool Forced);
+  /// One stop-the-world entry: serializes on GcMu (losers of the race park
+  /// and accept the winner's completed cycle of the same kind), stops the
+  /// world, delegates the body to Backend->collectStw, and restarts.
+  void runGcImpl(GcCycleKind Kind, bool Forced);
   /// True when no other mutator is registered (collector may be); under
   /// this condition a forced cycle sweeps eagerly so its caller observes
   /// the seed's exact post-GC state.
   bool soloWorld();
+
+  // Write barrier slow paths (world running; see gcWriteBarrier).
+  void gcWriteBarrierSlow(uintptr_t Slot, uintptr_t NewVal);
+  void gcCopyBarrierSlow(uintptr_t Dst, uintptr_t Src, size_t Bytes,
+                         const TypeDesc *Desc);
 
   // Parallel mark (Gc.cpp). GcMarkShared holds the worker contexts and the
   // steal/termination state; defined in Gc.cpp only, hence the pointer.
@@ -384,7 +416,25 @@ private:
     const TypeDesc *Desc;
     size_t Bytes;
   };
-  void markPhase();
+  /// What a mark pass covers.
+  ///  * Full:      clear all marks, trace the whole reachable graph.
+  ///  * Minor:     clear young spans' marks only; gcMarkAddr ignores old
+  ///               spans (the remembered set stands in for them).
+  ///  * RootsOnly: clear all marks, mark objects directly referenced from
+  ///               roots but do not trace through them (the rc drain's
+  ///               rooted-object check).
+  enum class GcMarkMode : uint8_t { Full, Minor, RootsOnly };
+  /// Runs one parallel mark pass. \p ExtraSlots, if non-null, are slot
+  /// *addresses* (e.g. the generational remembered set) whose 8-byte
+  /// values are marked as additional roots, partitioned across workers.
+  void markPhase(GcMarkMode Mode,
+                 const std::vector<uintptr_t> *ExtraSlots = nullptr);
+  /// The shared full mark-sweep cycle body (stopped world, GcMu held):
+  /// backstop sweep, full mark, dangling retirement, sweep-generation
+  /// bump, then eager or queued sweeping and retrigger computation. The
+  /// marksweep backend's whole collectStw; the generational major cycle
+  /// and the rc backup collector call it too.
+  void fullMarkSweepStw(bool Eager);
   void markWorkerMain(int Index);          ///< Helper-thread loop.
   void runMarkWorker(int Index);           ///< One worker's cycle work.
   void pushMark(int Worker, const MarkItem &Item);
@@ -407,6 +457,11 @@ private:
   /// Sweeps every remaining unswept span while the world is stopped
   /// (start of a cycle, or the eager path). Requires stopped world.
   void finishSweepStw();
+  /// After freeing slots of \p S inside a pause: detach it from its owner
+  /// cache and queue it on \p ToRetire if now empty, else fix its
+  /// central-list placement (Full -> Partial when a slot opened up).
+  /// Stopped world; caller retires the batch under Mu afterwards.
+  void stwFixSpanPlacement(MSpan *S, std::vector<MSpan *> &ToRetire);
   /// Rebuilds SweepWork from every unswept in-use span. Stopped world.
   void buildSweepQueue();
 
@@ -436,6 +491,23 @@ private:
   // GC state.
   std::atomic<GcPhase> Phase{GcPhase::Idle};
   std::atomic<uint64_t> NextTrigger;
+  /// The collector policy (never null after construction).
+  std::unique_ptr<GcBackend> Backend;
+  /// Whether stores must run the write barrier. Fixed at construction
+  /// (plain bool: read racily on the hot path, never written after).
+  bool BarrierOn = false;
+  /// Current mark pass mode; written by the collector before workers
+  /// start, read by them during the pass (stopped world).
+  GcMarkMode MarkMode = GcMarkMode::Full;
+  /// Conservative bounds of all arena chunks ever allocated, for the
+  /// write barrier's cheap non-heap filter (malloc'd C++ memory can
+  /// interleave, so lookupSpan remains the real test).
+  std::atomic<uintptr_t> HeapLo{UINTPTR_MAX};
+  std::atomic<uintptr_t> HeapHi{0};
+  /// Completed-cycle counters per kind, for the lost-the-GcMu-race
+  /// protocol: a parked forced Full must not be satisfied by a Minor that
+  /// finished in the meantime. Bumped with release under GcMu.
+  std::atomic<uint64_t> CycleSeq[NumGcCycleKinds] = {};
 
   // Parallel mark: worker contexts plus the persistent helper pool. The
   // pool is spawned lazily on the first parallel cycle and joined by

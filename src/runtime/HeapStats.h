@@ -68,6 +68,14 @@ struct StatsSnapshot {
   uint64_t GcSweptBytes = 0;
   uint64_t GcSweptCountByCat[NumAllocCats] = {};
   uint64_t GcSpansSweptLazy = 0;
+  // Per-backend counters ("v":2 of the JSON schema). GcCycles counts
+  // cycles of every kind; the next three break it down (marksweep cycles
+  // are all major). BarrierHits counts write-barrier invocations that
+  // reached the backend (heap-resident destination slots).
+  uint64_t GcMinorCycles = 0;
+  uint64_t GcMajorCycles = 0;
+  uint64_t GcZctDrains = 0;
+  uint64_t GcBarrierHits = 0;
   uint64_t PeakCommitted = 0;
   uint64_t PeakLive = 0;
 
@@ -123,6 +131,11 @@ struct HeapStats {
   std::atomic<uint64_t> GcSweptCount{0};
   std::atomic<uint64_t> GcSweptCountByCat[NumAllocCats] = {};
   std::atomic<uint64_t> GcSpansSweptLazy{0};
+  // Backend breakdown (see StatsSnapshot).
+  std::atomic<uint64_t> GcMinorCycles{0};
+  std::atomic<uint64_t> GcMajorCycles{0};
+  std::atomic<uint64_t> GcZctDrains{0};
+  std::atomic<uint64_t> GcBarrierHits{0};
 
   // Heap footprint (table 5 "maxheap").
   std::atomic<uint64_t> HeapLive{0};        ///< Live object bytes.
@@ -176,6 +189,10 @@ struct HeapStats {
       S.GcPauseHist[I] = GcPauseHist[I].load(std::memory_order_relaxed);
     S.GcSpansSweptLazy = GcSpansSweptLazy.load(std::memory_order_relaxed);
     S.GcSweptBytes = GcSweptBytes.load(std::memory_order_relaxed);
+    S.GcMinorCycles = GcMinorCycles.load(std::memory_order_relaxed);
+    S.GcMajorCycles = GcMajorCycles.load(std::memory_order_relaxed);
+    S.GcZctDrains = GcZctDrains.load(std::memory_order_relaxed);
+    S.GcBarrierHits = GcBarrierHits.load(std::memory_order_relaxed);
     S.PeakCommitted = PeakCommitted.load(std::memory_order_relaxed);
     S.PeakLive = PeakLive.load(std::memory_order_relaxed);
     return S;

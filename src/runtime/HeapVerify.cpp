@@ -311,7 +311,7 @@ std::string Heap::invariantFailure() const {
 }
 
 void Heap::verifyAtSafepoint(const char *When) {
-  if (!Opts.Verify)
+  if (!Opts.Gc.Verify)
     return;
   std::string Report;
   if (verifyInvariants(&Report))

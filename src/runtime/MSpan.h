@@ -52,6 +52,12 @@ namespace rt {
 /// Owner id meaning "not cached by any thread".
 inline constexpr int NoOwner = -1;
 
+/// Span generations (the generational backend's unit of aging). Old is the
+/// zero value so the marksweep and rc backends, which never look at
+/// generations, see a uniformly old heap.
+inline constexpr uint8_t GenOld = 0;
+inline constexpr uint8_t GenYoung = 1;
+
 /// Lifecycle of a span.
 enum class SpanState : uint8_t {
   InUse,    ///< Holds live slots; registered in the page map.
@@ -105,9 +111,22 @@ struct MSpan {
   std::vector<const TypeDesc *> SlotDescs;
   /// Per-slot allocation category (AllocCat), for sweep accounting.
   std::vector<uint8_t> SlotCats;
+  /// Which generation the span's objects belong to (generational backend
+  /// only; GenOld everywhere else). Atomic because the write barrier reads
+  /// it on spans it does not own while promotion flips it under
+  /// stop-the-world; both spans involved in a barriered store hold live
+  /// objects, so the value read is never of a recycled control block.
+  std::atomic<uint8_t> Gen{GenOld};
+  /// Minor cycles this young span has survived (collector only, STW).
+  uint32_t Survivals = 0;
+  /// Per-slot deferred reference counts and ZCT membership flags (rc
+  /// backend only; sized by GcBackend::spanCreated, empty otherwise).
+  /// Mutators update them through atomic_ref at barrier sites.
+  std::vector<uint32_t> RefCnt;
+  std::vector<uint8_t> InZct;
 
   void reset(uintptr_t NewBase, size_t Pages, size_t Elem, int Class,
-             size_t ChunkId, uint32_t Gen) {
+             size_t ChunkId, uint32_t SweepG) {
     Base = NewBase;
     NPages = Pages;
     ElemSize = Elem;
@@ -116,13 +135,17 @@ struct MSpan {
     SizeClass = Class;
     OwnerCache.store(NoOwner, std::memory_order_relaxed);
     State.store(SpanState::InUse, std::memory_order_release);
-    SweepGen.store(Gen, std::memory_order_relaxed);
+    SweepGen.store(SweepG, std::memory_order_relaxed);
     OnList = SpanList::None;
     FreeIndex = 0;
     AllocBits.assign((NElems + 63) / 64, 0);
     MarkBits.assign((NElems + 63) / 64, 0);
     SlotDescs.assign(NElems, nullptr);
     SlotCats.assign(NElems, 0);
+    Gen.store(GenOld, std::memory_order_relaxed);
+    Survivals = 0;
+    RefCnt.clear();
+    InZct.clear();
   }
 
   bool allocBit(size_t Slot) const {

@@ -104,9 +104,19 @@ void mapGrow(const MapCtx &Ctx, HMapView M) {
     int64_t Idx = (int64_t)(hashKey(Key) & (uint64_t)Mask);
     while (readU64(NewBuckets + (uintptr_t)Idx * EntrySize) == EntryFull)
       Idx = (Idx + 1) & Mask;
-    std::memcpy(reinterpret_cast<void *>(NewBuckets + (uintptr_t)Idx * EntrySize),
+    uintptr_t NewEntry = NewBuckets + (uintptr_t)Idx * EntrySize;
+    // Entry descriptor = BucketArrayDesc->Elem; the fresh entry is zeroed,
+    // so the barrier sees null old values, but the new array may already be
+    // old space (pretenured span) holding young pointers.
+    if (Ctx.BucketArrayDesc)
+      Ctx.H->gcCopyBarrier(NewEntry, OldEntry, EntrySize,
+                           Ctx.BucketArrayDesc->Elem);
+    std::memcpy(reinterpret_cast<void *>(NewEntry),
                 reinterpret_cast<void *>(OldEntry), EntrySize);
   }
+  // Barrier before the store: the hmap header's Buckets slot is about to
+  // drop its reference to the old array and take the new one.
+  Ctx.H->gcWriteBarrier(M.HMap + HMapBucketsOff, NewBuckets);
   M.setBuckets(NewBuckets);
   M.setNBuckets(NewN);
   M.setTombs(0);
@@ -150,6 +160,9 @@ uintptr_t gofree::rt::mapMakeHeap(const MapCtx &Ctx, const TypeDesc *HMapDesc,
   uintptr_t Buckets = Ctx.H->allocate(mapBucketBytes(N, Ctx.ValueSize),
                                       Ctx.BucketArrayDesc, AllocCat::Map,
                                       Ctx.CacheId);
+  // Barrier before mapInit writes the Buckets slot (the header is heap
+  // memory; an rc backend must count the reference).
+  Ctx.H->gcWriteBarrier(HMap + HMapBucketsOff, Buckets);
   mapInit(HMap, N, Buckets, Ctx.ValueSize);
   return HMap;
 }
@@ -173,6 +186,8 @@ void gofree::rt::mapAssign(const MapCtx &Ctx, uintptr_t HMap, int64_t Key,
     writeU64(M.entry(Idx) + 8, (uint64_t)Key);
     M.setCount(M.count() + 1);
   }
+  Ctx.H->gcCopyBarrier(M.value(Idx), reinterpret_cast<uintptr_t>(Value),
+                       Ctx.ValueSize, Ctx.ValueDesc);
   std::memcpy(reinterpret_cast<void *>(M.value(Idx)), Value, Ctx.ValueSize);
 }
 

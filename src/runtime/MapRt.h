@@ -58,6 +58,9 @@ struct MapCtx {
   Heap *H = nullptr;
   /// IsArray descriptor of the bucket array (Elem = entry descriptor).
   const TypeDesc *BucketArrayDesc = nullptr;
+  /// Descriptor of one stored value (null for pointer-free values); drives
+  /// the write barrier when a value is copied into a bucket.
+  const TypeDesc *ValueDesc = nullptr;
   size_t ValueSize = 8;
   int CacheId = 0;
   MapRtOptions Opts;

@@ -60,6 +60,18 @@ const char *sweepWhereName(uint8_t W) {
   return "unknown";
 }
 
+const char *gcCycleKindName(uint8_t K) {
+  switch (K) {
+  case 0:
+    return "full";
+  case 1:
+    return "minor";
+  case 2:
+    return "zct-drain";
+  }
+  return "unknown";
+}
+
 const char *giveUpReasonName(GiveUpReason R) {
   switch (R) {
   case GiveUpReason::NullAddr:
@@ -185,6 +197,7 @@ static void foldEvent(TraceSummary &S, const Event &E) {
     case EventKind::GcCycleEnd:
       ++S.GcCycles;
       S.GcCycleNanos += E.V0;
+      ++S.GcCyclesByKind[E.Arg < 3 ? E.Arg : 0];
       break;
     case EventKind::TcfreeFreed:
       ++S.TcfreeFreedCount;
@@ -296,9 +309,10 @@ static void formatEvent(char *Line, size_t Size, const Event &E,
       break;
     case EventKind::GcCycleEnd:
       std::snprintf(Line, Size,
-                    ",\"t\":%" PRIu64 ",\"ev\":\"gc-cycle-end\",\"ns\":%" PRIu64
+                    ",\"t\":%" PRIu64
+                    ",\"ev\":\"gc-cycle-end\",\"kind\":\"%s\",\"ns\":%" PRIu64
                     ",\"live\":%" PRIu64 "}\n",
-                    E.TimeNs, E.V0, E.V1);
+                    E.TimeNs, gcCycleKindName(E.Arg), E.V0, E.V1);
       break;
     case EventKind::TcfreeFreed:
       std::snprintf(Line, Size,
@@ -404,6 +418,11 @@ void printSummary(FILE *Out, const TraceSummary &S) {
                " objects / %" PRIu64 " bytes\n",
                S.GcPaceTriggers, S.GcCycles, ms(S.GcCycleNanos),
                ms(S.GcMarkNanos), S.GcSweptObjects, S.GcSweptBytes);
+  if (S.GcCyclesByKind[1] || S.GcCyclesByKind[2])
+    std::fprintf(Out,
+                 "  gc cycles by kind: %" PRIu64 " full, %" PRIu64
+                 " minor, %" PRIu64 " zct-drain\n",
+                 S.GcCyclesByKind[0], S.GcCyclesByKind[1], S.GcCyclesByKind[2]);
   if (S.GcMarkWorkersSeen)
     std::fprintf(Out,
                  "  gc workers: %" PRIu64 " worker-cycles, %.3f ms busy\n",
@@ -455,6 +474,19 @@ void printSummaryDiff(FILE *Out, const char *NameA, const TraceSummary &A,
   if (B.GcCycles < A.GcCycles)
     std::fprintf(Out, "   (%" PRIu64 " avoided)", A.GcCycles - B.GcCycles);
   std::fprintf(Out, "\n");
+  // Per-kind breakdown, shown only when a partial collector ran on either
+  // side (a marksweep-vs-marksweep diff stays as terse as in v1).
+  if (A.GcCyclesByKind[1] || B.GcCyclesByKind[1] || A.GcCyclesByKind[2] ||
+      B.GcCyclesByKind[2])
+    for (int K = 0; K < 3; ++K) {
+      if (!A.GcCyclesByKind[K] && !B.GcCyclesByKind[K])
+        continue;
+      char Label[32];
+      std::snprintf(Label, sizeof(Label), "  cycles %s",
+                    gcCycleKindName((uint8_t)K));
+      std::fprintf(Out, "  %-24s %14" PRIu64 " %14" PRIu64 "\n", Label,
+                   A.GcCyclesByKind[K], B.GcCyclesByKind[K]);
+    }
   std::fprintf(Out, "  %-24s %14.3f %14.3f\n", "gc time (ms)",
                ms(A.GcCycleNanos), ms(B.GcCycleNanos));
   std::fprintf(Out, "  %-24s %14" PRIu64 " %14" PRIu64 "\n", "tcfree freed",

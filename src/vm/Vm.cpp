@@ -111,6 +111,7 @@ rt::MapCtx Vm::mapCtxFor(const Type *MapTy) {
   rt::MapCtx Ctx;
   Ctx.H = &Heap;
   Ctx.BucketArrayDesc = Types.mapBuckets(MapTy->elem());
+  Ctx.ValueDesc = Types.lower(MapTy->elem());
   Ctx.ValueSize = MapTy->elem()->size();
   Ctx.CacheId = Opts.CacheId;
   Ctx.Opts = Opts.Map;
@@ -607,7 +608,7 @@ Do_LvalIndex: {
 Do_Store: {
   const uintptr_t Addr = Stack.back().A;
   Stack.pop_back();
-  interp::storeValueAt(Addr, Stack.back());
+  interp::storeValueAt(Heap, Types, Addr, Stack.back());
   Stack.pop_back();
   NEXT(0);
 }
@@ -615,7 +616,7 @@ Do_StoreVarInit: {
   const VarDecl *Var = VarPool[Code[IP + 1]];
   initVarSlot(CurF, Var); // The value stays on the stack, rooted, meanwhile.
   Value V = pop();
-  interp::storeValueAt(varAddr(CurF, Var), V);
+  interp::storeValueAt(Heap, Types, varAddr(CurF, Var), V);
   NEXT(1);
 }
 Do_InitVar:
@@ -725,7 +726,7 @@ Do_Composite: {
 }
 Do_SetField: {
   Value V = pop();
-  interp::storeValueAt(top().A + Code[IP + 1], V);
+  interp::storeValueAt(Heap, Types, top().A + Code[IP + 1], V);
   NEXT(1);
 }
 Do_LenSlice: {
@@ -758,7 +759,8 @@ Do_Append: {
     fault("growslice: cap out of range");
     return Flow::Fault;
   }
-  interp::storeValueAt(S.S.Data + (uintptr_t)S.S.Len * ElemTy->size(), Elem);
+  interp::storeValueAt(Heap, Types,
+                       S.S.Data + (uintptr_t)S.S.Len * ElemTy->size(), Elem);
   ++S.S.Len;
   Value Res = S;
   Res.Ty = SliceTy;
@@ -793,10 +795,13 @@ Do_Copy: {
   Value Src = pop();
   Value Dst = pop();
   int64_t N = std::min(Dst.S.Len, Src.S.Len);
-  if (N > 0)
+  if (N > 0) {
+    Heap.gcCopyBarrier(Dst.S.Data, Src.S.Data, (size_t)N * Code[IP + 2],
+                       Types.arrayOf(Dst.Ty->elem()));
     std::memmove(reinterpret_cast<void *>(Dst.S.Data),
                  reinterpret_cast<void *>(Src.S.Data),
                  (size_t)N * Code[IP + 2]);
+  }
   Value V;
   V.Ty = TypePool[Code[IP + 1]];
   V.I = N;
@@ -878,7 +883,8 @@ Vm::Flow Vm::runFunction(const FuncDecl *Fn, size_t ArgBase, size_t Argc,
                                    // argument stays rooted on the stack.
     if (faulted())
       break;
-    interp::storeValueAt(varAddr(F, Fn->Params[I]), Stack[ArgBase + I]);
+    interp::storeValueAt(Heap, Types, varAddr(F, Fn->Params[I]),
+                         Stack[ArgBase + I]);
   }
 
   size_t TransientBase = ArgBase + Argc;

@@ -37,7 +37,7 @@ uint64_t everyWay(const std::string &Src,
   uint64_t Go = runMode(Src, CompileMode::Go, Args);
   uint64_t Free = runMode(Src, CompileMode::GoFree, Args);
   ExecOptions Tight;
-  Tight.Heap.MinHeapTrigger = 16 * 1024;
+  Tight.Heap.Gc.MinHeapTrigger = 16 * 1024;
   uint64_t Stressed = runMode(Src, CompileMode::GoFree, Args, Tight);
   ExecOptions Poison;
   Poison.Heap.Mock = rt::MockTcfree::Flip;
@@ -205,7 +205,7 @@ TEST(AdvancedInterpTest, RecursiveStructOverGcPressure) {
   // A binary-tree build/sum with churn: exercises struct pointer maps
   // under collection.
   ExecOptions EO;
-  EO.Heap.MinHeapTrigger = 32 * 1024;
+  EO.Heap.Gc.MinHeapTrigger = 32 * 1024;
   const char *Src = "type Node struct { v int\n l *Node\n r *Node\n }\n"
                     "func build(d int, v int) *Node {\n"
                     "  if d == 0 { return nil }\n"
@@ -292,7 +292,7 @@ TEST(AdvancedInterpTest, StructWithSliceFieldReturnedByValue) {
   // The header inside the struct copy must stay GC-visible through the
   // caller's frame scan.
   ExecOptions Tight;
-  Tight.Heap.MinHeapTrigger = 16 * 1024;
+  Tight.Heap.Gc.MinHeapTrigger = 16 * 1024;
   CompileOptions CO;
   Compilation C = compile("type Buf struct { data []int\n n int\n }\n"
                           "func mk(sz int) Buf {\n"

@@ -49,10 +49,9 @@ std::string invalidErr(const std::string &Flag) {
 /// new flag without a round-trip test fails CoversEveryUsageLine.
 const std::set<std::string> &testedFlags() {
   static const std::set<std::string> Names = {
-      "mode",        "engine",     "entry",      "targets",    "gogc",
-      "gc-min-trigger", "mock",    "num-threads", "num-caches",
-      "gc-workers",  "gc-eager-sweep",
-      "verify-heap", "max-steps",  "migration-period",
+      "mode",       "engine",    "entry",      "targets",
+      "gc",         "mock",      "num-threads", "num-caches",
+      "max-steps",  "migration-period",
   };
   return Names;
 }
@@ -86,15 +85,43 @@ TEST(DriverFlagTest, TargetsRoundTrips) {
             escape::FreeTargets::None);
 }
 
-TEST(DriverFlagTest, GogcRoundTrips) {
-  EXPECT_EQ(parsedOk("--gogc=250").Exec.Heap.Gogc, 250);
-  EXPECT_EQ(parsedOk("--gogc=-1").Exec.Heap.Gogc, -1); // Go-GCOff
-}
-
-TEST(DriverFlagTest, GcMinTriggerRoundTrips) {
-  EXPECT_EQ(parsedOk("--gc-min-trigger=65536").Exec.Heap.MinHeapTrigger,
+TEST(DriverFlagTest, GcRoundTrips) {
+  EXPECT_EQ(parsedOk("--gc=marksweep").Exec.Heap.Gc.Backend,
+            rt::GcBackendKind::MarkSweep);
+  EXPECT_EQ(parsedOk("--gc=generational").Exec.Heap.Gc.Backend,
+            rt::GcBackendKind::Generational);
+  EXPECT_EQ(parsedOk("--gc=gen").Exec.Heap.Gc.Backend,
+            rt::GcBackendKind::Generational);
+  EXPECT_EQ(parsedOk("--gc=rc").Exec.Heap.Gc.Backend, rt::GcBackendKind::Rc);
+  EXPECT_EQ(parsedOk("--gc=gogc=250").Exec.Heap.Gc.Gogc, 250);
+  EXPECT_EQ(parsedOk("--gc=gogc=-1").Exec.Heap.Gc.Gogc, -1); // Go-GCOff
+  EXPECT_EQ(parsedOk("--gc=min-trigger=65536").Exec.Heap.Gc.MinHeapTrigger,
             65536u);
-  EXPECT_EQ(parsedOk("--gc-min-trigger=0").Exec.Heap.MinHeapTrigger, 0u);
+  EXPECT_EQ(parsedOk("--gc=workers=4").Exec.Heap.Gc.Workers, 4);
+  EXPECT_TRUE(parsedOk("--gc=eager-sweep=1").Exec.Heap.Gc.EagerSweep);
+  EXPECT_FALSE(parsedOk("--gc=eager-sweep=0").Exec.Heap.Gc.EagerSweep);
+  EXPECT_TRUE(parsedOk("--gc=verify=1").Exec.Heap.Gc.Verify);
+  EXPECT_EQ(parsedOk("--gc=nursery=32768").Exec.Heap.Gc.NurseryBytes, 32768u);
+  EXPECT_EQ(parsedOk("--gc=promote-after=3").Exec.Heap.Gc.PromoteAfter, 3);
+  EXPECT_EQ(parsedOk("--gc=zct-threshold=256").Exec.Heap.Gc.ZctThreshold,
+            256u);
+  // Combined form, and composition: later tokens touch only their own key.
+  PipelineOptions P =
+      parsedOk("--gc=generational,nursery=8192,promote-after=1,verify=1");
+  EXPECT_EQ(P.Exec.Heap.Gc.Backend, rt::GcBackendKind::Generational);
+  EXPECT_EQ(P.Exec.Heap.Gc.NurseryBytes, 8192u);
+  EXPECT_EQ(P.Exec.Heap.Gc.PromoteAfter, 1);
+  EXPECT_TRUE(P.Exec.Heap.Gc.Verify);
+  EXPECT_EQ(P.Exec.Heap.Gc.Gogc, 100) << "unmentioned keys keep defaults";
+  std::string Err;
+  ASSERT_TRUE(
+      parseFlags({"--gc=rc,zct-threshold=64", "--gc=min-trigger=4096"}, P,
+                 &Err))
+      << Err;
+  EXPECT_EQ(P.Exec.Heap.Gc.Backend, rt::GcBackendKind::Rc)
+      << "a later --gc must not reset earlier tokens it does not mention";
+  EXPECT_EQ(P.Exec.Heap.Gc.ZctThreshold, 64u);
+  EXPECT_EQ(P.Exec.Heap.Gc.MinHeapTrigger, 4096u);
 }
 
 TEST(DriverFlagTest, MockRoundTrips) {
@@ -112,26 +139,28 @@ TEST(DriverFlagTest, NumCachesRoundTrips) {
   EXPECT_EQ(parsedOk("--num-caches=8").Exec.Heap.NumCaches, 8);
 }
 
-TEST(DriverFlagTest, GcWorkersRoundTrips) {
-  EXPECT_EQ(parsedOk("--gc-workers=4").Exec.Heap.GcWorkers, 4);
-  EXPECT_EQ(parsedOk("--gc-workers=1").Exec.Heap.GcWorkers, 1);
-  EXPECT_EQ(parsedOk("--gc-workers=256").Exec.Heap.GcWorkers, 256);
-}
-
-TEST(DriverFlagTest, GcEagerSweepRoundTrips) {
-  EXPECT_TRUE(parsedOk("--gc-eager-sweep").Exec.Heap.EagerSweep);
-  EXPECT_TRUE(parsedOk("--gc-eager-sweep=1").Exec.Heap.EagerSweep);
-  EXPECT_TRUE(parsedOk("--gc-eager-sweep=true").Exec.Heap.EagerSweep);
-  EXPECT_FALSE(parsedOk("--gc-eager-sweep=0").Exec.Heap.EagerSweep);
-  EXPECT_FALSE(parsedOk("--gc-eager-sweep=false").Exec.Heap.EagerSweep);
-}
-
-TEST(DriverFlagTest, VerifyHeapRoundTrips) {
-  EXPECT_TRUE(parsedOk("--verify-heap").Exec.Heap.Verify);
-  EXPECT_TRUE(parsedOk("--verify-heap=1").Exec.Heap.Verify);
-  EXPECT_TRUE(parsedOk("--verify-heap=true").Exec.Heap.Verify);
-  EXPECT_FALSE(parsedOk("--verify-heap=0").Exec.Heap.Verify);
-  EXPECT_FALSE(parsedOk("--verify-heap=false").Exec.Heap.Verify);
+// The pre-GcConfig flags survive as deprecated aliases; each must keep
+// parsing and land on the same GcConfig field its --gc key sets (scripted
+// runs must not break). They are deliberately absent from usageText.
+TEST(DriverFlagTest, DeprecatedGcAliasesStillParse) {
+  EXPECT_EQ(parsedOk("--gogc=250").Exec.Heap.Gc.Gogc, 250);
+  EXPECT_EQ(parsedOk("--gogc=-1").Exec.Heap.Gc.Gogc, -1); // Go-GCOff
+  EXPECT_EQ(parsedOk("--gc-min-trigger=65536").Exec.Heap.Gc.MinHeapTrigger,
+            65536u);
+  EXPECT_EQ(parsedOk("--gc-min-trigger=0").Exec.Heap.Gc.MinHeapTrigger, 0u);
+  EXPECT_EQ(parsedOk("--gc-workers=4").Exec.Heap.Gc.Workers, 4);
+  EXPECT_EQ(parsedOk("--gc-workers=1").Exec.Heap.Gc.Workers, 1);
+  EXPECT_EQ(parsedOk("--gc-workers=256").Exec.Heap.Gc.Workers, 256);
+  EXPECT_TRUE(parsedOk("--gc-eager-sweep").Exec.Heap.Gc.EagerSweep);
+  EXPECT_TRUE(parsedOk("--gc-eager-sweep=1").Exec.Heap.Gc.EagerSweep);
+  EXPECT_TRUE(parsedOk("--gc-eager-sweep=true").Exec.Heap.Gc.EagerSweep);
+  EXPECT_FALSE(parsedOk("--gc-eager-sweep=0").Exec.Heap.Gc.EagerSweep);
+  EXPECT_FALSE(parsedOk("--gc-eager-sweep=false").Exec.Heap.Gc.EagerSweep);
+  EXPECT_TRUE(parsedOk("--verify-heap").Exec.Heap.Gc.Verify);
+  EXPECT_TRUE(parsedOk("--verify-heap=1").Exec.Heap.Gc.Verify);
+  EXPECT_TRUE(parsedOk("--verify-heap=true").Exec.Heap.Gc.Verify);
+  EXPECT_FALSE(parsedOk("--verify-heap=0").Exec.Heap.Gc.Verify);
+  EXPECT_FALSE(parsedOk("--verify-heap=false").Exec.Heap.Gc.Verify);
 }
 
 TEST(DriverFlagTest, MaxStepsRoundTrips) {
@@ -171,6 +200,21 @@ TEST(DriverFlagTest, RejectsBadValues) {
             std::string::npos);
   invalidErr("--gogc=abc");
   invalidErr("--gc-min-trigger=-1");
+  EXPECT_NE(invalidErr("--gc=tricolor").find("marksweep|generational|rc"),
+            std::string::npos);
+  invalidErr("--gc=gogc=abc");
+  invalidErr("--gc=min-trigger=-1");
+  invalidErr("--gc=workers=0");
+  invalidErr("--gc=workers=257");
+  invalidErr("--gc=eager-sweep=banana");
+  invalidErr("--gc=verify=banana");
+  invalidErr("--gc=nursery=0");
+  invalidErr("--gc=promote-after=0");
+  invalidErr("--gc=zct-threshold=0");
+  invalidErr("--gc=color=blue");
+  invalidErr("--gc=rc,,verify=1");
+  invalidErr("--gc");
+  invalidErr("--gc=");
   invalidErr("--mock=poison");
   invalidErr("--num-threads=0");
   invalidErr("--num-threads=1025");
@@ -205,8 +249,8 @@ TEST(DriverFlagTest, ParseFlagsAppliesAllOrFails) {
   ASSERT_TRUE(parseFlags({"--mode=go", "--gogc=-1", "--verify-heap"}, P, &Err))
       << Err;
   EXPECT_EQ(P.Compile.Mode, CompileMode::Go);
-  EXPECT_EQ(P.Exec.Heap.Gogc, -1);
-  EXPECT_TRUE(P.Exec.Heap.Verify);
+  EXPECT_EQ(P.Exec.Heap.Gc.Gogc, -1);
+  EXPECT_TRUE(P.Exec.Heap.Gc.Verify);
 
   PipelineOptions Q;
   EXPECT_FALSE(parseFlags({"--mode=go", "--stats"}, Q, &Err));
@@ -303,7 +347,7 @@ TEST(DriverJsonTest, CarriesSchemaVersionLegAndObservables) {
   ExecOutcome O = compileAndRun(OkProg, optsFor({"--mode=gofree"}), {10});
   ASSERT_TRUE(O.ok()) << O.Error;
   std::string J = outcomeJson(O, legName(CompileMode::GoFree));
-  EXPECT_EQ(J.rfind("{\"v\":1,", 0), 0u) << J;
+  EXPECT_EQ(J.rfind("{\"v\":2,", 0), 0u) << J;
   EXPECT_NE(J.find("\"leg\":\"gofree\""), std::string::npos) << J;
   EXPECT_NE(J.find("\"ok\":true"), std::string::npos) << J;
   EXPECT_NE(J.find("\"error\":\"\""), std::string::npos) << J;
@@ -312,6 +356,23 @@ TEST(DriverJsonTest, CarriesSchemaVersionLegAndObservables) {
                 (unsigned long long)O.Run.Checksum);
   EXPECT_NE(J.find(Want), std::string::npos) << J;
   EXPECT_NE(J.find("\"stats\":{"), std::string::npos) << J;
+  // v2 addition: the gc object names the backend and its counters.
+  EXPECT_NE(J.find("\"gc\":{\"backend\":\"marksweep\""),
+            std::string::npos)
+      << J;
+  EXPECT_NE(J.find("\"minor_cycles\":"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"zct_drains\":"), std::string::npos) << J;
+}
+
+TEST(DriverJsonTest, BackendNameFollowsGcFlag) {
+  ExecOutcome O = compileAndRun(
+      OkProg, optsFor({"--mode=gofree", "--gc=generational"}), {10});
+  ASSERT_TRUE(O.ok()) << O.Error;
+  EXPECT_STREQ(O.GcBackend, "generational");
+  std::string J = outcomeJson(O, "gofree");
+  EXPECT_NE(J.find("\"gc\":{\"backend\":\"generational\""),
+            std::string::npos)
+      << J;
 }
 
 TEST(DriverJsonTest, ErrorStaysOneEscapedLine) {

@@ -204,7 +204,7 @@ TEST(ReducerTest, RespectsAttemptBudget) {
 
 TEST(HeapVerifyTest, LiveHeapPassesVerification) {
   rt::HeapOptions HO;
-  HO.Verify = true;
+  HO.Gc.Verify = true;
   rt::Heap H(HO);
   std::vector<uintptr_t> Objs;
   for (int I = 0; I < 200; ++I)

@@ -432,7 +432,7 @@ TEST(InterpTest, StackAllocatedSlicesWorkInLoops) {
 
 TEST(InterpTest, GcCollectsGarbageMidRun) {
   ExecOptions EO;
-  EO.Heap.MinHeapTrigger = 64 * 1024;
+  EO.Heap.Gc.MinHeapTrigger = 64 * 1024;
   ExecOutcome O = runMode("func main(n int) {\n"
                           "  total := 0\n"
                           "  for i := 0; i < n; i = i + 1 {\n"
@@ -453,7 +453,7 @@ TEST(InterpTest, LiveDataSurvivesGc) {
   // A long-lived linked structure built while garbage churns: GC must keep
   // every reachable node intact.
   ExecOptions EO;
-  EO.Heap.MinHeapTrigger = 32 * 1024;
+  EO.Heap.Gc.MinHeapTrigger = 32 * 1024;
   ExecOutcome O = runMode(
       "type Node struct { v int\n next *Node\n }\n"
       "func main(n int) {\n"
@@ -538,7 +538,7 @@ TEST(InterpTest, ModeEquivalenceAcrossCalls) {
 
 TEST(InterpTest, TcfreeActuallyFreesSliceChurn) {
   ExecOptions EO;
-  EO.Heap.MinHeapTrigger = 128 * 1024;
+  EO.Heap.Gc.MinHeapTrigger = 128 * 1024;
   const char *Src = "func main(n int) {\n"
                     "  total := 0\n"
                     "  for i := 1; i < n; i = i + 1 {\n"

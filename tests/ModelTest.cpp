@@ -140,7 +140,7 @@ class ChurnModelTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ChurnModelTest, LiveObjectsKeepTheirContents) {
   HeapOptions O;
-  O.MinHeapTrigger = 64 * 1024;
+  O.Gc.MinHeapTrigger = 64 * 1024;
   Heap H(O);
   OracleRoots Roots;
   H.setRootScanner(&Roots);

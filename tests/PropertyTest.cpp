@@ -75,7 +75,7 @@ TEST_P(SynthPropertyTest, AggressiveGcPacingIsInvisible) {
   ASSERT_TRUE(Free.ok());
   ExecOutcome Relaxed = execute(Free, "main", {25});
   ExecOptions Tight;
-  Tight.Heap.MinHeapTrigger = 8 * 1024; // Collect almost constantly.
+  Tight.Heap.Gc.MinHeapTrigger = 8 * 1024; // Collect almost constantly.
   ExecOutcome Stressed = execute(Free, "main", {25}, Tight);
   ASSERT_TRUE(Stressed.Run.ok()) << Stressed.Run.Error;
   EXPECT_EQ(Relaxed.Run.Checksum, Stressed.Run.Checksum);
@@ -142,7 +142,7 @@ TEST(StressTest, TightHeapManySeeds) {
     ASSERT_TRUE(C.ok());
     ExecOutcome Ref = execute(C, "main", {20});
     ExecOptions Harsh;
-    Harsh.Heap.MinHeapTrigger = 4 * 1024;
+    Harsh.Heap.Gc.MinHeapTrigger = 4 * 1024;
     Harsh.Heap.Mock = rt::MockTcfree::Flip;
     ExecOutcome Out = execute(C, "main", {20}, Harsh);
     ASSERT_TRUE(Out.Run.ok()) << "seed " << Seed << ": " << Out.Run.Error;

@@ -360,7 +360,7 @@ TEST(GcTest, InteriorPointerKeepsWholeObject) {
 
 TEST(GcTest, PacingTriggersCollection) {
   HeapOptions O;
-  O.MinHeapTrigger = 64 * 1024;
+  O.Gc.MinHeapTrigger = 64 * 1024;
   Heap H(O);
   TestRoots Roots;
   H.setRootScanner(&Roots);
@@ -374,8 +374,8 @@ TEST(GcTest, PacingTriggersCollection) {
 
 TEST(GcTest, GcOffNeverCollects) {
   HeapOptions O;
-  O.Gogc = -1;
-  O.MinHeapTrigger = 4096;
+  O.Gc.Gogc = -1;
+  O.Gc.MinHeapTrigger = 4096;
   Heap H(O);
   TestRoots Roots;
   H.setRootScanner(&Roots);
@@ -389,7 +389,7 @@ TEST(GcTest, TcfreeReducesGcFrequency) {
   // delays heap growth and reduces GC cycles.
   auto Run = [](bool UseTcfree) {
     HeapOptions O;
-    O.MinHeapTrigger = 64 * 1024;
+    O.Gc.MinHeapTrigger = 64 * 1024;
     Heap H(O);
     TestRoots Roots;
     H.setRootScanner(&Roots);
@@ -511,7 +511,7 @@ TEST(GcScanTest, HugeFlatPointerArraySplitsOntoMarkStack) {
 
 TEST(GcParallelTest, FourWorkersMarkTheSameLiveSet) {
   HeapOptions O;
-  O.GcWorkers = 4;
+  O.Gc.Workers = 4;
   Heap H(O);
   TestRoots Roots;
   H.setRootScanner(&Roots);
@@ -548,7 +548,7 @@ TEST(GcParallelTest, FourWorkersMarkTheSameLiveSet) {
 
 TEST(GcLazySweepTest, PacedGcDefersSweepingToAllocation) {
   HeapOptions O;
-  O.MinHeapTrigger = 64 * 1024;
+  O.Gc.MinHeapTrigger = 64 * 1024;
   Heap H(O);
   TestRoots Roots;
   H.setRootScanner(&Roots);

@@ -150,7 +150,7 @@ TEST(SlicingTest, InteriorPointerKeepsArrayAliveUnderGc) {
                           CO);
   ASSERT_TRUE(C.ok());
   ExecOptions Tight;
-  Tight.Heap.MinHeapTrigger = 16 * 1024;
+  Tight.Heap.Gc.MinHeapTrigger = 16 * 1024;
   ExecOutcome O = execute(C, "main", {100}, Tight);
   ASSERT_TRUE(O.Run.ok()) << O.Run.Error;
   EXPECT_GT(O.Stats.GcCycles, 0u);

@@ -392,8 +392,8 @@ TEST(VmTest, GcAtEveryOpcodeDoesNotChangeBehavior) {
 
   ExecOptions EO;
   EO.Interp.GcEveryNSteps = 1;
-  EO.Heap.Verify = true;
-  EO.Heap.MinHeapTrigger = 0;
+  EO.Heap.Gc.Verify = true;
+  EO.Heap.Gc.MinHeapTrigger = 0;
   ExecOutcome Tortured =
       runEngine(Src, ExecEngine::Vm, CompileMode::GoFree, {}, EO);
   EXPECT_TRUE(Tortured.ok()) << Tortured.Error;
@@ -416,8 +416,8 @@ TEST(VmTest, GcTortureDuringPanicUnwind) {
                     "}\n";
   ExecOptions EO;
   EO.Interp.GcEveryNSteps = 1;
-  EO.Heap.Verify = true;
-  EO.Heap.MinHeapTrigger = 0;
+  EO.Heap.Gc.Verify = true;
+  EO.Heap.Gc.MinHeapTrigger = 0;
   ExecOutcome O = runEngine(Src, ExecEngine::Vm, CompileMode::GoFree, {}, EO);
   EXPECT_TRUE(O.Run.Panicked);
   EXPECT_EQ(O.Run.PanicValue, 9);

@@ -21,11 +21,15 @@
 #                             with the ThreadSanitizer build (the fuzz legs
 #                             include an N-thread leg, so this races real
 #                             mutator threads under TSan)
-#   tools/check.sh gc         GC-focused pass: the parallel-mark / lazy-sweep
-#                             torture tests under ThreadSanitizer, then a
-#                             100-seed fuzz slice whose gofree-par leg runs
-#                             every program with --gc-workers=4 and (like all
-#                             legs) --verify-heap
+#   tools/check.sh gc         GC-focused pass: the collector-backend
+#                             conformance set (ctest label gc_backends) with
+#                             the regular build, the parallel-mark /
+#                             lazy-sweep / write-barrier torture tests under
+#                             ThreadSanitizer, then a 100-seed fuzz slice
+#                             whose legs cover all three backends
+#                             (gofree-par runs --gc=workers=4, gofree-gen and
+#                             gofree-rc the generational and rc collectors)
+#                             with heap verification on every leg
 #   tools/check.sh bench      benchmarks: runs bench_gc_pause and bench_vm
 #                             and writes BENCH_gc_pause.json / BENCH_vm.json
 #                             at the repo root
@@ -122,20 +126,26 @@ fuzz)
   echo "check.sh: fuzz corpus OK (200 seeds regular, 40 seeds tsan)"
   ;;
 gc)
-  # Parallel mark + lazy sweep torture under TSan: real mutator threads race
-  # the mark workers and all four concurrent sweep entry points.
+  # Backend conformance with the regular build: cross-backend observable
+  # equivalence, remembered-set and ZCT semantics, tcfree interop.
+  cmake -B "$ROOT/build" -S "$ROOT"
+  cmake --build "$ROOT/build" -j
+  (cd "$ROOT/build" && ctest -L gc_backends --output-on-failure) \
+    || fail "gc_backends conformance tests failed"
+  # Parallel mark + lazy sweep + write-barrier torture under TSan: real
+  # mutator threads race the mark workers, the concurrent sweep entry
+  # points, and the generational remembered set.
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DGOFREE_SANITIZE=thread
   cmake --build "$ROOT/build-tsan" -j --target concurrency_test
   "$ROOT/build-tsan/tests/concurrency_test" \
-    --gtest_filter='ConcurrencyGcWorkersTest.*:ConcurrencyTortureTest.*' \
+    --gtest_filter='ConcurrencyGcWorkersTest.*:ConcurrencyTortureTest.*:ConcurrencyBarrierTest.*' \
     || fail "GC torture tests failed under ThreadSanitizer"
-  # Fuzz slice: the gofree-par leg runs every seed with --gc-workers=4, and
-  # DiffOptions.Verify (on by default) adds --verify-heap to every leg.
-  cmake -B "$ROOT/build" -S "$ROOT"
-  cmake --build "$ROOT/build" -j --target gofree
+  # Fuzz slice: gofree-par runs --gc=workers=4, gofree-gen the generational
+  # collector, gofree-rc the rc collector; DiffOptions.Verify (on by
+  # default) adds --gc=verify=1 to every leg.
   "$ROOT/build/tools/gofree" fuzz --seed=1 --count=100 \
-    || fail "GC fuzz slice failed (--gc-workers=4 leg, --verify-heap)"
-  echo "check.sh: gc pass OK (tsan torture + 100-seed parallel-GC fuzz)"
+    || fail "GC fuzz slice failed (parallel/generational/rc legs, heap verify)"
+  echo "check.sh: gc pass OK (conformance + tsan torture + 100-seed fuzz)"
   ;;
 bench)
   cmake -B "$ROOT/build" -S "$ROOT"
