@@ -36,7 +36,8 @@ constexpr FlagSpec Specs[] = {
     {"targets", "all|sm|none", "free targets (default sm = slices and maps)"},
     {"gc", "BACKEND[,KEY=V...]",
      "collector: marksweep|generational|rc + gogc/min-trigger/workers/"
-     "eager-sweep/verify/nursery/promote-after/zct-threshold keys"},
+     "eager-sweep/verify/nursery/promote-after/zct-threshold/conc/chaos "
+     "keys"},
     {"mock", "off|zero|flip", "poisoning tcfree (robustness testing)"},
     {"num-threads", "N", "run N real mutator threads (checksums add)"},
     {"num-caches", "N", "thread caches in the heap (default 4)"},
@@ -58,12 +59,22 @@ FlagParse invalid(std::string *Err, const std::string &Msg) {
 }
 
 /// One stderr line, once per process per deprecated flag, so scripted runs
-/// keep working while nudging toward the structured --gc syntax.
+/// keep working while nudging toward the structured --gc syntax. The set
+/// doubles as the deprecationWarningCount() backing store.
+struct DeprecationState {
+  std::mutex Mu;
+  std::set<std::string> Warned;
+};
+
+DeprecationState &deprecationState() {
+  static DeprecationState S;
+  return S;
+}
+
 void warnDeprecated(const std::string &Old, const std::string &New) {
-  static std::mutex Mu;
-  static std::set<std::string> Warned;
-  std::lock_guard<std::mutex> Lock(Mu);
-  if (Warned.insert(Old).second)
+  DeprecationState &S = deprecationState();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (S.Warned.insert(Old).second)
     std::fprintf(stderr, "warning: %s is deprecated; use %s\n", Old.c_str(),
                  New.c_str());
 }
@@ -154,6 +165,17 @@ bool parseGcConfig(std::string_view Spec, rt::GcConfig &Cfg,
       if (IV < 1)
         return Fail("zct-threshold: must be positive");
       Cfg.ZctThreshold = (uint64_t)IV;
+    } else if (Key == "conc") {
+      if (Val == "1" || Val == "true" || Val == "on")
+        Cfg.Concurrent = true;
+      else if (Val == "0" || Val == "false" || Val == "off")
+        Cfg.Concurrent = false;
+      else
+        return Fail("conc: expected 0|1|on|off");
+    } else if (Key == "chaos") {
+      if (!WantNonNeg())
+        return false;
+      Cfg.TcfreeChaos = (uint64_t)IV;
     } else {
       return Fail("unknown key '" + Key + "'");
     }
@@ -162,6 +184,12 @@ bool parseGcConfig(std::string_view Spec, rt::GcConfig &Cfg,
 }
 
 } // namespace
+
+unsigned gofree::compiler::driver::deprecationWarningCount() {
+  DeprecationState &S = deprecationState();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  return (unsigned)S.Warned.size();
+}
 
 FlagParse gofree::compiler::driver::parseFlag(std::string_view Flag,
                                               PipelineOptions &Opts,
@@ -472,7 +500,8 @@ std::string gofree::compiler::driver::outcomeJson(const ExecOutcome &O,
       ",\"peak_committed\":%" PRIu64 ",\"peak_live\":%" PRIu64 "},"
       "\"gc\":{\"backend\":\"%s\",\"minor_cycles\":%" PRIu64
       ",\"major_cycles\":%" PRIu64 ",\"barrier_hits\":%" PRIu64
-      ",\"zct_drains\":%" PRIu64 "}}",
+      ",\"zct_drains\":%" PRIu64 ",\"conc_cycles\":%" PRIu64
+      ",\"assists\":%" PRIu64 "}}",
       trace::JsonSchemaVersion, Leg, O.ok() ? "true" : "false",
       Err.c_str(), O.Run.Checksum, O.Run.SinkCount,
       O.Run.Steps, O.Run.Panicked ? "true" : "false",
@@ -481,6 +510,7 @@ std::string gofree::compiler::driver::outcomeJson(const ExecOutcome &O,
       O.Stats.TcfreeGiveUps, O.Stats.tcfreeFreedBytes(), O.Stats.GcCycles,
       O.Stats.PeakCommitted, O.Stats.PeakLive,
       O.GcBackend ? O.GcBackend : "marksweep", O.Stats.GcMinorCycles,
-      O.Stats.GcMajorCycles, O.Stats.GcBarrierHits, O.Stats.GcZctDrains);
+      O.Stats.GcMajorCycles, O.Stats.GcBarrierHits, O.Stats.GcZctDrains,
+      O.Stats.GcConcCycles, O.Stats.GcAssists);
   return Buf;
 }

@@ -8,6 +8,8 @@
 #include "fuzz/Differ.h"
 
 #include "compiler/Driver.h"
+#include "runtime/HeapStats.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -97,8 +99,46 @@ std::vector<LegResult> gofree::fuzz::standardLegs(const DiffOptions &Opts) {
       {"--mode=gofree", "--gc=generational,nursery=32768,promote-after=1"}));
   Legs.push_back(
       Leg("gofree-rc", {"--mode=gofree", "--gc=rc,zct-threshold=256"}));
+  // Concurrent tricolor marking under tcfree chaos: mark windows overlap
+  // mutator execution, and on top of the organic GcRunning give-ups every
+  // 7th tcfree is *forced* down that give-up path as if a mark were in
+  // flight. Observables may depend on neither -- a skipped free is just
+  // garbage the next cycle collects.
+  Legs.push_back(
+      Leg("gofree-conc", {"--mode=gofree", "--gc=workers=2,conc=1,chaos=7"}));
   return Legs;
 }
+
+namespace {
+
+/// Every tcfree call must land in exactly one bucket: freed (by source,
+/// including the map-growth frees that route through tcfreeObject), or
+/// given up (by reason, with Mock counted as its own bucket). A leg that
+/// leaks a call -- most plausibly a give-up path that forgot its counter
+/// while racing a concurrent mark -- is a real bug even when observables
+/// agree, same as an invariant violation.
+std::string checkTcfreeAccounting(const LegResult &L) {
+  const rt::StatsSnapshot &S = L.Outcome.Stats;
+  uint64_t Accounted = 0;
+  for (uint64_t C : S.TcfreeGiveUpsByReason)
+    Accounted += C;
+  for (uint64_t C : S.FreedCountBySource)
+    Accounted += C;
+  if (S.TcfreeCalls != Accounted)
+    return "tcfree accounting leak: " + std::to_string(S.TcfreeCalls) +
+           " calls but " + std::to_string(Accounted) +
+           " accounted (give-ups by reason + freed by source)";
+  // Chaos-forced give-ups are a subset of the GcRunning bucket.
+  uint64_t GcRunning =
+      S.TcfreeGiveUpsByReason[(int)trace::GiveUpReason::GcRunning];
+  if (S.TcfreeChaosForced > GcRunning)
+    return "chaos accounting leak: " + std::to_string(S.TcfreeChaosForced) +
+           " forced give-ups exceed the GcRunning bucket (" +
+           std::to_string(GcRunning) + ")";
+  return "";
+}
+
+} // namespace
 
 DiffResult gofree::fuzz::diffProgram(const std::string &Source,
                                      const DiffOptions &Opts) {
@@ -141,6 +181,12 @@ DiffResult gofree::fuzz::diffProgram(const std::string &Source,
     if (isInvariantViolation(L.Outcome)) {
       R.Status = DiffStatus::Mismatch;
       R.Failure = "leg '" + L.Name + "': " + L.Outcome.Error;
+      return R;
+    }
+    std::string Leak = checkTcfreeAccounting(L);
+    if (!Leak.empty()) {
+      R.Status = DiffStatus::Mismatch;
+      R.Failure = "leg '" + L.Name + "': " + Leak;
       return R;
     }
   }

@@ -691,9 +691,7 @@ Value Interp::evalExpr(const Expr *E) {
     if (N > 0) {
       Heap.gcCopyBarrier(Dst.S.Data, Src.S.Data, (size_t)N * ElemSize,
                          Types.arrayOf(CE->Dst->Ty->elem()));
-      std::memmove(reinterpret_cast<void *>(Dst.S.Data),
-                   reinterpret_cast<void *>(Src.S.Data),
-                   (size_t)N * ElemSize);
+      rt::copyWordsRelaxed(Dst.S.Data, Src.S.Data, (size_t)N * ElemSize);
     }
     Value V;
     V.Ty = E->Ty;

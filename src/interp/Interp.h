@@ -24,6 +24,7 @@
 #include "runtime/Heap.h"
 #include "runtime/MapRt.h"
 #include "runtime/SliceRt.h"
+#include "runtime/WordAccess.h"
 
 #include <cassert>
 #include <cstdint>
@@ -99,7 +100,10 @@ private:
 /// tree-walking interpreter and the bytecode VM so the two engines have
 /// bit-identical memory representations (struct values are storage
 /// references; stores copy bytes).
-/// Raw 8-byte loads/stores (every scalar slot is 8 bytes wide).
+/// Raw 8-byte loads/stores (every scalar slot is 8 bytes wide). Loads stay
+/// plain (the concurrent markers never write object words), but stores go
+/// through the relaxed atomic word store so a marker reading the slot
+/// mid-store never races it; see runtime/WordAccess.h.
 inline uint64_t readU64(uintptr_t Addr) {
   uint64_t V;
   std::memcpy(&V, reinterpret_cast<void *>(Addr), 8);
@@ -107,7 +111,7 @@ inline uint64_t readU64(uintptr_t Addr) {
 }
 
 inline void writeU64(uintptr_t Addr, uint64_t V) {
-  std::memcpy(reinterpret_cast<void *>(Addr), &V, 8);
+  rt::storeWordRelaxed(Addr, V);
 }
 
 inline Value loadValueAt(uintptr_t Addr, const minigo::Type *Ty) {
@@ -145,12 +149,12 @@ inline void storeValueAt(uintptr_t Addr, const Value &V) {
     writeU64(Addr, V.A);
     return;
   case minigo::Type::TK_Slice:
-    std::memcpy(reinterpret_cast<void *>(Addr), &V.S, sizeof(rt::SliceHeader));
+    rt::copyWordsRelaxed(Addr, reinterpret_cast<uintptr_t>(&V.S),
+                         sizeof(rt::SliceHeader));
     return;
   case minigo::Type::TK_Struct:
     if (Addr != V.A)
-      std::memmove(reinterpret_cast<void *>(Addr),
-                   reinterpret_cast<void *>(V.A), V.Ty->size());
+      rt::copyWordsRelaxed(Addr, V.A, V.Ty->size());
     return;
   default:
     assert(false && "unstorable type");

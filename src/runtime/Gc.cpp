@@ -67,6 +67,12 @@ namespace {
 /// every signature.
 thread_local int TlsMarkIdx = -1;
 
+/// Gray sink of a mutator running a mark assist: set for the duration of
+/// gcMaybeAssist's scan so the gray items it produces stay thread-local
+/// instead of bouncing through the GrayMu-guarded global list. Null
+/// everywhere else (barrier shades then fall through to ConcGray).
+thread_local std::vector<gofree::rt::Heap::MarkItem> *TlsGraySink = nullptr;
+
 /// Mark-stack chunk size: a worker whose private stack reaches this many
 /// items publishes them as one stealable chunk.
 constexpr size_t MarkChunkCap = 256;
@@ -91,6 +97,24 @@ uint64_t nanosSince(std::chrono::steady_clock::time_point T0) {
 /// Shared state of one mark phase. Lives across cycles (allocated lazily,
 /// reset each cycle) so the per-worker vectors keep their capacity.
 struct Heap::GcMarkShared {
+  /// What one runMarkJob pass does. A fully-STW cycle runs one JobFull; a
+  /// concurrent cycle runs JobFlip1 inside the first pause, JobDrain
+  /// passes while mutators run, and JobFinal inside the second pause.
+  enum Job : uint8_t {
+    JobFull = 0, ///< Clear marks, scan roots, drain to quiescence.
+    JobFlip1,    ///< Clear marks and scan roots only -- no draining.
+    JobDrain,    ///< Drain/steal whatever gray is seeded -- no roots.
+    JobFinal,    ///< Rescan roots, then drain to quiescence.
+  };
+  /// Job of the pass being published. Plain: written by the collector
+  /// before the PoolMu handshake that wakes the helpers.
+  uint8_t JobKind = JobFull;
+
+  /// Objects/bytes marked outside any worker context (mutator barrier
+  /// shades and assists during the concurrent window).
+  std::atomic<uint64_t> ConcMarkedObjs{0};
+  std::atomic<uint64_t> ConcMarkedBytes{0};
+
   struct Worker {
     /// Private mark stack; only this worker touches it.
     std::vector<MarkItem> Active;
@@ -254,20 +278,39 @@ void Heap::runGcImpl(GcCycleKind Kind, bool Forced) {
     return; // A whole cycle of this kind ran before we got the lock.
 
   GcThread.store(std::this_thread::get_id(), std::memory_order_relaxed);
-  // The pause clock starts before the stop request: time spent waiting for
-  // mutators to park is pause the program observes.
-  auto PauseStart = std::chrono::steady_clock::now();
-  stopTheWorld();
 
-  // A forced cycle with the world to itself sweeps eagerly: its caller is
-  // single-threaded and expects the seed's exact post-GC heap (freed
-  // bytes, retired spans) the moment runGc returns. (The generational and
-  // rc backends force EagerSweep outright; see the Heap constructor.)
-  bool Eager = Opts.Gc.EagerSweep || (Forced && soloWorld());
+  // Concurrent tricolor mark when configured and the backend's cycle kind
+  // supports it; everything else runs the classic stop-the-world body.
+  bool Conc = Opts.Gc.Concurrent && Backend->supportsConcurrentMark(Kind);
+  bool Eager;
+  uint64_t CycleNanos;
+  if (Conc) {
+    auto Start = std::chrono::steady_clock::now();
+    // Manages its own two pauses (and their notePause / GcCycleEnd
+    // bookkeeping) and returns with the world running.
+    Eager = concurrentMarkCycle(Kind, Forced);
+    CycleNanos = nanosSince(Start);
+  } else {
+    // The pause clock starts before the stop request: time spent waiting
+    // for mutators to park is pause the program observes.
+    auto PauseStart = std::chrono::steady_clock::now();
+    stopTheWorld();
 
-  auto Start = std::chrono::steady_clock::now();
-  Backend->collectStw(Kind, Eager);
-  uint64_t CycleNanos = nanosSince(Start);
+    // A forced cycle with the world to itself sweeps eagerly: its caller
+    // is single-threaded and expects the seed's exact post-GC heap (freed
+    // bytes, retired spans) the moment runGc returns. (The generational
+    // and rc backends force EagerSweep outright; see the Heap
+    // constructor.)
+    Eager = Opts.Gc.EagerSweep || (Forced && soloWorld());
+
+    auto Start = std::chrono::steady_clock::now();
+    Backend->collectStw(Kind, Eager);
+    CycleNanos = nanosSince(Start);
+    Stats.notePause(nanosSince(PauseStart));
+    if (trace::TraceSink *T = traceSink())
+      T->emit(trace::EventKind::GcCycleEnd, (uint32_t)Kind, CycleNanos,
+              Stats.HeapLive.load(std::memory_order_relaxed));
+  }
 
   Stats.GcNanos.fetch_add(CycleNanos, std::memory_order_relaxed);
   switch (Kind) {
@@ -283,16 +326,14 @@ void Heap::runGcImpl(GcCycleKind Kind, bool Forced) {
   case GcCycleKind::None:
     break;
   }
-  Stats.notePause(nanosSince(PauseStart));
-  if (trace::TraceSink *T = traceSink())
-    T->emit(trace::EventKind::GcCycleEnd, (uint32_t)Kind, CycleNanos,
-            Stats.HeapLive.load(std::memory_order_relaxed));
+  Backend->concCycleEnd(Kind);
   // The release bumps are what losers of the GcMu race key off; everything
   // above must be visible before them.
   Seq.fetch_add(1, std::memory_order_release);
   Stats.GcCycles.fetch_add(1, std::memory_order_release);
 
-  startTheWorld();
+  if (!Conc)
+    startTheWorld();
   GcThread.store(std::thread::id{}, std::memory_order_relaxed);
 
   // A forced full cycle promises "garbage is collected" even with other
@@ -380,14 +421,229 @@ void Heap::fullMarkSweepStw(bool Eager) {
 }
 
 //===----------------------------------------------------------------------===//
+// Concurrent tricolor mark
+//===----------------------------------------------------------------------===//
+//
+// The cycle body when GcConfig::Concurrent is on and the backend supports
+// the kind (marksweep Full; generational major). Structure:
+//
+//   flip 1 (STW)  finish leftover sweep, clear marks, scan roots, turn the
+//                 Dijkstra barrier on. O(roots), not O(live heap).
+//   conc window   mutators run; the worker pool drains gray. New
+//                 allocations are born black (Heap::allocSmall/allocLarge),
+//                 the barrier shades every stored pointer, and allocation
+//                 debt past a threshold makes mutators assist. All spans
+//                 are unswept-free during the window (the sweep generation
+//                 bumps at flip 2), so no slot is freed or recycled
+//                 mid-mark; tcfree's GcRunning give-up covers the rest.
+//   flip 2 (STW)  rescan roots (stacks changed), drain residual gray,
+//                 verify the tricolor invariant (Verify builds), bump the
+//                 sweep generation and start lazy sweep. O(roots + delta),
+//                 where delta is whatever the window did not finish.
+//
+// Termination: only pre-existing white objects can turn gray (allocate-
+// black removes new objects from the race, tryMarkBit dedups), so the gray
+// supply is finite even though mutators keep allocating.
+
+bool Heap::concurrentMarkCycle(GcCycleKind Kind, bool Forced) {
+  (void)Kind; // Only root-to-full kinds reach here (supportsConcurrentMark).
+  trace::TraceSink *T = traceSink();
+  auto CycleStart = std::chrono::steady_clock::now();
+
+  // Pay the previous cycle's sweep debt with the world still running, so
+  // the flip-1 backstop usually has nothing left to do inside the pause.
+  drainSweepQueue();
+
+  // --- Flip 1: stop, finish sweep, clear marks, snapshot roots. ---
+  auto Pause1Start = std::chrono::steady_clock::now();
+  stopTheWorld();
+  {
+    uint64_t B0 = Stats.GcSweptBytes.load(std::memory_order_relaxed);
+    uint64_t C0 = Stats.GcSweptCount.load(std::memory_order_relaxed);
+    finishSweepStw();
+    uint64_t DB = Stats.GcSweptBytes.load(std::memory_order_relaxed) - B0;
+    uint64_t DC = Stats.GcSweptCount.load(std::memory_order_relaxed) - C0;
+    if (T && (DB || DC))
+      T->emit(trace::EventKind::GcSweepEnd, 0, DB, DC);
+  }
+  verifyAtSafepoint("pre-mark");
+  uint64_t SweptBytesBefore =
+      Stats.GcSweptBytes.load(std::memory_order_relaxed);
+  uint64_t SweptCountBefore =
+      Stats.GcSweptCount.load(std::memory_order_relaxed);
+  Phase.store(GcPhase::Marking, std::memory_order_release);
+  if (T)
+    T->emit(trace::EventKind::GcMarkStart, 0,
+            Stats.HeapLive.load(std::memory_order_relaxed));
+  auto MarkT0 = std::chrono::steady_clock::now();
+  markSetup(GcMarkMode::Full);
+  size_t Roots1 = snapshotMarkRoots(nullptr);
+  runMarkJob(GcMarkShared::JobFlip1);
+  // Everything below is published to resuming mutators by the park
+  // handshake (they re-cross ParkMu), so relaxed stores suffice.
+  ConcMarkActive.store(true, std::memory_order_relaxed);
+  BarrierOn.store(true, std::memory_order_relaxed);
+  uint64_t Pause1 = nanosSince(Pause1Start);
+  Stats.notePause(Pause1);
+  if (T)
+    T->emit(trace::EventKind::GcStwFlip, 0, Pause1, Roots1);
+  startTheWorld();
+
+  // --- Concurrent window: drain gray while mutators run. ---
+  auto ConcT0 = std::chrono::steady_clock::now();
+  for (;;) {
+    runMarkJob(GcMarkShared::JobDrain);
+    // The workers went dry; collect whatever barrier shades (and assist
+    // leftovers) accumulated meanwhile and go around again. An assist
+    // holding claimed items mid-scan is fine: it flushes its leftovers
+    // back to ConcGray before its next safepoint, so flip 2's stop
+    // observes them.
+    std::vector<MarkItem> Residual;
+    {
+      std::lock_guard<std::mutex> Lock(GrayMu);
+      Residual.swap(ConcGray);
+    }
+    if (Residual.empty())
+      break;
+    GcMarkShared &M = *Mark;
+    for (size_t I = 0; I < Residual.size(); ++I)
+      M.Workers[I % (size_t)M.NumWorkers]->Active.push_back(Residual[I]);
+  }
+  uint64_t ConcNanos = nanosSince(ConcT0);
+
+  // --- Flip 2: stop, rescan roots, drain the residue, start the sweep. ---
+  auto Pause2Start = std::chrono::steady_clock::now();
+  stopTheWorld();
+  size_t Roots2 = snapshotMarkRoots(nullptr);
+  {
+    // Late barrier shades (between the last drain and the stop) seed the
+    // final job alongside the rescanned roots.
+    std::lock_guard<std::mutex> Lock(GrayMu);
+    GcMarkShared &M = *Mark;
+    for (size_t I = 0; I < ConcGray.size(); ++I)
+      M.Workers[I % (size_t)M.NumWorkers]->Active.push_back(ConcGray[I]);
+    ConcGray.clear();
+  }
+  runMarkJob(GcMarkShared::JobFinal);
+  Stats.GcMarkNanos.fetch_add(nanosSince(MarkT0), std::memory_order_relaxed);
+  if (T)
+    T->emit(trace::EventKind::GcMarkEnd, 0, nanosSince(MarkT0));
+  markFold();
+  verifyTricolor("final-flip");
+
+  // TcfreeLarge step 2 (fig. 9), same as the STW cycle.
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (MSpan *S : Dangling)
+      retireSpan(S);
+    Dangling.clear();
+  }
+  SweepGenGlobal.fetch_add(2, std::memory_order_relaxed);
+  ConcMarkActive.store(false, std::memory_order_relaxed);
+  BarrierOn.store(BarrierAlways, std::memory_order_relaxed);
+
+  bool Eager = Opts.Gc.EagerSweep || (Forced && soloWorld());
+  if (Eager) {
+    Phase.store(GcPhase::Sweeping, std::memory_order_release);
+    finishSweepStw();
+    SweepWork.clear();
+    SweepWorkNext.store(0, std::memory_order_relaxed);
+    Phase.store(GcPhase::Idle, std::memory_order_release);
+    verifyAtSafepoint("post-sweep");
+    if (T)
+      T->emit(trace::EventKind::GcSweepEnd, 0,
+              Stats.GcSweptBytes.load(std::memory_order_relaxed) -
+                  SweptBytesBefore,
+              Stats.GcSweptCount.load(std::memory_order_relaxed) -
+                  SweptCountBefore);
+  } else {
+    buildSweepQueue();
+    Phase.store(GcPhase::Idle, std::memory_order_release);
+    verifyAtSafepoint("post-mark");
+  }
+  NextTrigger.store(gcTriggerFor(Mark->MarkedBytesTotal, Opts.Gc.Gogc,
+                                 Opts.Gc.MinHeapTrigger),
+                    std::memory_order_relaxed);
+  Stats.GcConcCycles.fetch_add(1, std::memory_order_relaxed);
+
+  uint64_t Pause2 = nanosSince(Pause2Start);
+  Stats.notePause(Pause2);
+  if (T) {
+    T->emit(trace::EventKind::GcStwFlip, 1, Pause2, Roots2);
+    T->emit(trace::EventKind::GcConcMark, 0, ConcNanos,
+            Mark->MarkedBytesTotal);
+    // Emitted here, inside the pause, so the shared sink never sees the
+    // collector and a resumed mutator producing at the same time.
+    T->emit(trace::EventKind::GcCycleEnd, (uint32_t)Kind,
+            nanosSince(CycleStart),
+            Stats.HeapLive.load(std::memory_order_relaxed));
+  }
+  startTheWorld();
+  return Eager;
+}
+
+void Heap::gcMaybeAssist() {
+  // Thresholds: mutators start assisting once the fleet has allocated
+  // AssistDebtThreshold bytes since the last payback, and each assist
+  // scans at most AssistBudgetBytes before returning to the program.
+  constexpr uint64_t AssistDebtThreshold = 64 << 10;
+  constexpr uint64_t AssistBudgetBytes = 64 << 10;
+  constexpr size_t AssistBatchItems = 256;
+  if (AssistDebt.load(std::memory_order_relaxed) < AssistDebtThreshold)
+    return;
+  if (TlsMarkIdx >= 0 || currentThreadIsCollector())
+    return; // Mark workers and the collector never assist themselves.
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<MarkItem> Batch;
+  {
+    std::lock_guard<std::mutex> Lock(GrayMu);
+    if (ConcGray.empty()) {
+      // Nothing to help with (the workers keep the gray backlog drained);
+      // clear the debt so the fast path stays fast.
+      AssistDebt.store(0, std::memory_order_relaxed);
+      return;
+    }
+    size_t Take = std::min(ConcGray.size(), AssistBatchItems);
+    Batch.assign(ConcGray.end() - (ptrdiff_t)Take, ConcGray.end());
+    ConcGray.resize(ConcGray.size() - Take);
+  }
+  // Scan with a local gray sink: produced items stay on this thread until
+  // the budget runs out, then flush back to the global list. No safepoint
+  // is reachable from gcScanRegion, so flip 2 cannot complete while this
+  // thread holds claimed items.
+  std::vector<MarkItem> Out;
+  TlsGraySink = &Out;
+  uint64_t Scanned = 0;
+  while (!Batch.empty()) {
+    MarkItem It = Batch.back();
+    Batch.pop_back();
+    Scanned += It.Bytes;
+    gcScanRegion(It.Addr, It.Desc, It.Bytes);
+    if (Batch.empty() && Scanned < AssistBudgetBytes)
+      Batch.swap(Out);
+  }
+  TlsGraySink = nullptr;
+  if (!Out.empty()) {
+    std::lock_guard<std::mutex> Lock(GrayMu);
+    ConcGray.insert(ConcGray.end(), Out.begin(), Out.end());
+  }
+  // Pay the debt down by what was scanned (saturating CAS; other mutators
+  // keep adding concurrently).
+  uint64_t D = AssistDebt.load(std::memory_order_relaxed);
+  while (!AssistDebt.compare_exchange_weak(
+      D, D > Scanned ? D - Scanned : 0, std::memory_order_relaxed)) {
+  }
+  Stats.GcAssists.fetch_add(1, std::memory_order_relaxed);
+  Stats.GcAssistBytes.fetch_add(Scanned, std::memory_order_relaxed);
+  if (trace::TraceSink *T = traceSink())
+    T->emit(trace::EventKind::GcAssist, 0, Scanned, nanosSince(T0));
+}
+
+//===----------------------------------------------------------------------===//
 // Mark phase
 //===----------------------------------------------------------------------===//
 
-void Heap::markPhase(GcMarkMode Mode,
-                     const std::vector<uintptr_t> *ExtraSlots) {
-  // The world is stopped: mutator state is stable and happens-before us
-  // (see the park handshake), so span interiors need no locks here. The
-  // helper threads inherit that edge through PoolMu.
+void Heap::markSetup(GcMarkMode Mode) {
   int W = Opts.Gc.Workers;
   MarkMode = Mode;
   if (!Mark)
@@ -396,9 +652,6 @@ void Heap::markPhase(GcMarkMode Mode,
   while ((int)M.Workers.size() < W)
     M.Workers.push_back(std::make_unique<GcMarkShared::Worker>());
   M.NumWorkers = W;
-  M.ExtraSlots.clear();
-  if (ExtraSlots)
-    M.ExtraSlots = *ExtraSlots;
   for (int I = 0; I < W; ++I) {
     GcMarkShared::Worker &Wk = *M.Workers[(size_t)I];
     Wk.Active.clear();
@@ -406,9 +659,16 @@ void Heap::markPhase(GcMarkMode Mode,
     Wk.NShared.store(0, std::memory_order_relaxed);
     Wk.MarkedObjs = Wk.MarkedBytes = Wk.BusyNanos = 0;
   }
-  M.ActiveWorkers.store(W, std::memory_order_relaxed);
-  M.PublishSeq.store(0, std::memory_order_relaxed);
+  M.ConcMarkedObjs.store(0, std::memory_order_relaxed);
+  M.ConcMarkedBytes.store(0, std::memory_order_relaxed);
+  AssistDebt.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(GrayMu);
+    ConcGray.clear();
+  }
+}
 
+size_t Heap::snapshotMarkRoots(const std::vector<uintptr_t> *ExtraSlots) {
   // The mutators supply roots; gcMarkAddr queues grey objects which the
   // workers blacken by scanning their pointer maps. Runtime-internal roots
   // cover objects mid-construction (see Heap::InternalRoot). Scanner
@@ -417,18 +677,33 @@ void Heap::markPhase(GcMarkMode Mode,
   // scanner has no mutator roots: everything not internally rooted is
   // garbage. (Forced runGc() must not crash on such a heap; pacing already
   // refuses to trigger without a scanner.)
+  GcMarkShared &M = *Mark;
+  M.ExtraSlots.clear();
+  if (ExtraSlots)
+    M.ExtraSlots = *ExtraSlots;
   {
     std::lock_guard<std::mutex> Lock(RootsMu);
     M.Roots = InternalRoots;
     M.Providers = Scanners;
   }
+  return M.Roots.size() + M.ExtraSlots.size() + M.Providers.size();
+}
 
-  // First parallel cycle: spawn the persistent helpers (joined by ~Heap).
+void Heap::runMarkJob(uint8_t Job) {
+  GcMarkShared &M = *Mark;
+  int W = M.NumWorkers;
+  M.JobKind = Job;
+  // Reset the termination protocol per job: every pass starts with all
+  // workers counted active and a fresh publication sequence.
+  M.ActiveWorkers.store(W, std::memory_order_relaxed);
+  M.PublishSeq.store(0, std::memory_order_relaxed);
+
+  // First parallel pass ever: spawn the persistent helpers (joined by
+  // ~Heap).
   if (W > 1 && GcPool.empty())
     for (int I = 1; I < W; ++I)
       GcPool.emplace_back([this, I] { markWorkerMain(I); });
 
-  auto T0 = std::chrono::steady_clock::now();
   if (W > 1) {
     {
       std::lock_guard<std::mutex> Lock(PoolMu);
@@ -442,11 +717,13 @@ void Heap::markPhase(GcMarkMode Mode,
     std::unique_lock<std::mutex> Lock(PoolMu);
     PoolDoneCv.wait(Lock, [&] { return PoolJobsDone == W - 1; });
   }
+}
 
-  Stats.GcMarkNanos.fetch_add(nanosSince(T0), std::memory_order_relaxed);
-  M.MarkedBytesTotal = 0;
+void Heap::markFold() {
+  GcMarkShared &M = *Mark;
+  M.MarkedBytesTotal = M.ConcMarkedBytes.load(std::memory_order_relaxed);
   trace::TraceSink *T = traceSink();
-  for (int I = 0; I < W; ++I) {
+  for (int I = 0; I < M.NumWorkers; ++I) {
     GcMarkShared::Worker &Wk = *M.Workers[(size_t)I];
     M.MarkedBytesTotal += Wk.MarkedBytes;
     // Emitted by the collector after the join, not by the workers: trace
@@ -455,6 +732,19 @@ void Heap::markPhase(GcMarkMode Mode,
       T->emit(trace::EventKind::GcMarkWorker, (uint32_t)I, Wk.BusyNanos,
               Wk.MarkedObjs);
   }
+}
+
+void Heap::markPhase(GcMarkMode Mode,
+                     const std::vector<uintptr_t> *ExtraSlots) {
+  // The world is stopped: mutator state is stable and happens-before us
+  // (see the park handshake), so span interiors need no locks here. The
+  // helper threads inherit that edge through PoolMu.
+  markSetup(Mode);
+  snapshotMarkRoots(ExtraSlots);
+  auto T0 = std::chrono::steady_clock::now();
+  runMarkJob(GcMarkShared::JobFull);
+  Stats.GcMarkNanos.fetch_add(nanosSince(T0), std::memory_order_relaxed);
+  markFold();
 }
 
 void Heap::markWorkerMain(int Index) {
@@ -482,35 +772,52 @@ void Heap::runMarkWorker(int Index) {
   GcMarkShared &M = *Mark;
   GcMarkShared::Worker &W = *M.Workers[(size_t)Index];
   int N = M.NumWorkers;
+  uint8_t Job = M.JobKind;
   TlsMarkIdx = Index;
 
-  // 1. Clear mark bits, partitioned by span index. (AllSpans is stable:
-  // the world is stopped and we hold GcMu.) A minor cycle only clears --
-  // and will only sweep -- young spans; old spans' stale bits are never
-  // consulted (gcMarkAddr skips old spans entirely in Minor mode).
-  for (size_t I = (size_t)Index; I < AllSpans.size(); I += (size_t)N) {
-    MSpan *S = AllSpans[I].get();
-    if (S->State.load(std::memory_order_relaxed) != SpanState::InUse)
-      continue;
-    if (MarkMode == GcMarkMode::Minor &&
-        S->Gen.load(std::memory_order_relaxed) != GenYoung)
-      continue;
-    S->clearMarks();
+  if (Job == GcMarkShared::JobFull) {
+    // 1. Clear mark bits, partitioned by span index. (AllSpans is stable:
+    // the world is stopped and we hold GcMu.) A minor cycle only clears --
+    // and will only sweep -- young spans; old spans' stale bits are never
+    // consulted (gcMarkAddr skips old spans entirely in Minor mode).
+    // JobFlip1 skips this pass entirely -- that is what keeps the initial
+    // flip O(roots), not O(spans): sweepSpanSlots clears a span's marks
+    // after consuming them, and flip 1's finishSweepStw backstop has just
+    // forced every InUse span swept, so all bits are already clear. (The
+    // STW paths keep the explicit clear: an rc ZCT drain root-marks
+    // without a sweep ever consuming those bits.)
+    for (size_t I = (size_t)Index; I < AllSpans.size(); I += (size_t)N) {
+      MSpan *S = AllSpans[I].get();
+      if (S->State.load(std::memory_order_relaxed) != SpanState::InUse)
+        continue;
+      if (MarkMode == GcMarkMode::Minor &&
+          S->Gen.load(std::memory_order_relaxed) != GenYoung)
+        continue;
+      S->clearMarks();
+    }
+    // 2. Barrier: nobody marks until every span's bits are clear.
+    M.barrier();
   }
-  // 2. Barrier: nobody marks until every span's bits are clear.
-  M.barrier();
-  // 3. Roots, partitioned the same way. ExtraSlots hold slot *addresses*
-  // (remembered-set entries); their current values are the roots.
-  for (size_t I = (size_t)Index; I < M.Roots.size(); I += (size_t)N)
-    gcMarkAddr(M.Roots[I]);
-  for (size_t I = (size_t)Index; I < M.ExtraSlots.size(); I += (size_t)N) {
-    uintptr_t P;
-    std::memcpy(&P, reinterpret_cast<void *>(M.ExtraSlots[I]),
-                sizeof(uintptr_t));
-    gcMarkAddr(P);
+  if (Job != GcMarkShared::JobDrain) {
+    // 3. Roots, partitioned the same way. ExtraSlots hold slot *addresses*
+    // (remembered-set entries); their current values are the roots.
+    // JobFinal rescans them from scratch (tryMarkBit dedups): roots and
+    // provider stacks changed while the concurrent window ran.
+    for (size_t I = (size_t)Index; I < M.Roots.size(); I += (size_t)N)
+      gcMarkAddr(M.Roots[I]);
+    for (size_t I = (size_t)Index; I < M.ExtraSlots.size(); I += (size_t)N)
+      gcMarkAddr(loadWordRelaxed(M.ExtraSlots[I]));
+    for (size_t I = (size_t)Index; I < M.Providers.size(); I += (size_t)N)
+      M.Providers[I]->scanRoots(*this);
   }
-  for (size_t I = (size_t)Index; I < M.Providers.size(); I += (size_t)N)
-    M.Providers[I]->scanRoots(*this);
+  if (Job == GcMarkShared::JobFlip1) {
+    // Flip 1 ends here: the gray produced by the root scan stays on the
+    // worker stacks (and their published chunks) for the concurrent
+    // window's JobDrain passes to consume.
+    TlsMarkIdx = -1;
+    W.BusyNanos += nanosSince(T0);
+    return;
+  }
 
   // 4. Drain and steal until global quiescence.
   for (;;) {
@@ -587,7 +894,7 @@ void Heap::runMarkWorker(int Index) {
   }
 
   TlsMarkIdx = -1;
-  W.BusyNanos = nanosSince(T0);
+  W.BusyNanos += nanosSince(T0);
 }
 
 void Heap::pushMark(int Worker, const MarkItem &Item) {
@@ -605,6 +912,22 @@ void Heap::pushMark(int Worker, const MarkItem &Item) {
     W.NShared.fetch_add(1, std::memory_order_seq_cst);
   }
   Mark->PublishSeq.fetch_add(1, std::memory_order_seq_cst);
+}
+
+void Heap::pushGray(int Worker, const MarkItem &Item) {
+  if (Worker >= 0) {
+    pushMark(Worker, Item);
+    return;
+  }
+  // Mutator context during the concurrent window: an assist keeps its gray
+  // local; a barrier shade hands it to the global overflow list for the
+  // collector's next JobDrain pass (or flip 2) to pick up.
+  if (TlsGraySink) {
+    TlsGraySink->push_back(Item);
+    return;
+  }
+  std::lock_guard<std::mutex> Lock(GrayMu);
+  ConcGray.push_back(Item);
 }
 
 void Heap::gcMarkAddr(uintptr_t Addr) {
@@ -625,15 +948,29 @@ void Heap::gcMarkAddr(uintptr_t Addr) {
       S->Gen.load(std::memory_order_relaxed) != GenYoung)
     return;
   size_t Slot = S->slotOf(Addr);
-  // AllocBits are stable during mark (every span was swept before the
-  // cycle started; see the backstop in runGcImpl), so this racy-looking
-  // read is a plain read of frozen data.
+  // Alloc bits of objects that predate the cycle are frozen (every span
+  // was swept before mark started; no sweeping runs during the window).
+  // During concurrent mark an owner mutator may set fresh bits, though:
+  // the acquire load pairs with setAllocBit's release so an observed bit
+  // comes with the slot's descriptor (see MSpan::allocBit).
   if (!S->allocBit(Slot))
     return;
   if (!S->tryMarkBit(Slot))
     return; // Another worker (or an earlier root) owns this object.
   int WI = TlsMarkIdx;
-  assert(WI >= 0 && "gcMarkAddr outside a mark worker");
+  if (WI < 0) {
+    // Barrier shade or assist on a mutator thread (concurrent window
+    // only): account centrally, queue via the thread's gray route.
+    assert(ConcMarkActive.load(std::memory_order_relaxed) &&
+           "gcMarkAddr outside a mark worker with no concurrent mark");
+    GcMarkShared &M = *Mark;
+    M.ConcMarkedObjs.fetch_add(1, std::memory_order_relaxed);
+    M.ConcMarkedBytes.fetch_add(S->ElemSize, std::memory_order_relaxed);
+    const TypeDesc *Desc = S->SlotDescs[Slot];
+    if (Desc && Desc->hasPointers())
+      pushGray(-1, {S->slotAddr(Slot), Desc, S->ElemSize});
+    return;
+  }
   GcMarkShared::Worker &W = *Mark->Workers[(size_t)WI];
   ++W.MarkedObjs;
   W.MarkedBytes += S->ElemSize;
@@ -652,8 +989,12 @@ void Heap::gcScanRegion(uintptr_t Addr, const TypeDesc *Desc, size_t Bytes) {
          "gcScanRegion outside mark phase");
   if (!Desc || !Desc->hasPointers())
     return;
+  // WI < 0 happens only in a mutator assist (the gray route handles it);
+  // pointer slots are loaded with relaxed atomics because during the
+  // concurrent window their owner mutator may store into them while we
+  // read (old or new value are both safe: the Dijkstra barrier shades the
+  // new value before the store).
   int WI = TlsMarkIdx;
-  assert(WI >= 0 && "gcScanRegion outside a mark worker");
   if (Desc->IsArray) {
     const TypeDesc *E = Desc->Elem;
     if (!E || E->Size == 0)
@@ -666,33 +1007,26 @@ void Heap::gcScanRegion(uintptr_t Addr, const TypeDesc *Desc, size_t Bytes) {
     // huge array into stealable chunks.
     if (Bytes > ArraySplitBytes && N >= 2) {
       size_t Half = (N / 2) * ElemSize;
-      pushMark(WI, {Addr, Desc, Half});
-      pushMark(WI, {Addr + Half, Desc, Bytes - Half});
+      pushGray(WI, {Addr, Desc, Half});
+      pushGray(WI, {Addr + Half, Desc, Bytes - Half});
       return;
     }
     for (size_t I = 0; I < N; ++I) {
       uintptr_t ElemAddr = Addr + I * ElemSize;
       if (E->IsArray) {
         // Nested array element: defer, again to stay O(1) deep.
-        pushMark(WI, {ElemAddr, E, ElemSize});
+        pushGray(WI, {ElemAddr, E, ElemSize});
         continue;
       }
-      for (const PtrSlot &Slot : E->Slots) {
-        uintptr_t P;
-        std::memcpy(&P, reinterpret_cast<void *>(ElemAddr + Slot.Offset),
-                    sizeof(uintptr_t));
-        gcMarkAddr(P);
-      }
+      for (const PtrSlot &Slot : E->Slots)
+        gcMarkAddr(loadWordRelaxed(ElemAddr + Slot.Offset));
     }
     return;
   }
   for (const PtrSlot &Slot : Desc->Slots) {
-    uintptr_t P;
-    std::memcpy(&P, reinterpret_cast<void *>(Addr + Slot.Offset),
-                sizeof(uintptr_t));
     // Raw pointers, slice data pointers and hmap pointers all mark the
     // target object; the target's own descriptor drives deeper scanning.
-    gcMarkAddr(P);
+    gcMarkAddr(loadWordRelaxed(Addr + Slot.Offset));
   }
 }
 
@@ -721,6 +1055,12 @@ uint64_t Heap::sweepSpanSlots(MSpan *S, trace::SweepWhere Where) {
     Stats.GcSweptBytes.fetch_add(FreedBytes, std::memory_order_relaxed);
     Stats.HeapLive.fetch_sub(FreedBytes, std::memory_order_relaxed);
   }
+  // The marks are consumed; clear them now so the next cycle's initial
+  // flip needn't visit this span at all (see runMarkWorker's JobFull
+  // clear pass). No marker can be reading the bits here: lazy sweeping
+  // never runs while a mark is in progress (all spans are already swept
+  // during a concurrent window, and STW marks have the world stopped).
+  S->clearMarks();
   // Publish: the generation store is the release edge every waiter in
   // ensureSwept acquires. (SweepGenGlobal is stable for the duration --
   // it only moves while the world is stopped, and a lazy sweeper is an
@@ -937,20 +1277,31 @@ void Heap::buildSweepQueue() {
 //===----------------------------------------------------------------------===//
 
 void Heap::gcWriteBarrierSlow(uintptr_t Slot, uintptr_t NewVal) {
+  bool Conc = ConcMarkActive.load(std::memory_order_relaxed);
   // Cheap bounds filter: most barriered stores target interpreter stack
   // slots or other C++ memory. The bounds are conservative (malloc'd
   // C++ allocations can interleave with arena chunks), so lookupSpan
-  // below is the real heap test.
-  if (Slot < HeapLo.load(std::memory_order_relaxed) ||
-      Slot >= HeapHi.load(std::memory_order_relaxed))
+  // below is the real heap test. During concurrent mark the filter is
+  // skipped outright: the bounds widen with relaxed CAS loops, so a
+  // storing thread could read a stale bound, filter a genuinely-heap
+  // slot, and lose a shade -- the one failure mode the Dijkstra barrier
+  // cannot tolerate. lookupSpan's shard mutex has no such window.
+  if (!Conc && (Slot < HeapLo.load(std::memory_order_relaxed) ||
+                Slot >= HeapHi.load(std::memory_order_relaxed)))
     return;
   MSpan *S = lookupSpan(Slot);
   if (!S || S->State.load(std::memory_order_relaxed) != SpanState::InUse)
     return;
+  // Dijkstra shade: the incoming value becomes gray *before* the store
+  // retires, so the marker can never miss the only reference to it. Runs
+  // before the Old == NewVal early-out -- the shade is about NewVal's
+  // liveness, not about the edge changing.
+  if (Conc)
+    gcMarkAddr(NewVal);
   // The old value is read from memory -- this is why the barrier must run
-  // *before* the store it covers.
-  uintptr_t Old;
-  std::memcpy(&Old, reinterpret_cast<void *>(Slot), sizeof(uintptr_t));
+  // *before* the store it covers. Relaxed atomic: a concurrent marker (or
+  // another racing barrier) may touch the same word.
+  uintptr_t Old = loadWordRelaxed(Slot);
   if (Old == NewVal)
     return;
   Stats.GcBarrierHits.fetch_add(1, std::memory_order_relaxed);

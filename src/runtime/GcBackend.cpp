@@ -63,6 +63,10 @@ public:
     // only cycle this backend has.
     H.fullMarkSweepStw(Eager);
   }
+
+  bool supportsConcurrentMark(GcCycleKind Kind) const override {
+    return Kind == GcCycleKind::Full;
+  }
 };
 
 std::unique_ptr<GcBackend> makeGcBackend(Heap &H, const GcConfig &Cfg) {

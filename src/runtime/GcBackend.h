@@ -41,6 +41,7 @@
 #define GOFREE_RUNTIME_GCBACKEND_H
 
 #include "runtime/TypeDesc.h"
+#include "runtime/WordAccess.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -98,6 +99,14 @@ struct GcConfig {
   int PromoteAfter = 2;
   /// rc: a ZCT drain triggers once the table holds this many entries.
   uint64_t ZctThreshold = 4096;
+  /// Run full cycles as concurrent tricolor mark (two short STW flips with
+  /// background marking between them) on backends that support it
+  /// (supportsConcurrentMark). `--gc=...,conc=0` restores fully-STW marking.
+  bool Concurrent = true;
+  /// Fuzz chaos knob: every Nth tcfree call is forced down the GcRunning
+  /// give-up path as if the collector were mid-cycle, exercising the
+  /// paper's section 5 give-up accounting. 0 disables.
+  uint64_t TcfreeChaos = 0;
 };
 
 /// One collector policy. Constructed against a heap; all methods except
@@ -135,6 +144,17 @@ public:
   /// \p Eager: sweep inside the pause (always true for forced solo cycles
   /// and whenever GcConfig::EagerSweep is set).
   virtual void collectStw(GcCycleKind Kind, bool Eager) = 0;
+  /// Whether cycles of \p Kind may run as concurrent tricolor mark
+  /// (Heap::concurrentMarkCycle) instead of collectStw. Only whole-heap
+  /// marking is eligible; partial cycles (minor, zct-drain) free objects
+  /// in-pause and stay STW.
+  virtual bool supportsConcurrentMark(GcCycleKind /*Kind*/) const {
+    return false;
+  }
+  /// Post-cycle bookkeeping a backend would otherwise do inside
+  /// collectStw; called for every cycle (STW or concurrent) after the
+  /// heap's cycle machinery finishes, still under GcMu.
+  virtual void concCycleEnd(GcCycleKind /*Kind*/) {}
 
 protected:
   Heap &H;
@@ -167,9 +187,9 @@ inline void forEachPtrSlot(uintptr_t Base, const TypeDesc *Desc, size_t Bytes,
     return;
   }
   for (const PtrSlot &Slot : Desc->Slots) {
-    uintptr_t P;
-    std::memcpy(&P, reinterpret_cast<void *>(Base + Slot.Offset),
-                sizeof(uintptr_t));
+    // Relaxed atomic load: a concurrent marker (or barrier replay) may read
+    // the slot while its owner mutator stores into it.
+    uintptr_t P = loadWordRelaxed(Base + Slot.Offset);
     F(Base + Slot.Offset, P);
   }
 }

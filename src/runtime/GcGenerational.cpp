@@ -83,6 +83,19 @@ public:
     minorStw();
   }
 
+  bool supportsConcurrentMark(GcCycleKind Kind) const override {
+    // Majors are whole-heap marks and may run concurrently; minors free
+    // young objects inside the pause and must stay STW.
+    return Kind == GcCycleKind::Full;
+  }
+
+  void concCycleEnd(GcCycleKind Kind) override {
+    // A concurrent major bypasses collectStw, so reset the nursery
+    // accounting here (for STW majors this is a harmless double reset).
+    if (Kind == GcCycleKind::Full)
+      AllocatedYoung.store(0, std::memory_order_relaxed);
+  }
+
 private:
   // The remembered set: old-space slot addresses, sharded so concurrent
   // mutators' barriers rarely contend.

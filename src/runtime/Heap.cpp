@@ -65,7 +65,10 @@ Heap::Heap(HeapOptions O) : Opts(O) {
     Opts.Gc.EagerSweep = true;
   NextTrigger.store(Opts.Gc.MinHeapTrigger, std::memory_order_relaxed);
   Backend = makeGcBackend(*this, Opts.Gc);
-  BarrierOn = Opts.Gc.Backend != GcBackendKind::MarkSweep;
+  // Generational and rc need their barrier standing (remembered set /
+  // refcounts); marksweep raises BarrierOn only during concurrent mark.
+  BarrierAlways = Opts.Gc.Backend != GcBackendKind::MarkSweep;
+  BarrierOn.store(BarrierAlways, std::memory_order_relaxed);
   Central = std::make_unique<CentralList[]>((size_t)numSizeClasses());
   PageShards = std::make_unique<PageShard[]>(NumPageShards);
   Caches.resize((size_t)Opts.NumCaches);
@@ -426,6 +429,13 @@ uintptr_t Heap::allocate(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
     Bytes = 8;
   Bytes = (Bytes + 7) & ~(size_t)7;
   maybeTriggerGc();
+  // Concurrent mark in progress: charge this allocation against the
+  // assist debt, and pay some of it off by marking when allocation is
+  // outrunning the background workers.
+  if (ConcMarkActive.load(std::memory_order_relaxed)) {
+    AssistDebt.fetch_add(Bytes, std::memory_order_relaxed);
+    gcMaybeAssist();
+  }
   return Bytes <= MaxSmallSize ? allocSmall(Bytes, Desc, Cat, CacheId)
                                : allocLarge(Bytes, Desc, Cat);
 }
@@ -448,13 +458,24 @@ uintptr_t Heap::allocSmall(size_t Bytes, const TypeDesc *Desc, AllocCat Cat,
     Slot = S->nextFree();
     assert(Slot < S->NElems && "fresh span has no free slot");
   }
-  S->setAllocBit(Slot);
+  // Publication order matters for concurrent markers: descriptor,
+  // category, zeroed payload, and (during concurrent mark) the born-black
+  // mark bit are all written *before* the alloc bit's release store, so a
+  // marker that observes the bit also observes a fully-formed object (the
+  // acquire load in MSpan::allocBit pairs with the release here).
   S->FreeIndex = Slot + 1;
   S->SlotDescs[Slot] = Desc;
   S->SlotCats[Slot] = (uint8_t)Cat;
   uintptr_t Addr = S->slotAddr(Slot);
   std::memset(reinterpret_cast<void *>(Addr), 0, ElemSize);
-  if (BarrierOn)
+  // Allocate-black: objects born during the concurrent window survive
+  // this cycle unscanned (they hold no unshaded pointers -- every store
+  // into them runs the barrier), which is what bounds the gray supply and
+  // guarantees mark termination.
+  if (ConcMarkActive.load(std::memory_order_relaxed))
+    S->tryMarkBit(Slot);
+  S->setAllocBit(Slot);
+  if (gcBarrierActive())
     Backend->noteAlloc(*S, Slot);
 
   Stats.AllocedBytes.fetch_add(ElemSize, std::memory_order_relaxed);
@@ -514,8 +535,14 @@ MSpan *Heap::refillCache(int CacheId, int Class) {
     // it ours: a queue sweeper that claims it first finishes harmlessly
     // (its fixup sees OnList None and leaves placement to us).
     ensureSwept(Got, trace::SweepWhere::Refill);
-    if (Got->liveCount() == 0) {
+    if (Got->liveCount() == 0 &&
+        Phase.load(std::memory_order_acquire) == GcPhase::Idle) {
       // Everything in it was garbage: return the pages instead of caching.
+      // Only while the collector is idle -- during concurrent mark a
+      // background marker may still hold this MSpan* (lookupSpan precedes
+      // the InUse check), and retiring would let newSpan reassign its
+      // bitmaps under the marker's feet. Mid-cycle the empty span is
+      // simply used as the new cache span instead.
       std::lock_guard<std::mutex> Lock(Mu);
       retireSpan(Got);
       continue;
@@ -554,13 +581,19 @@ uintptr_t Heap::allocLarge(size_t Bytes, const TypeDesc *Desc, AllocCat Cat) {
     size_t Pages = (Bytes + PageSize - 1) / PageSize;
     Run R = allocPages(Pages);
     S = newSpan(R, Pages * PageSize, /*Class=*/-1);
-    S->setAllocBit(0);
     S->FreeIndex = 1;
     S->SlotDescs[0] = Desc;
     S->SlotCats[0] = (uint8_t)Cat;
   }
+  // Same publication protocol as allocSmall: descriptor and zeroed payload
+  // land before the alloc bit's release store, and objects born during
+  // concurrent mark are allocated black. Until the bit is set a marker
+  // that finds this span via lookupSpan skips slot 0.
   std::memset(reinterpret_cast<void *>(S->Base), 0, S->ElemSize);
-  if (BarrierOn)
+  if (ConcMarkActive.load(std::memory_order_relaxed))
+    S->tryMarkBit(0);
+  S->setAllocBit(0);
+  if (gcBarrierActive())
     Backend->noteAlloc(*S, 0);
 
   Stats.AllocedBytes.fetch_add(S->ElemSize, std::memory_order_relaxed);
@@ -614,6 +647,16 @@ bool Heap::tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source) {
   };
   if (!Addr)
     return GiveUp(trace::GiveUpReason::NullAddr);
+  // Fuzz chaos knob (--gc=...,chaos=N): every Nth call is forced down the
+  // GcRunning give-up path as if a cycle were active, exercising section 5
+  // give-up accounting on paths real cycles rarely hit.
+  if (Opts.Gc.TcfreeChaos &&
+      TcfreeChaosCounter.fetch_add(1, std::memory_order_relaxed) %
+              Opts.Gc.TcfreeChaos ==
+          0) {
+    Stats.TcfreeChaosForced.fetch_add(1, std::memory_order_relaxed);
+    return GiveUp(trace::GiveUpReason::GcRunning);
+  }
   // Never race the collector (section 5). For a registered mutator this is
   // belt-and-braces (the collector only runs while we are parked); it is
   // the load that stops the collector's *own* re-entrant tcfree calls, and

@@ -153,9 +153,14 @@ public:
   /// The active collector backend (never null).
   const GcBackend &gcBackend() const { return *Backend; }
 
-  /// True when the active backend needs the mutator write barrier. A
-  /// plain bool fixed at construction: marksweep runs barrier-free.
-  bool gcBarrierActive() const { return BarrierOn; }
+  /// True when stores must currently run the mutator write barrier. For
+  /// the generational and rc backends this is fixed-on; for marksweep it
+  /// turns on only for the span of a concurrent mark (Dijkstra barrier)
+  /// and is toggled while the world is stopped, so the relaxed read here
+  /// is ordered by the safepoint handshake.
+  bool gcBarrierActive() const {
+    return BarrierOn.load(std::memory_order_relaxed);
+  }
 
   /// The write barrier. MUST be called *before* the store it covers (the
   /// old slot value is read from memory): engines call it for every
@@ -163,7 +168,7 @@ public:
   /// and other non-heap destinations are filtered here, so callers need
   /// no address classification of their own.
   void gcWriteBarrier(uintptr_t Slot, uintptr_t NewVal) {
-    if (BarrierOn)
+    if (BarrierOn.load(std::memory_order_relaxed))
       gcWriteBarrierSlow(Slot, NewVal);
   }
 
@@ -173,7 +178,8 @@ public:
   /// the memcpy/memmove.
   void gcCopyBarrier(uintptr_t Dst, uintptr_t Src, size_t Bytes,
                      const TypeDesc *Desc) {
-    if (BarrierOn && Dst != Src && Desc && Desc->hasPointers())
+    if (BarrierOn.load(std::memory_order_relaxed) && Dst != Src && Desc &&
+        Desc->hasPointers())
       gcCopyBarrierSlow(Dst, Src, Bytes, Desc);
   }
 
@@ -287,6 +293,14 @@ public:
     int Id;
     Heap *PrevHeap;
     trace::TraceSink *PrevSink;
+  };
+
+  /// One unit of mark work: a region to scan with its layout. Public so
+  /// Gc.cpp can keep a per-thread gray sink (assists) at file scope.
+  struct MarkItem {
+    uintptr_t Addr;
+    const TypeDesc *Desc;
+    size_t Bytes;
   };
 
   /// Keeps a freshly allocated object alive across a follow-up allocation
@@ -411,11 +425,6 @@ private:
   // Parallel mark (Gc.cpp). GcMarkShared holds the worker contexts and the
   // steal/termination state; defined in Gc.cpp only, hence the pointer.
   struct GcMarkShared;
-  struct MarkItem {
-    uintptr_t Addr;
-    const TypeDesc *Desc;
-    size_t Bytes;
-  };
   /// What a mark pass covers.
   ///  * Full:      clear all marks, trace the whole reachable graph.
   ///  * Minor:     clear young spans' marks only; gcMarkAddr ignores old
@@ -438,6 +447,42 @@ private:
   void markWorkerMain(int Index);          ///< Helper-thread loop.
   void runMarkWorker(int Index);           ///< One worker's cycle work.
   void pushMark(int Worker, const MarkItem &Item);
+  /// Prepares the shared mark state for a cycle of \p Mode: grows / resets
+  /// the worker contexts and zeroes the concurrent-window accumulators.
+  void markSetup(GcMarkMode Mode);
+  /// Folds per-worker mark results into GcMarkShared::MarkedBytesTotal and
+  /// emits the GcMarkWorker trace events. End of the mark, stopped world.
+  void markFold();
+  /// Routes one gray item: to worker \p Worker's stack when >= 0, else to
+  /// the calling thread's assist sink if one is installed, else to the
+  /// global ConcGray list under GrayMu.
+  void pushGray(int Worker, const MarkItem &Item);
+
+  // Concurrent tricolor mark (Gc.cpp). The cycle body used instead of
+  // Backend->collectStw when GcConfig::Concurrent is on and the backend
+  // supports it: flip 1 (STW: finish sweep, clear marks, scan roots, turn
+  // the Dijkstra barrier on), a mark window with mutators running (the
+  // worker pool drains gray; barrier hits and fresh allocations shade into
+  // ConcGray), flip 2 (STW: rescan roots, drain residual gray, start lazy
+  // sweep). Returns with the world running; the result is whether flip 2
+  // swept eagerly (the caller's drain decision needs it).
+  bool concurrentMarkCycle(GcCycleKind Kind, bool Forced);
+  /// Publishes one job of \p Job kind (GcMarkShared::Job values) to the
+  /// worker pool, participates as worker 0, and waits for completion.
+  /// Requires Mark set up for the cycle.
+  void runMarkJob(uint8_t Job);
+  /// Snapshots root providers/internal roots into the shared mark state.
+  /// Stopped world. Returns the number of root slots snapshotted.
+  size_t snapshotMarkRoots(const std::vector<uintptr_t> *ExtraSlots);
+  /// Mutator mark assist: when concurrent mark is on and this thread's
+  /// allocation debt passed the threshold, scan a bounded batch of the
+  /// global gray list. Called from the allocation slow path.
+  void gcMaybeAssist();
+  /// Debug (HeapOptions::Verify): asserts the tricolor invariant -- every
+  /// pointer field of a marked (black) object refers to a marked object --
+  /// over the whole heap. Stopped world, end of mark. Records violations
+  /// like verifyAtSafepoint.
+  void verifyTricolor(const char *When);
 
   // Lazy sweep (Gc.cpp).
   /// Claims and sweeps \p S if it is unswept; returns true iff this call
@@ -493,9 +538,28 @@ private:
   std::atomic<uint64_t> NextTrigger;
   /// The collector policy (never null after construction).
   std::unique_ptr<GcBackend> Backend;
-  /// Whether stores must run the write barrier. Fixed at construction
-  /// (plain bool: read racily on the hot path, never written after).
-  bool BarrierOn = false;
+  /// Whether stores must run the write barrier right now. Relaxed loads on
+  /// the hot path; every transition happens while the world is stopped, so
+  /// the safepoint handshake orders it for mutators.
+  std::atomic<bool> BarrierOn{false};
+  /// Backends with a standing barrier (generational remembered set, rc
+  /// counts) keep BarrierOn permanently true; marksweep leaves this false
+  /// and raises BarrierOn only during concurrent mark.
+  bool BarrierAlways = false;
+  /// True between flip 1 and flip 2 of a concurrent mark: allocations are
+  /// born black, the write barrier shades stored values, and tcfree's
+  /// GcRunning give-up stays load-bearing for the whole window.
+  std::atomic<bool> ConcMarkActive{false};
+  /// Gray overflow shared between mutators and the mark workers during the
+  /// concurrent window: barrier shades from threads without a worker
+  /// context land here; the collector reseeds workers from it.
+  std::mutex GrayMu;
+  std::vector<MarkItem> ConcGray;
+  /// Allocation bytes since the last assist check, summed across mutators;
+  /// past a threshold the allocating thread pays debt by marking.
+  std::atomic<uint64_t> AssistDebt{0};
+  /// Deterministic counter behind GcConfig::TcfreeChaos.
+  std::atomic<uint64_t> TcfreeChaosCounter{0};
   /// Current mark pass mode; written by the collector before workers
   /// start, read by them during the pass (stopped world).
   GcMarkMode MarkMode = GcMarkMode::Full;

@@ -76,6 +76,17 @@ struct StatsSnapshot {
   uint64_t GcMajorCycles = 0;
   uint64_t GcZctDrains = 0;
   uint64_t GcBarrierHits = 0;
+  // Concurrent-mark counters: GcPauses counts every notePause (one per STW
+  // cycle, two per concurrent cycle -- GcPauses == GcCycles + GcConcCycles
+  // once mutators quiesce); GcConcCycles counts cycles whose mark phase ran
+  // with mutators going; assists are mutator-paid mark work.
+  uint64_t GcPauses = 0;
+  uint64_t GcConcCycles = 0;
+  uint64_t GcAssists = 0;
+  uint64_t GcAssistBytes = 0;
+  /// tcfree calls forced down the GcRunning give-up path by the
+  /// GcConfig::TcfreeChaos fuzz knob (a subset of that reason's bucket).
+  uint64_t TcfreeChaosForced = 0;
   uint64_t PeakCommitted = 0;
   uint64_t PeakLive = 0;
 
@@ -136,6 +147,12 @@ struct HeapStats {
   std::atomic<uint64_t> GcMajorCycles{0};
   std::atomic<uint64_t> GcZctDrains{0};
   std::atomic<uint64_t> GcBarrierHits{0};
+  // Concurrent-mark counters (see StatsSnapshot).
+  std::atomic<uint64_t> GcPauses{0};
+  std::atomic<uint64_t> GcConcCycles{0};
+  std::atomic<uint64_t> GcAssists{0};
+  std::atomic<uint64_t> GcAssistBytes{0};
+  std::atomic<uint64_t> TcfreeChaosForced{0};
 
   // Heap footprint (table 5 "maxheap").
   std::atomic<uint64_t> HeapLive{0};        ///< Live object bytes.
@@ -193,14 +210,20 @@ struct HeapStats {
     S.GcMajorCycles = GcMajorCycles.load(std::memory_order_relaxed);
     S.GcZctDrains = GcZctDrains.load(std::memory_order_relaxed);
     S.GcBarrierHits = GcBarrierHits.load(std::memory_order_relaxed);
+    S.GcPauses = GcPauses.load(std::memory_order_relaxed);
+    S.GcConcCycles = GcConcCycles.load(std::memory_order_relaxed);
+    S.GcAssists = GcAssists.load(std::memory_order_relaxed);
+    S.GcAssistBytes = GcAssistBytes.load(std::memory_order_relaxed);
+    S.TcfreeChaosForced = TcfreeChaosForced.load(std::memory_order_relaxed);
     S.PeakCommitted = PeakCommitted.load(std::memory_order_relaxed);
     S.PeakLive = PeakLive.load(std::memory_order_relaxed);
     return S;
   }
 
-  /// Records one stop-the-world pause: total, CAS-max, and histogram.
+  /// Records one stop-the-world pause: total, count, CAS-max, histogram.
   void notePause(uint64_t Nanos) {
     GcPauseNanos.fetch_add(Nanos, std::memory_order_relaxed);
+    GcPauses.fetch_add(1, std::memory_order_relaxed);
     uint64_t M = GcMaxPauseNanos.load(std::memory_order_relaxed);
     while (Nanos > M && !GcMaxPauseNanos.compare_exchange_weak(
                             M, Nanos, std::memory_order_relaxed))

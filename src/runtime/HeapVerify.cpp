@@ -305,6 +305,54 @@ bool Heap::verifyInvariants(std::string *Report) {
   return false;
 }
 
+void Heap::verifyTricolor(const char *When) {
+  if (!Opts.Gc.Verify)
+    return;
+  // The tricolor invariant at a mark-complete safepoint (both flips run it
+  // with the world stopped and all gray drained): no marked (black) object
+  // may point at an unmarked (white) live object. A violation means the
+  // write barrier missed a store -- the white target would be swept while
+  // still reachable.
+  Violations V;
+  std::vector<MSpan *> InUse;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const auto &SP : AllSpans) {
+      MSpan *S = SP.get();
+      if (S->State.load(std::memory_order_relaxed) == SpanState::InUse)
+        InUse.push_back(S);
+    }
+  }
+  for (MSpan *S : InUse) {
+    for (size_t Slot = 0; Slot < S->NElems; ++Slot) {
+      if (!S->allocBit(Slot) || !S->markBit(Slot))
+        continue;
+      const TypeDesc *Desc = S->SlotDescs[Slot];
+      forEachPtrSlot(S->slotAddr(Slot), Desc, S->ElemSize,
+                     [&](uintptr_t SlotAddr, uintptr_t P) {
+                       if (!P)
+                         return;
+                       MSpan *T = lookupSpan(P);
+                       if (!T || T->State.load(std::memory_order_relaxed) !=
+                                     SpanState::InUse)
+                         return;
+                       size_t TSlot = (P - T->Base) / T->ElemSize;
+                       if (T->allocBit(TSlot) && !T->markBit(TSlot))
+                         V.add("tricolor: black %p slot %" PRIuPTR
+                               " -> white %p (span %p slot %zu)",
+                               (void *)S->slotAddr(Slot), SlotAddr, (void *)P,
+                               (void *)T, TSlot);
+                     });
+    }
+  }
+  if (!V.any())
+    return;
+  std::lock_guard<std::mutex> Lock(InvariantMu);
+  if (InvariantFailure.empty())
+    InvariantFailure = std::string("tricolor invariant violation (") + When +
+                       "):\n" + V.render();
+}
+
 std::string Heap::invariantFailure() const {
   std::lock_guard<std::mutex> Lock(InvariantMu);
   return InvariantFailure;

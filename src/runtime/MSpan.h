@@ -148,12 +148,27 @@ struct MSpan {
     InZct.clear();
   }
 
+  /// Alloc-bit accessors go through atomic_ref: during concurrent mark the
+  /// markers read alloc bits of spans whose owner mutator is allocating at
+  /// the same time. setAllocBit publishes with release so a marker that
+  /// observes the bit set also observes the slot's descriptor/category
+  /// (written before the bit -- see Heap::allocSmall); allocBit loads with
+  /// acquire to pair with it. Bits of objects that predate the mark cycle
+  /// are covered by the stop-the-world handshake instead. Word-granularity
+  /// readers (nextFree, liveCount) stay plain: only the owner (or the
+  /// stopped-world collector) calls them, and no other thread writes.
   bool allocBit(size_t Slot) const {
-    return (AllocBits[Slot >> 6] >> (Slot & 63)) & 1;
+    std::atomic_ref<uint64_t> Word(
+        const_cast<uint64_t &>(AllocBits[Slot >> 6]));
+    return (Word.load(std::memory_order_acquire) >> (Slot & 63)) & 1;
   }
-  void setAllocBit(size_t Slot) { AllocBits[Slot >> 6] |= 1ULL << (Slot & 63); }
+  void setAllocBit(size_t Slot) {
+    std::atomic_ref<uint64_t> Word(AllocBits[Slot >> 6]);
+    Word.fetch_or(1ULL << (Slot & 63), std::memory_order_release);
+  }
   void clearAllocBit(size_t Slot) {
-    AllocBits[Slot >> 6] &= ~(1ULL << (Slot & 63));
+    std::atomic_ref<uint64_t> Word(AllocBits[Slot >> 6]);
+    Word.fetch_and(~(1ULL << (Slot & 63)), std::memory_order_release);
   }
   bool markBit(size_t Slot) const {
     return (MarkBits[Slot >> 6] >> (Slot & 63)) & 1;

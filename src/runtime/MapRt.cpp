@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/MapRt.h"
+#include "runtime/WordAccess.h"
 
 #include <cassert>
 #include <cstring>
@@ -25,9 +26,10 @@ uint64_t readU64(uintptr_t Addr) {
   return V;
 }
 
-void writeU64(uintptr_t Addr, uint64_t V) {
-  std::memcpy(reinterpret_cast<void *>(Addr), &V, 8);
-}
+// Heap stores go through the relaxed atomic word store so concurrent
+// markers reading the Buckets slot (or pointer-bearing values) never race
+// them; see runtime/WordAccess.h.
+void writeU64(uintptr_t Addr, uint64_t V) { storeWordRelaxed(Addr, V); }
 
 uint64_t hashKey(int64_t Key) {
   uint64_t Z = (uint64_t)Key + 0x9e3779b97f4a7c15ULL;
@@ -111,8 +113,7 @@ void mapGrow(const MapCtx &Ctx, HMapView M) {
     if (Ctx.BucketArrayDesc)
       Ctx.H->gcCopyBarrier(NewEntry, OldEntry, EntrySize,
                            Ctx.BucketArrayDesc->Elem);
-    std::memcpy(reinterpret_cast<void *>(NewEntry),
-                reinterpret_cast<void *>(OldEntry), EntrySize);
+    copyWordsRelaxed(NewEntry, OldEntry, EntrySize);
   }
   // Barrier before the store: the hmap header's Buckets slot is about to
   // drop its reference to the old array and take the new one.
@@ -188,7 +189,8 @@ void gofree::rt::mapAssign(const MapCtx &Ctx, uintptr_t HMap, int64_t Key,
   }
   Ctx.H->gcCopyBarrier(M.value(Idx), reinterpret_cast<uintptr_t>(Value),
                        Ctx.ValueSize, Ctx.ValueDesc);
-  std::memcpy(reinterpret_cast<void *>(M.value(Idx)), Value, Ctx.ValueSize);
+  copyWordsRelaxed(M.value(Idx), reinterpret_cast<uintptr_t>(Value),
+                   Ctx.ValueSize);
 }
 
 bool gofree::rt::mapLookup(uintptr_t HMap, int64_t Key, void *Out,

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/SliceRt.h"
+#include "runtime/WordAccess.h"
 
 #include <cstring>
 
@@ -72,14 +73,13 @@ SliceGrow gofree::rt::sliceGrowForAppend(Heap &H, SliceHeader &Hdr,
     // The fresh array is zeroed (null old values), but a backend still has
     // to see the young/counted pointers being copied in.
     H.gcCopyBarrier(NewData, Hdr.Data, CopyBytes, ArrayDesc);
-    std::memcpy(reinterpret_cast<void *>(NewData),
-                reinterpret_cast<void *>(Hdr.Data), CopyBytes);
+    copyWordsRelaxed(NewData, Hdr.Data, CopyBytes);
   }
   uintptr_t OldData = Hdr.Data;
   // The header itself may be heap memory (a struct field, a boxed local);
   // barrier its Data slot before it drops the old array.
   H.gcWriteBarrier(reinterpret_cast<uintptr_t>(&Hdr.Data), NewData);
-  Hdr.Data = NewData;
+  storeWordRelaxed(reinterpret_cast<uintptr_t>(&Hdr.Data), NewData);
   Hdr.Cap = NewCap;
   // Extension knob: the old array is exclusively owned by this slice value
   // after the copy, so it can be freed like a map's old buckets. Stack

@@ -1,0 +1,82 @@
+//===- runtime/WordAccess.h - Race-free heap word access -------*- C++ -*-===//
+//
+// Part of the GoFree-CPP project, reproducing "GoFree: Reducing Garbage
+// Collection via Compiler-Inserted Freeing" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relaxed atomic accessors for heap words that concurrent mark may read
+/// while a mutator writes them.
+///
+/// During a concurrent mark window the markers walk pointer slots of live
+/// objects while the owning mutator keeps storing into them. The Dijkstra
+/// barrier makes either the old or the new value a safe read *logically*
+/// (the new value is shaded before the store retires), but a plain
+/// load/store pair on the same word is still a data race in the C++ memory
+/// model and under TSan. Every mutator store that can land in a pointer
+/// slot therefore goes through these relaxed atomic helpers, and the marker
+/// side loads through them too. Mutator *loads* stay plain: markers never
+/// write object words (they only touch mark bitmaps), and mutator-vs-
+/// mutator sharing is the program's own synchronization problem, same as
+/// before.
+///
+/// On x86-64 a relaxed 8-byte atomic load/store compiles to the same mov
+/// as the plain access, so this costs nothing on the hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GOFREE_RUNTIME_WORDACCESS_H
+#define GOFREE_RUNTIME_WORDACCESS_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+namespace gofree {
+namespace rt {
+
+/// Relaxed atomic load of one 8-byte heap word. Marker-side reads of
+/// pointer slots use this so they never race mutator stores.
+inline uint64_t loadWordRelaxed(uintptr_t Addr) {
+  std::atomic_ref<uint64_t> W(*reinterpret_cast<uint64_t *>(Addr));
+  return W.load(std::memory_order_relaxed);
+}
+
+/// Relaxed atomic store of one 8-byte heap word. Mutator-side stores into
+/// slots that may hold pointers use this.
+inline void storeWordRelaxed(uintptr_t Addr, uint64_t V) {
+  std::atomic_ref<uint64_t> W(*reinterpret_cast<uint64_t *>(Addr));
+  W.store(V, std::memory_order_relaxed);
+}
+
+/// memmove with word-atomic stores: copies \p Bytes from \p Src to \p Dst,
+/// storing each aligned 8-byte word with a relaxed atomic store so a
+/// concurrent marker reading \p Dst sees only whole old-or-new words.
+/// Overlapping ranges are handled like memmove (copy direction flips).
+/// Falls back to plain memmove when either end is misaligned or the size
+/// is not a word multiple -- by construction those payloads hold no
+/// pointers (pointer slots are always 8-aligned words), so the markers
+/// never read them.
+inline void copyWordsRelaxed(uintptr_t Dst, uintptr_t Src, size_t Bytes) {
+  if ((Dst | Src | Bytes) & 7) {
+    std::memmove(reinterpret_cast<void *>(Dst),
+                 reinterpret_cast<void *>(Src), Bytes);
+    return;
+  }
+  size_t N = Bytes / 8;
+  if (Dst <= Src) {
+    for (size_t I = 0; I < N; ++I)
+      storeWordRelaxed(Dst + I * 8,
+                       *reinterpret_cast<const uint64_t *>(Src + I * 8));
+  } else {
+    for (size_t I = N; I-- > 0;)
+      storeWordRelaxed(Dst + I * 8,
+                       *reinterpret_cast<const uint64_t *>(Src + I * 8));
+  }
+}
+
+} // namespace rt
+} // namespace gofree
+
+#endif // GOFREE_RUNTIME_WORDACCESS_H

@@ -38,6 +38,12 @@ const char *eventKindName(EventKind K) {
     return "gc-mark-worker";
   case EventKind::GcSweepLazy:
     return "gc-sweep-lazy";
+  case EventKind::GcStwFlip:
+    return "gc-stw-flip";
+  case EventKind::GcConcMark:
+    return "gc-conc-mark";
+  case EventKind::GcAssist:
+    return "gc-assist";
   }
   return "unknown";
 }
@@ -243,6 +249,18 @@ static void foldEvent(TraceSummary &S, const Event &E) {
       S.GcSweptBytes += E.V0;
       S.GcSweptObjects += E.V1;
       break;
+    case EventKind::GcStwFlip:
+      ++S.GcStwFlips;
+      S.GcStwFlipNanos += E.V0;
+      break;
+    case EventKind::GcConcMark:
+      ++S.GcConcMarks;
+      S.GcConcMarkNanos += E.V0;
+      break;
+    case EventKind::GcAssist:
+      ++S.GcAssists;
+      S.GcAssistBytes += E.V0;
+      break;
   }
 }
 
@@ -364,6 +382,25 @@ static void formatEvent(char *Line, size_t Size, const Event &E,
                     ",\"objects\":%" PRIu64 "}\n",
                     E.TimeNs, sweepWhereName(E.Arg), E.V0, E.V1);
       break;
+    case EventKind::GcStwFlip:
+      std::snprintf(Line, Size,
+                    ",\"t\":%" PRIu64
+                    ",\"ev\":\"gc-stw-flip\",\"flip\":\"%s\",\"ns\":%" PRIu64
+                    ",\"roots\":%" PRIu64 "}\n",
+                    E.TimeNs, E.Arg ? "final" : "initial", E.V0, E.V1);
+      break;
+    case EventKind::GcConcMark:
+      std::snprintf(Line, Size,
+                    ",\"t\":%" PRIu64 ",\"ev\":\"gc-conc-mark\",\"ns\":%" PRIu64
+                    ",\"bytes\":%" PRIu64 "}\n",
+                    E.TimeNs, E.V0, E.V1);
+      break;
+    case EventKind::GcAssist:
+      std::snprintf(Line, Size,
+                    ",\"t\":%" PRIu64 ",\"ev\":\"gc-assist\",\"bytes\":%" PRIu64
+                    ",\"ns\":%" PRIu64 "}\n",
+                    E.TimeNs, E.V0, E.V1);
+      break;
     default:
       std::snprintf(Line, Size,
                     ",\"t\":%" PRIu64 ",\"ev\":\"unknown\",\"kind\":%u}\n",
@@ -430,6 +467,13 @@ void printSummary(FILE *Out, const TraceSummary &S) {
   if (S.GcLazySweeps)
     std::fprintf(Out, "  gc lazy sweeps: %" PRIu64 " spans outside the pause\n",
                  S.GcLazySweeps);
+  if (S.GcStwFlips)
+    std::fprintf(Out,
+                 "  gc concurrent: %" PRIu64 " flips (%.3f ms paused), %" PRIu64
+                 " mark windows (%.3f ms mutators running), %" PRIu64
+                 " assists (%" PRIu64 " bytes)\n",
+                 S.GcStwFlips, ms(S.GcStwFlipNanos), S.GcConcMarks,
+                 ms(S.GcConcMarkNanos), S.GcAssists, S.GcAssistBytes);
 
   std::fprintf(Out,
                "  tcfree: %" PRIu64 " freed (%" PRIu64 " bytes), %" PRIu64

@@ -57,8 +57,17 @@ enum class EventKind : uint8_t {
                      ///< V1 = objects marked.
   GcSweepLazy,       ///< One span swept outside the pause. Arg = where
                      ///< (SweepWhere), V0 = bytes reclaimed, V1 = slots.
+  GcStwFlip,         ///< One concurrent-cycle stop-the-world flip. Arg =
+                     ///< 0 initial (roots scanned, barrier on) / 1 final
+                     ///< (residual gray drained, sweep starts), V0 = pause
+                     ///< nanos, V1 = root slots scanned in the flip.
+  GcConcMark,        ///< The concurrent mark window between the two flips.
+                     ///< V0 = wall nanos with mutators running, V1 = bytes
+                     ///< marked over the whole cycle.
+  GcAssist,          ///< A mutator paid allocation debt by marking.
+                     ///< V0 = bytes scanned, V1 = assist nanos.
 };
-inline constexpr int NumEventKinds = 12;
+inline constexpr int NumEventKinds = 15;
 
 /// Which code path performed a lazy (outside-the-pause) span sweep; the
 /// Arg of GcSweepLazy events.
@@ -245,6 +254,12 @@ struct TraceSummary {
   uint64_t GcLazySweeps = 0;       ///< GcSweepLazy events folded; their
                                    ///< bytes/objects land in GcSweptBytes
                                    ///< and GcSweptObjects like STW sweeps.
+  uint64_t GcStwFlips = 0;         ///< GcStwFlip events (2 per conc cycle).
+  uint64_t GcStwFlipNanos = 0;     ///< Summed flip pause time.
+  uint64_t GcConcMarks = 0;        ///< Concurrent mark windows completed.
+  uint64_t GcConcMarkNanos = 0;    ///< Wall time mutators ran mid-mark.
+  uint64_t GcAssists = 0;          ///< Mutator mark assists.
+  uint64_t GcAssistBytes = 0;      ///< Bytes scanned by assists.
 
   uint64_t TcfreeFreedCount = 0;
   uint64_t TcfreeFreedBytes = 0;

@@ -798,9 +798,7 @@ Do_Copy: {
   if (N > 0) {
     Heap.gcCopyBarrier(Dst.S.Data, Src.S.Data, (size_t)N * Code[IP + 2],
                        Types.arrayOf(Dst.Ty->elem()));
-    std::memmove(reinterpret_cast<void *>(Dst.S.Data),
-                 reinterpret_cast<void *>(Src.S.Data),
-                 (size_t)N * Code[IP + 2]);
+    rt::copyWordsRelaxed(Dst.S.Data, Src.S.Data, (size_t)N * Code[IP + 2]);
   }
   Value V;
   V.Ty = TypePool[Code[IP + 1]];

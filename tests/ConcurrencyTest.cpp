@@ -15,6 +15,7 @@
 #include "compiler/Pipeline.h"
 #include "runtime/Heap.h"
 #include "runtime/SizeClasses.h"
+#include "runtime/WordAccess.h"
 #include "support/Trace.h"
 
 #include <gtest/gtest.h>
@@ -710,6 +711,163 @@ TEST(ConcurrencyBarrierTest, OldToYoungStoresSurviveConcurrentMinors) {
   EXPECT_GT(S.GcBarrierHits, 0u);
   EXPECT_GT(H.stats().GcSweptCount.load(), 0u)
       << "no minor ever swept a replaced target; the torture was vacuous";
+  std::string Report;
+  EXPECT_TRUE(H.verifyInvariants(&Report)) << Report;
+  EXPECT_TRUE(H.pageHeapConsistent());
+  for (auto &R : Roots)
+    H.removeRootScanner(R.get());
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent tricolor mark torture: pointer churn mid-window, reachability
+// preserved only by the Dijkstra write barrier
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Barriered pointer store, the engines' storeValueAt idiom: shade the new
+/// value while a mark is running, then publish with a relaxed atomic store
+/// (a background marker may read the slot concurrently).
+void storeNext(Heap &H, uintptr_t Slot, uintptr_t NewVal) {
+  if (H.gcBarrierActive())
+    H.gcWriteBarrier(Slot, NewVal);
+  storeWordRelaxed(Slot, NewVal);
+}
+
+/// Roots only the chain heads; interior nodes live or die by tracing. The
+/// owning thread rewires chains between safepoints, the collector reads
+/// them only while that thread is parked (flip handshake).
+class ChainHeads : public RootScanner {
+public:
+  struct Node {
+    uintptr_t Addr;
+    uint64_t Pattern;
+  };
+  std::vector<std::vector<Node>> Chains; ///< [chain][pos], head at 0.
+
+  void scanRoots(Heap &H) override {
+    for (const std::vector<Node> &C : Chains)
+      if (!C.empty())
+        H.gcMarkAddr(C.front().Addr);
+  }
+};
+
+} // namespace
+
+TEST(ConcurrencyConcMarkTest, PointerChurnDuringConcurrentMarkStaysReachable) {
+  // Four mutators race concurrent mark windows (marksweep, conc on by
+  // default, aggressive pacing) while continuously splicing chain tails
+  // between chains through the barriered store path. Mid-window a splice
+  // stores a possibly-white tail into a possibly-already-scanned (black)
+  // node and then severs the old edge -- exactly the interleaving that
+  // loses objects if the Dijkstra barrier misses a shade. The per-thread
+  // ground-truth vectors say what each chain must look like afterwards;
+  // verify=1 additionally runs the tricolor invariant check at every
+  // final flip and the whole-heap verifier at every cycle.
+  HeapOptions HO;
+  HO.NumCaches = 4;
+  HO.Gc.Workers = 4;
+  HO.Gc.MinHeapTrigger = 192 << 10;
+  HO.Gc.Verify = true;
+  Heap H(HO);
+
+  constexpr int NumThreads = 4;
+  constexpr int NumChains = 8;
+  constexpr int InitLen = 24;
+  constexpr uint64_t Iters = 3000;
+
+  std::vector<std::unique_ptr<ChainHeads>> Roots;
+  for (int T = 0; T < NumThreads; ++T) {
+    Roots.push_back(std::make_unique<ChainHeads>());
+    Roots.back()->Chains.resize(NumChains);
+    H.addRootScanner(Roots.back().get());
+  }
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      ChainHeads &R = *Roots[(size_t)T];
+      Heap::MutatorScope Scope(H, T);
+      uint64_t Serial = 0, Rng = 0x9e3779b97f4a7c15ull * (uint64_t)(T + 1);
+      auto Next = [&] {
+        Rng = Rng * 6364136223846793005ull + 1442695040888963407ull;
+        return Rng >> 33;
+      };
+      auto NewNode = [&] {
+        uintptr_t N = H.allocate(32, chainNodeDesc(), AllocCat::Other, T);
+        EXPECT_NE(N, 0u);
+        uint64_t Pattern = patternFor(T, Serial++);
+        writePattern(N, 24, Pattern);
+        storeNext(H, N + 24, 0);
+        return ChainHeads::Node{N, Pattern};
+      };
+      // Seed: chains built tail-first so the head entry (the only root)
+      // is in place before any node hangs off it.
+      for (int C = 0; C < NumChains; ++C) {
+        std::vector<ChainHeads::Node> &Chain = R.Chains[(size_t)C];
+        for (int I = 0; I < InitLen; ++I) {
+          ChainHeads::Node N = NewNode();
+          if (!Chain.empty())
+            storeNext(H, N.Addr + 24, Chain.front().Addr);
+          Chain.insert(Chain.begin(), N);
+        }
+      }
+      for (uint64_t I = 0; I < Iters; ++I) {
+        size_t A = Next() % NumChains, B = Next() % NumChains;
+        std::vector<ChainHeads::Node> &Donor = R.Chains[A];
+        std::vector<ChainHeads::Node> &Recv = R.Chains[B];
+        if (A != B && Donor.size() > 2 && !Recv.empty()) {
+          // Splice the donor's tail onto the receiver's end: link first
+          // (the barrier shades the tail), then sever the donor edge. The
+          // tail is never unreachable in between, so reachability at every
+          // possible flip is exactly what the ground truth says.
+          size_t K = 1 + Next() % (Donor.size() - 1);
+          storeNext(H, Recv.back().Addr + 24, Donor[K].Addr);
+          storeNext(H, Donor[K - 1].Addr + 24, 0);
+          Recv.insert(Recv.end(), Donor.begin() + (ptrdiff_t)K, Donor.end());
+          Donor.erase(Donor.begin() + (ptrdiff_t)K, Donor.end());
+        } else {
+          // Grow: push a fresh head (rooted immediately via the vector).
+          ChainHeads::Node N = NewNode();
+          if (!Recv.empty())
+            storeNext(H, N.Addr + 24, Recv.front().Addr);
+          Recv.insert(Recv.begin(), N);
+        }
+        // Unrooted garbage keeps the pacer honest mid-churn.
+        H.allocate(48, nullptr, AllocCat::Other, T);
+        if (I % 750 == 375)
+          H.runGc(); // Forced cycles race the paced ones.
+      }
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  // Every chain must match its ground truth node-for-node: a swept or
+  // clobbered spliced tail breaks the address walk or the pattern check.
+  for (auto &R : Roots)
+    for (const std::vector<ChainHeads::Node> &Chain : R->Chains) {
+      uintptr_t At = Chain.empty() ? 0 : Chain.front().Addr;
+      for (const ChainHeads::Node &N : Chain) {
+        ASSERT_EQ(At, N.Addr) << "chain walk diverged from ground truth";
+        ASSERT_TRUE(H.isLiveObject(N.Addr));
+        EXPECT_TRUE(checkPattern(N.Addr, 24, N.Pattern))
+            << "spliced node clobbered: missed barrier shade";
+        At = loadWordRelaxed(N.Addr + 24);
+      }
+      EXPECT_EQ(At, 0u) << "chain longer than ground truth";
+    }
+
+  StatsSnapshot S = H.stats().snap();
+  EXPECT_GE(S.GcConcCycles, 1u) << "no cycle ran the concurrent path";
+  // Two pauses per concurrent cycle, one per STW cycle, and the histogram
+  // buckets every one of them.
+  EXPECT_EQ(S.GcPauses, S.GcCycles + S.GcConcCycles);
+  uint64_t HistSum = 0;
+  for (uint64_t B : S.GcPauseHist)
+    HistSum += B;
+  EXPECT_EQ(HistSum, S.GcPauses);
+  EXPECT_TRUE(H.invariantFailure().empty()) << H.invariantFailure();
   std::string Report;
   EXPECT_TRUE(H.verifyInvariants(&Report)) << Report;
   EXPECT_TRUE(H.pageHeapConsistent());

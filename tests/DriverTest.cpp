@@ -105,6 +105,13 @@ TEST(DriverFlagTest, GcRoundTrips) {
   EXPECT_EQ(parsedOk("--gc=promote-after=3").Exec.Heap.Gc.PromoteAfter, 3);
   EXPECT_EQ(parsedOk("--gc=zct-threshold=256").Exec.Heap.Gc.ZctThreshold,
             256u);
+  EXPECT_TRUE(parsedOk("--gc=conc=1").Exec.Heap.Gc.Concurrent);
+  EXPECT_TRUE(parsedOk("--gc=conc=on").Exec.Heap.Gc.Concurrent);
+  EXPECT_FALSE(parsedOk("--gc=conc=0").Exec.Heap.Gc.Concurrent);
+  EXPECT_FALSE(parsedOk("--gc=conc=off").Exec.Heap.Gc.Concurrent);
+  EXPECT_EQ(parsedOk("--gc=chaos=7").Exec.Heap.Gc.TcfreeChaos, 7u);
+  EXPECT_EQ(parsedOk("--gc=chaos=0").Exec.Heap.Gc.TcfreeChaos, 0u)
+      << "chaos=0 disables the knob";
   // Combined form, and composition: later tokens touch only their own key.
   PipelineOptions P =
       parsedOk("--gc=generational,nursery=8192,promote-after=1,verify=1");
@@ -163,6 +170,29 @@ TEST(DriverFlagTest, DeprecatedGcAliasesStillParse) {
   EXPECT_FALSE(parsedOk("--verify-heap=false").Exec.Heap.Gc.Verify);
 }
 
+// The deprecation warning is observable as a counter, not just a stderr
+// line: each deprecated flag warns exactly once per process, and the
+// modern --gc= spelling never warns -- even when both set the same
+// GcConfig field in one parse sequence.
+TEST(DriverFlagTest, DeprecationWarningsCountOncePerFlag) {
+  PipelineOptions P;
+  std::string Err;
+  ASSERT_TRUE(parseFlags({"--gc-eager-sweep=1", "--gc=eager-sweep=0"}, P,
+                         &Err))
+      << Err;
+  EXPECT_FALSE(P.Exec.Heap.Gc.EagerSweep) << "later --gc= wins the field";
+  unsigned After = deprecationWarningCount();
+  EXPECT_GE(After, 1u) << "--gc-eager-sweep should have warned";
+  // Re-parsing the deprecated alias does not warn a second time (warnings
+  // dedup per flag per process)...
+  ASSERT_TRUE(parseFlags({"--gc-eager-sweep=1"}, P, &Err)) << Err;
+  EXPECT_EQ(deprecationWarningCount(), After);
+  // ...and the modern spelling is not deprecated at all.
+  ASSERT_TRUE(parseFlags({"--gc=eager-sweep=1,conc=1,chaos=3"}, P, &Err))
+      << Err;
+  EXPECT_EQ(deprecationWarningCount(), After);
+}
+
 TEST(DriverFlagTest, MaxStepsRoundTrips) {
   EXPECT_EQ(parsedOk("--max-steps=12345").Exec.Interp.MaxSteps, 12345u);
 }
@@ -211,6 +241,9 @@ TEST(DriverFlagTest, RejectsBadValues) {
   invalidErr("--gc=nursery=0");
   invalidErr("--gc=promote-after=0");
   invalidErr("--gc=zct-threshold=0");
+  invalidErr("--gc=conc=banana");
+  invalidErr("--gc=chaos=-1");
+  invalidErr("--gc=chaos=sometimes");
   invalidErr("--gc=color=blue");
   invalidErr("--gc=rc,,verify=1");
   invalidErr("--gc");
@@ -362,6 +395,9 @@ TEST(DriverJsonTest, CarriesSchemaVersionLegAndObservables) {
       << J;
   EXPECT_NE(J.find("\"minor_cycles\":"), std::string::npos) << J;
   EXPECT_NE(J.find("\"zct_drains\":"), std::string::npos) << J;
+  // Concurrent-mark counters ride the same gc object.
+  EXPECT_NE(J.find("\"conc_cycles\":"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"assists\":"), std::string::npos) << J;
 }
 
 TEST(DriverJsonTest, BackendNameFollowsGcFlag) {

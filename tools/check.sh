@@ -30,6 +30,14 @@
 #                             (gofree-par runs --gc=workers=4, gofree-gen and
 #                             gofree-rc the generational and rc collectors)
 #                             with heap verification on every leg
+#   tools/check.sh conc       concurrent-mark pass: the tricolor pointer-
+#                             churn torture test under ThreadSanitizer
+#                             (mutators store through the Dijkstra barrier
+#                             while mark workers drain gray and assists
+#                             steal batches), then a 200-seed fuzz run whose
+#                             gofree-conc leg runs --gc=workers=2,conc=1,
+#                             chaos=7 with heap verification (including the
+#                             tricolor check at both flips) on every leg
 #   tools/check.sh bench      benchmarks: runs bench_gc_pause and bench_vm
 #                             and writes BENCH_gc_pause.json / BENCH_vm.json
 #                             at the repo root
@@ -138,7 +146,7 @@ gc)
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DGOFREE_SANITIZE=thread
   cmake --build "$ROOT/build-tsan" -j --target concurrency_test
   "$ROOT/build-tsan/tests/concurrency_test" \
-    --gtest_filter='ConcurrencyGcWorkersTest.*:ConcurrencyTortureTest.*:ConcurrencyBarrierTest.*' \
+    --gtest_filter='ConcurrencyGcWorkersTest.*:ConcurrencyTortureTest.*:ConcurrencyBarrierTest.*:ConcurrencyConcMarkTest.*' \
     || fail "GC torture tests failed under ThreadSanitizer"
   # Fuzz slice: gofree-par runs --gc=workers=4, gofree-gen the generational
   # collector, gofree-rc the rc collector; DiffOptions.Verify (on by
@@ -146,6 +154,24 @@ gc)
   "$ROOT/build/tools/gofree" fuzz --seed=1 --count=100 \
     || fail "GC fuzz slice failed (parallel/generational/rc legs, heap verify)"
   echo "check.sh: gc pass OK (conformance + tsan torture + 100-seed fuzz)"
+  ;;
+conc)
+  # Concurrent-mark torture under TSan: mutator threads splice and sever
+  # linked chains through the write barrier while JobFlip1/JobDrain/JobFinal
+  # run on the worker pool and allocation debt triggers mutator assists.
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DGOFREE_SANITIZE=thread
+  cmake --build "$ROOT/build-tsan" -j --target concurrency_test
+  "$ROOT/build-tsan/tests/concurrency_test" \
+    --gtest_filter='ConcurrencyConcMarkTest.*' \
+    || fail "concurrent-mark torture failed under ThreadSanitizer"
+  # Fuzz slice: the gofree-conc leg forces concurrent full cycles with two
+  # mark workers and chaos-forced tcfree give-ups; every leg runs with heap
+  # verification, which includes the tricolor invariant check at each flip.
+  cmake -B "$ROOT/build" -S "$ROOT"
+  cmake --build "$ROOT/build" -j --target gofree
+  "$ROOT/build/tools/gofree" fuzz --seed=1 --count=200 \
+    || fail "concurrent-mark fuzz slice failed (gofree-conc leg)"
+  echo "check.sh: conc pass OK (tsan torture + 200-seed fuzz)"
   ;;
 bench)
   cmake -B "$ROOT/build" -S "$ROOT"
@@ -159,6 +185,6 @@ bench)
   echo "check.sh: bench OK (wrote BENCH_gc_pause.json, BENCH_vm.json)"
   ;;
 *)
-  fail "unknown mode '$MODE' (expected 'all', 'smoke', 'tsan', 'ubsan', 'fuzz', 'gc', or 'bench')"
+  fail "unknown mode '$MODE' (expected 'all', 'smoke', 'tsan', 'ubsan', 'fuzz', 'gc', 'conc', or 'bench')"
   ;;
 esac
