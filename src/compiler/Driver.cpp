@@ -487,7 +487,7 @@ std::string gofree::compiler::driver::outcomeJson(const ExecOutcome &O,
   std::string Err = jsonEscape(O.Error);
   if (Err.size() > 320)
     Err = Err.substr(0, 320) + "...";
-  char Buf[1536];
+  char Buf[1792];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"v\":%d,\"leg\":\"%s\",\"ok\":%s,\"error\":\"%s\","
@@ -501,7 +501,9 @@ std::string gofree::compiler::driver::outcomeJson(const ExecOutcome &O,
       "\"gc\":{\"backend\":\"%s\",\"minor_cycles\":%" PRIu64
       ",\"major_cycles\":%" PRIu64 ",\"barrier_hits\":%" PRIu64
       ",\"zct_drains\":%" PRIu64 ",\"conc_cycles\":%" PRIu64
-      ",\"assists\":%" PRIu64 "}}",
+      ",\"assists\":%" PRIu64 ",\"pauses\":%" PRIu64
+      ",\"pause_p50_us\":%" PRIu64 ",\"pause_p99_us\":%" PRIu64
+      ",\"pause_p999_us\":%" PRIu64 "}}",
       trace::JsonSchemaVersion, Leg, O.ok() ? "true" : "false",
       Err.c_str(), O.Run.Checksum, O.Run.SinkCount,
       O.Run.Steps, O.Run.Panicked ? "true" : "false",
@@ -511,6 +513,8 @@ std::string gofree::compiler::driver::outcomeJson(const ExecOutcome &O,
       O.Stats.PeakCommitted, O.Stats.PeakLive,
       O.GcBackend ? O.GcBackend : "marksweep", O.Stats.GcMinorCycles,
       O.Stats.GcMajorCycles, O.Stats.GcBarrierHits, O.Stats.GcZctDrains,
-      O.Stats.GcConcCycles, O.Stats.GcAssists);
+      O.Stats.GcConcCycles, O.Stats.GcAssists, O.Stats.GcPauses,
+      O.Stats.pausePercentileUs(0.50), O.Stats.pausePercentileUs(0.99),
+      O.Stats.pausePercentileUs(0.999));
   return Buf;
 }

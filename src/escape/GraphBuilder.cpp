@@ -303,6 +303,8 @@ private:
         R.IncompleteStore = true;
       RetCopies[J] = R.Id;
 
+      // R is dead from here on: this addLocation can grow G's location
+      // vector and invalidate it. Use the saved RetCopies[J] id instead.
       Location &Ct = G.addLocation(LocKind::ContentTag,
                                    CE->Callee + ".ct" + std::to_string(J));
       Ct.DeclDepth = BigDepth;
@@ -310,8 +312,8 @@ private:
       Ct.HeapAlloc = J < Tag->RetPointsToHeap.size() && Tag->RetPointsToHeap[J];
       if (J < Tag->RetIncompleteStore.size() && Tag->RetIncompleteStore[J])
         Ct.IncompleteStore = true;
-      G.addEdge(Ct.Id, R.Id, -1);
-      Out[J].push_back({R.Id, 0});
+      G.addEdge(Ct.Id, RetCopies[J], -1);
+      Out[J].push_back({RetCopies[J], 0});
     }
     for (const FuncTag::ParamToRet &E : Tag->Edges)
       if (E.ParamIdx < ParamCopies.size() && E.RetIdx < RetCopies.size())

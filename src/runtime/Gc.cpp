@@ -635,6 +635,9 @@ void Heap::gcMaybeAssist() {
   }
   Stats.GcAssists.fetch_add(1, std::memory_order_relaxed);
   Stats.GcAssistBytes.fetch_add(Scanned, std::memory_order_relaxed);
+  ThreadStalls &St = tlsStalls();
+  St.GcAssistNanos += nanosSince(T0);
+  ++St.GcAssists;
   if (trace::TraceSink *T = traceSink())
     T->emit(trace::EventKind::GcAssist, 0, Scanned, nanosSince(T0));
 }

@@ -156,6 +156,14 @@ public:
   /// heap's cycle machinery finishes, still under GcMu.
   virtual void concCycleEnd(GcCycleKind /*Kind*/) {}
 
+  /// Introspection of the backend's remembered set, for tests and the
+  /// serving harness's boundedness assertions. Backends without one (the
+  /// default) report an empty set. Quiesced callers only: the counts are
+  /// taken shard-by-shard, so a snapshot racing mutators is approximate.
+  virtual size_t rememberedSlots() const { return 0; }
+  /// Whether slot address \p Slot is currently in the remembered set.
+  virtual bool rememberedContains(uintptr_t /*Slot*/) const { return false; }
+
 protected:
   Heap &H;
 };

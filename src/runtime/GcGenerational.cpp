@@ -89,6 +89,21 @@ public:
     return Kind == GcCycleKind::Full;
   }
 
+  size_t rememberedSlots() const override {
+    size_t N = 0;
+    for (const Shard &Sh : Shards) {
+      std::lock_guard<std::mutex> Lock(Sh.Mu);
+      N += Sh.Slots.size();
+    }
+    return N;
+  }
+
+  bool rememberedContains(uintptr_t Slot) const override {
+    const Shard &Sh = Shards[(Slot / 8) % NumShards];
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    return Sh.Slots.count(Slot) != 0;
+  }
+
   void concCycleEnd(GcCycleKind Kind) override {
     // A concurrent major bypasses collectStw, so reset the nursery
     // accounting here (for STW majors this is a harmless double reset).
@@ -101,7 +116,7 @@ private:
   // mutators' barriers rarely contend.
   static constexpr size_t NumShards = 8;
   struct Shard {
-    std::mutex Mu;
+    mutable std::mutex Mu; ///< mutable: const introspection locks it too.
     std::unordered_set<uintptr_t> Slots;
   };
 

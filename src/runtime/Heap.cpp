@@ -16,6 +16,7 @@
 #include "runtime/Heap.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 using namespace gofree;
@@ -46,7 +47,16 @@ struct MutatorTls {
   trace::TraceSink *Sink = nullptr;
 };
 thread_local MutatorTls Tls;
+
+/// The calling thread's stall counters (Heap::threadStalls). A plain
+/// thread_local rather than a Heap member: the counters survive heap
+/// teardown and cost no indirection on the park/assist paths.
+thread_local Heap::ThreadStalls StallsTls;
 } // namespace
+
+Heap::ThreadStalls &Heap::tlsStalls() { return StallsTls; }
+
+Heap::ThreadStalls Heap::threadStalls() { return StallsTls; }
 
 Heap::Heap(HeapOptions O) : Opts(O) {
   // Clamp unconditionally: an assert would compile away in release builds
@@ -143,7 +153,16 @@ void Heap::parkAtSafepoint() {
     return; // The world restarted before we got here.
   ++ParkedMutators;
   StwCv.notify_one();
+  // Time only the wait itself: this is the GC-pause overlap the thread's
+  // current work actually suffered (the serving harness attributes the
+  // delta to the in-flight request).
+  auto T0 = std::chrono::steady_clock::now();
   ParkCv.wait(Lock, [&] { return !StopWorld.load(std::memory_order_relaxed); });
+  ThreadStalls &St = tlsStalls();
+  St.GcParkNanos += (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - T0)
+                        .count();
+  ++St.GcParks;
   --ParkedMutators;
 }
 
@@ -619,6 +638,7 @@ bool Heap::tcfreeObject(uintptr_t Addr, int CacheId, FreeSource Source) {
   auto GiveUp = [&](trace::GiveUpReason R) {
     Stats.TcfreeGiveUpsByReason[(int)R].fetch_add(1,
                                                   std::memory_order_relaxed);
+    ++tlsStalls().TcfreeGiveUps;
     if (trace::TraceSink *T = traceSink())
       T->emit(trace::EventKind::TcfreeGiveUp, (uint8_t)R, 1);
     return false;
@@ -740,6 +760,7 @@ size_t Heap::tcfreeBatch(const uintptr_t *Addrs, size_t N, int CacheId,
     Stats.TcfreeCalls.fetch_add(N, std::memory_order_relaxed);
     Stats.TcfreeGiveUpsByReason[(int)trace::GiveUpReason::GcRunning].fetch_add(
         N, std::memory_order_relaxed);
+    tlsStalls().TcfreeGiveUps += N;
     if (trace::TraceSink *T = traceSink())
       T->emit(trace::EventKind::TcfreeGiveUp,
               (uint8_t)trace::GiveUpReason::GcRunning, N);

@@ -204,6 +204,24 @@ public:
   const HeapStats &stats() const { return Stats; }
   const HeapOptions &options() const { return Opts; }
 
+  /// Per-thread allocation-stall accounting: time the *calling thread*
+  /// spent parked at safepoints (the GC-pause overlap of whatever it was
+  /// doing), time it spent paying mark-assist debt, and its tcfree
+  /// give-ups. Monotonic over the thread's lifetime and valid across
+  /// heaps (the counters are plain thread_locals, not per-heap), so a
+  /// request harness snapshots before/after a request and attributes the
+  /// delta to that request. Cheap enough to read per request: no locks,
+  /// no atomics.
+  struct ThreadStalls {
+    uint64_t GcParkNanos = 0;   ///< Time blocked in parkAtSafepoint.
+    uint64_t GcParks = 0;       ///< Safepoint parks taken.
+    uint64_t GcAssistNanos = 0; ///< Time in gcMaybeAssist doing mark work.
+    uint64_t GcAssists = 0;     ///< Assists that did real work.
+    uint64_t TcfreeGiveUps = 0; ///< tcfree calls that gave up (any reason).
+  };
+  /// Snapshot of the calling thread's stall counters.
+  static ThreadStalls threadStalls();
+
   /// The event sink the current thread should emit to: its per-thread sink
   /// if it is a mutator registered with one, else the heap-wide
   /// HeapOptions::Trace.
@@ -371,6 +389,8 @@ private:
       parkAtSafepoint();
   }
   void parkAtSafepoint();
+  /// The calling thread's ThreadStalls counters (Heap.cpp thread_local).
+  static ThreadStalls &tlsStalls();
   void stopTheWorld();
   void startTheWorld();
   bool currentThreadIsCollector() const {

@@ -45,6 +45,63 @@ inline constexpr int NumFreeSources = 4;
 /// pauses, the last bucket is open-ended).
 inline constexpr int NumPauseBuckets = 16;
 
+/// The bucket a pause of \p Us microseconds files under. This is the one
+/// place the bucket-indexing math lives (notePause and every consumer use
+/// it), and the exact boundary semantics are: Us == 2^B lands in bucket B,
+/// Us == 2^B - 1 in bucket B-1; values at or above 2^(NumPauseBuckets-1)
+/// all land in the open-ended last bucket. tests/RuntimeTest.cpp pins every
+/// boundary exhaustively -- an off-by-one here (e.g. `>` for `>=`, or
+/// `1ULL << B` for `2ULL << B`) silently shifts the derived percentiles a
+/// whole power of two.
+inline int pauseBucketFor(uint64_t Us) {
+  int B = 0;
+  while (B + 1 < NumPauseBuckets && Us >= (2ULL << B))
+    ++B;
+  return B;
+}
+
+/// Inclusive upper bound of bucket \p B in microseconds: 2^(B+1) - 1, or
+/// UINT64_MAX for the open-ended last bucket.
+inline uint64_t pauseBucketMaxUs(int B) {
+  return B + 1 < NumPauseBuckets ? (2ULL << B) - 1 : UINT64_MAX;
+}
+
+/// Derives the \p Q percentile (0 < Q <= 1) of pause time, in microseconds,
+/// from the power-of-two histogram. The histogram only stores bucket
+/// membership, so the answer is the *conservative upper bound*: the
+/// inclusive upper edge of the bucket containing the rank-ceil(Q*N) pause,
+/// clamped to the observed maximum (\p MaxPauseNanos) so the open-ended
+/// last bucket and sparsely-hit buckets report an honest bound instead of
+/// 2^(B+1)-1 microseconds of slack. Returns 0 when no pauses were recorded.
+inline uint64_t pausePercentileUs(const uint64_t Hist[NumPauseBuckets],
+                                  double Q, uint64_t MaxPauseNanos) {
+  uint64_t Total = 0;
+  for (int I = 0; I < NumPauseBuckets; ++I)
+    Total += Hist[I];
+  if (Total == 0)
+    return 0;
+  // Rank of the percentile pause, 1-based: the smallest k with
+  // k >= Q * Total. Integer arithmetic (no std::ceil) so the boundary
+  // ranks are exact: Q=0.5 over 2 pauses is rank 1, over 3 pauses rank 2.
+  uint64_t Rank = (uint64_t)(Q * (double)Total);
+  if ((double)Rank < Q * (double)Total)
+    ++Rank;
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Total)
+    Rank = Total;
+  uint64_t MaxUs = MaxPauseNanos / 1000;
+  uint64_t Cum = 0;
+  for (int I = 0; I < NumPauseBuckets; ++I) {
+    Cum += Hist[I];
+    if (Cum >= Rank) {
+      uint64_t Edge = pauseBucketMaxUs(I);
+      return Edge < MaxUs ? Edge : MaxUs;
+    }
+  }
+  return MaxUs; // Unreachable: Cum == Total >= Rank by the loop's end.
+}
+
 /// Plain-value copy of the counters, for reporting and benchmarking.
 struct StatsSnapshot {
   uint64_t AllocedBytes = 0;
@@ -99,6 +156,11 @@ struct StatsSnapshot {
   double freeRatio() const {
     return AllocedBytes == 0 ? 0.0
                              : (double)tcfreeFreedBytes() / (double)AllocedBytes;
+  }
+  /// Pause-time percentile (conservative upper bound in µs) derived from
+  /// the histogram; see rt::pausePercentileUs.
+  uint64_t pausePercentileUs(double Q) const {
+    return rt::pausePercentileUs(GcPauseHist, Q, GcMaxPauseNanos);
   }
 };
 
@@ -228,11 +290,8 @@ struct HeapStats {
     while (Nanos > M && !GcMaxPauseNanos.compare_exchange_weak(
                             M, Nanos, std::memory_order_relaxed))
       ;
-    uint64_t Us = Nanos / 1000;
-    int B = 0;
-    while (B + 1 < NumPauseBuckets && Us >= (2ULL << B))
-      ++B;
-    GcPauseHist[B].fetch_add(1, std::memory_order_relaxed);
+    GcPauseHist[pauseBucketFor(Nanos / 1000)].fetch_add(
+        1, std::memory_order_relaxed);
   }
 
   void notePeaks() {

@@ -44,6 +44,8 @@ const char *eventKindName(EventKind K) {
     return "gc-conc-mark";
   case EventKind::GcAssist:
     return "gc-assist";
+  case EventKind::Request:
+    return "request";
   }
   return "unknown";
 }
@@ -179,6 +181,15 @@ uint64_t TraceHub::dropped() const {
   return D;
 }
 
+std::vector<uint64_t> TraceHub::droppedBySink() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<uint64_t> Out;
+  Out.reserve(Sinks.size());
+  for (const auto &S : Sinks)
+    Out.push_back(S->dropped());
+  return Out;
+}
+
 size_t TraceHub::sinkCount() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Sinks.size();
@@ -261,6 +272,11 @@ static void foldEvent(TraceSummary &S, const Event &E) {
       ++S.GcAssists;
       S.GcAssistBytes += E.V0;
       break;
+    case EventKind::Request:
+      ++S.Requests;
+      S.RequestLatencyNanos += E.V0;
+      S.RequestStallNanos += E.V1;
+      break;
   }
 }
 
@@ -280,6 +296,12 @@ TraceSummary summarize(const std::vector<Event> &Events, uint64_t Dropped) {
   S.DroppedEvents = Dropped;
   for (const Event &E : Events)
     foldEvent(S, E);
+  return S;
+}
+
+TraceSummary summarize(const TraceHub &Hub) {
+  TraceSummary S = summarize(Hub.merge(), Hub.dropped());
+  S.DroppedBySink = Hub.droppedBySink();
   return S;
 }
 
@@ -401,6 +423,13 @@ static void formatEvent(char *Line, size_t Size, const Event &E,
                     ",\"ns\":%" PRIu64 "}\n",
                     E.TimeNs, E.V0, E.V1);
       break;
+    case EventKind::Request:
+      std::snprintf(Line, Size,
+                    ",\"t\":%" PRIu64
+                    ",\"ev\":\"request\",\"profile\":%u,\"latency_ns\":%" PRIu64
+                    ",\"stall_ns\":%" PRIu64 "}\n",
+                    E.TimeNs, (unsigned)E.Arg, E.V0, E.V1);
+      break;
     default:
       std::snprintf(Line, Size,
                     ",\"t\":%" PRIu64 ",\"ev\":\"unknown\",\"kind\":%u}\n",
@@ -448,6 +477,21 @@ void printSummary(FILE *Out, const TraceSummary &S) {
   if (S.DroppedEvents)
     std::fprintf(Out, ", %" PRIu64 " dropped", S.DroppedEvents);
   std::fprintf(Out, ")\n");
+  // Per-producer drop breakdown (hub summaries only): a drop count is not
+  // just lost volume, it is a *biased* stream -- the overflowed thread's
+  // events are the missing ones -- so name the guilty sink.
+  if (!S.DroppedBySink.empty() && S.DroppedEvents)
+    for (size_t I = 0; I < S.DroppedBySink.size(); ++I)
+      if (S.DroppedBySink[I])
+        std::fprintf(Out, "    dropped by sink %zu: %" PRIu64 "\n", I,
+                     S.DroppedBySink[I]);
+  if (S.Requests)
+    std::fprintf(Out,
+                 "  requests: %" PRIu64 " served, %.3f ms latency total "
+                 "(%.3f ms mean), %.3f ms allocation stall\n",
+                 S.Requests, ms(S.RequestLatencyNanos),
+                 ms(S.RequestLatencyNanos) / (double)S.Requests,
+                 ms(S.RequestStallNanos));
 
   std::fprintf(Out,
                "  gc: %" PRIu64 " pace triggers, %" PRIu64

@@ -66,8 +66,13 @@ enum class EventKind : uint8_t {
                      ///< marked over the whole cycle.
   GcAssist,          ///< A mutator paid allocation debt by marking.
                      ///< V0 = bytes scanned, V1 = assist nanos.
+  Request,           ///< One serving-harness request completed. Arg =
+                     ///< workload profile index (harness-defined), V0 =
+                     ///< request latency nanos (from scheduled arrival),
+                     ///< V1 = allocation-stall nanos inside the request
+                     ///< (safepoint parks + mark assists).
 };
-inline constexpr int NumEventKinds = 15;
+inline constexpr int NumEventKinds = 16;
 
 /// Which code path performed a lazy (outside-the-pause) span sweep; the
 /// Arg of GcSweepLazy events.
@@ -223,6 +228,11 @@ public:
   std::vector<Event> merge() const;
   /// Total events dropped across all sinks (bounded-buffer overflow).
   uint64_t dropped() const;
+  /// Per-sink drop counts, in sink-creation order. A merged stream that
+  /// lost events is not just short, it is *biased* (whichever thread
+  /// overflowed goes quiet); this breakdown says which producer lost how
+  /// much, so --trace-summary can point at the guilty thread.
+  std::vector<uint64_t> droppedBySink() const;
   size_t sinkCount() const;
   std::chrono::steady_clock::time_point epoch() const { return Epoch; }
 
@@ -274,6 +284,15 @@ struct TraceSummary {
 
   uint64_t PassNanos[NumPasses] = {};
   bool PassSeen[NumPasses] = {};
+
+  // Serving-harness requests (EventKind::Request).
+  uint64_t Requests = 0;
+  uint64_t RequestLatencyNanos = 0; ///< Summed request latency.
+  uint64_t RequestStallNanos = 0;   ///< Summed per-request allocation stall.
+
+  /// Per-producer drop counts when the summary came from a TraceHub
+  /// (empty otherwise). Parallel to the hub's sink-creation order.
+  std::vector<uint64_t> DroppedBySink;
 };
 
 /// Folds the sink's events into a summary. Note: when events were dropped
@@ -281,6 +300,9 @@ struct TraceSummary {
 TraceSummary summarize(const TraceSink &Sink);
 /// Same, over an already-merged event stream (TraceHub::merge()).
 TraceSummary summarize(const std::vector<Event> &Events, uint64_t Dropped);
+/// Merges the hub's sinks and fills DroppedBySink, so multi-threaded
+/// consumers see which producer overflowed (drain time only, like merge).
+TraceSummary summarize(const TraceHub &Hub);
 
 /// Version of the JSONL event schema; every line carries it as `"v"`.
 /// Bump on any incompatible change to field names or meanings. v2 added

@@ -422,3 +422,55 @@ TEST(DriverJsonTest, ErrorStaysOneEscapedLine) {
   EXPECT_NE(J.find("\"ok\":false"), std::string::npos) << J;
   EXPECT_NE(J.find("compile error:"), std::string::npos) << J;
 }
+
+//===----------------------------------------------------------------------===//
+// Chaos knob edge semantics. The parse pins above say chaos=0 round-trips;
+// these pin what the *runtime* does with the edges: 0 is "off" (notably:
+// no modulo-by-zero on the call-counting path), 1 forces every tcfree down
+// the GcRunning give-up path.
+//===----------------------------------------------------------------------===//
+
+TEST(DriverRunTest, ChaosZeroDisablesForcing) {
+  ExecOutcome O = compileAndRun(
+      OkProg, optsFor({"--mode=gofree", "--gc=chaos=0"}), {64});
+  ASSERT_TRUE(O.ok()) << O.Error;
+  EXPECT_EQ(O.Stats.TcfreeChaosForced, 0u);
+  EXPECT_GT(O.Stats.TcfreeCalls, 0u);
+  EXPECT_GT(O.Stats.tcfreeFreedBytes(), 0u)
+      << "chaos=0 must behave exactly like no chaos: frees happen";
+}
+
+TEST(DriverRunTest, ChaosOneForcesEveryTcfree) {
+  ExecOutcome O = compileAndRun(
+      OkProg, optsFor({"--mode=gofree", "--gc=chaos=1"}), {64});
+  ASSERT_TRUE(O.ok()) << O.Error;
+  EXPECT_GT(O.Stats.TcfreeCalls, 0u);
+  EXPECT_GT(O.Stats.TcfreeChaosForced, 0u);
+  EXPECT_GE(O.Stats.TcfreeGiveUps, O.Stats.TcfreeChaosForced);
+  EXPECT_EQ(O.Stats.tcfreeFreedBytes(), 0u)
+      << "every call was forced to give up; nothing tcfrees";
+  // Give-ups only defer reclamation to the GC -- observable behavior
+  // must not change.
+  ExecOutcome Base = compileAndRun(OkProg, optsFor({"--mode=gofree"}), {64});
+  ASSERT_TRUE(Base.ok());
+  EXPECT_EQ(O.Run.Checksum, Base.Run.Checksum);
+}
+
+TEST(DriverRunTest, OutcomeJsonCarriesPausePercentiles) {
+  // Force at least one GC so the percentile fields are live, then check
+  // the v2 record carries them and they are ordered.
+  ExecOutcome O = compileAndRun(
+      OkProg, optsFor({"--mode=gofree", "--gc=min-trigger=4096"}), {4096});
+  ASSERT_TRUE(O.ok()) << O.Error;
+  std::string J = outcomeJson(O, "gofree");
+  EXPECT_NE(J.find("\"pause_p50_us\":"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"pause_p99_us\":"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"pause_p999_us\":"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"pauses\":"), std::string::npos) << J;
+  EXPECT_LE(O.Stats.pausePercentileUs(0.50), O.Stats.pausePercentileUs(0.99));
+  EXPECT_LE(O.Stats.pausePercentileUs(0.99), O.Stats.pausePercentileUs(0.999));
+  // The percentile is a conservative upper bound clamped to the observed
+  // max, so it can never exceed it (sub-microsecond pauses report 0).
+  EXPECT_LE(O.Stats.pausePercentileUs(0.999),
+            O.Stats.GcMaxPauseNanos / 1000 + 1);
+}

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -448,4 +449,108 @@ TEST(GcBackendsTest, ConcurrentMarkPausesStayBelowEagerStw) {
       << "conc max pause " << Conc.GcMaxPauseNanos << "ns vs stw "
       << Stw.GcMaxPauseNanos << "ns";
   EXPECT_LT(Conc.GcMaxPauseNanos, Stw.GcMaxPauseNanos);
+}
+
+//===----------------------------------------------------------------------===//
+// Mixed-lifetime torture: a long-lived session cache (old gen) plus
+// per-request garbage (young gen, mostly tcfree'd) -- the serving
+// workload's heap shape. The remembered set must stay bounded by the
+// number of old pointer slots across many minors, and slots inside
+// tcfree'd per-request objects must never appear in it.
+//===----------------------------------------------------------------------===//
+
+TEST(GcBackendsTest, MixedLifetimeRememberedSetStaysBounded) {
+  constexpr size_t NumSessions = 64;
+  constexpr int Requests = 200;
+  constexpr int MinorEvery = 10;
+
+  HeapOptions HO;
+  HO.Gc.Backend = GcBackendKind::Generational;
+  HO.Gc.Gogc = -1; // The test drives every cycle.
+  HO.Gc.PromoteAfter = 2;
+  HO.Gc.Verify = true;
+  Heap H(HO);
+  Roots R;
+  H.addRootScanner(&R);
+  const GcBackend &B = H.gcBackend();
+
+  // One pointer slot at offset 0, payload at offset 8. Digests use a
+  // DIFFERENT size class than sessions: a 32-byte digest would be
+  // pretenured straight into the sessions' promoted span (noteAlloc) and
+  // the old->young positive control below would never fire.
+  static const TypeDesc SessDesc{"Session", 32, false, nullptr,
+                                 {{0, SlotKind::Raw}}};
+  static const TypeDesc DigestDesc{"Digest", 64, false, nullptr,
+                                   {{0, SlotKind::Raw}}};
+
+  // Long-lived cache, aged to old over two forced minors.
+  std::vector<uintptr_t> Sessions;
+  for (size_t S = 0; S < NumSessions; ++S) {
+    uintptr_t A = H.allocate(32, &SessDesc, AllocCat::Other, 0);
+    ASSERT_NE(A, 0u);
+    R.Addrs.push_back(A);
+    Sessions.push_back(A);
+  }
+  H.runGcCycle(GcCycleKind::Minor);
+  H.runGcCycle(GcCycleKind::Minor);
+
+  // Serving loop: every request installs a fresh young digest into a
+  // session (old->young edge, remembered) and produces per-request
+  // garbage that tcfree reclaims before any collector sees it.
+  size_t MaxRemembered = 0;
+  std::vector<uintptr_t> Freed; // tcfree'd per-request objects.
+  for (int Req = 0; Req < Requests; ++Req) {
+    uintptr_t Sess = Sessions[(size_t)Req % NumSessions];
+    uintptr_t Digest = H.allocate(64, &DigestDesc, AllocCat::Other, 0);
+    ASSERT_NE(Digest, 0u);
+    storePtr(H, Sess, Digest);
+    // Positive control, valid only while digests are guaranteed young: in
+    // the steady state, surviving digest spans promote and later digests
+    // can be pretenured into them (noteAlloc), making the store old->old
+    // -- which the barrier correctly does NOT remember.
+    if (Req < MinorEvery)
+      EXPECT_TRUE(B.rememberedContains(Sess))
+          << "old->young store missed the remembered set (request " << Req
+          << ")";
+
+    // Per-request garbage: allocated, used, tcfree'd -- request-scoped.
+    for (int G = 0; G < 4; ++G) {
+      uintptr_t Junk = H.allocate(48, &SessDesc, AllocCat::Other, 0);
+      ASSERT_NE(Junk, 0u);
+      ASSERT_TRUE(H.tcfreeObject(Junk, 0, FreeSource::TcfreeObject));
+      Freed.push_back(Junk);
+    }
+
+    MaxRemembered = std::max(MaxRemembered, B.rememberedSlots());
+    if ((Req + 1) % MinorEvery == 0) {
+      H.runGcCycle(GcCycleKind::Minor);
+      // After a minor's prune/re-insert, live old->young edges can only
+      // originate in session slots: one pointer slot each.
+      EXPECT_LE(B.rememberedSlots(), NumSessions)
+          << "remembered set grew past the old pointer-slot population "
+             "after minor at request "
+          << Req;
+    }
+  }
+
+  // Bounded at every point in the run, not just after minors: the only
+  // rememberable slots are the NumSessions session pointers (entries are
+  // keyed by slot address, so re-stores must not duplicate).
+  EXPECT_LE(MaxRemembered, NumSessions)
+      << "mid-churn remembered set exceeded the session-slot population";
+
+  // tcfree'd per-request objects never appear: their slots were young at
+  // every store, and they died before any promotion could age them.
+  for (uintptr_t A : Freed)
+    EXPECT_FALSE(B.rememberedContains(A))
+        << "slot of a tcfree'd request-scoped object leaked into the "
+           "remembered set";
+
+  // The cache survived it all (spot check: slots still point at their
+  // latest digest and the digests are live).
+  for (size_t S = 0; S < NumSessions; ++S) {
+    uintptr_t D = readWord(Sessions[S]);
+    if (D != 0)
+      EXPECT_TRUE(H.isLiveObject(D)) << "session " << S;
+  }
 }

@@ -994,3 +994,92 @@ TEST(HeapOptionsTest, CacheIdClampedOnAllocateAndTcfree) {
   EXPECT_FALSE(H.tcfreeObject(C, 0, FreeSource::TcfreeObject));
   EXPECT_TRUE(H.isLiveObject(C));
 }
+
+//===----------------------------------------------------------------------===//
+// Pause histogram: bucket indexing and percentile derivation. The serving
+// bench reads p99/p999 straight out of these helpers, so the boundary math
+// is pinned exhaustively -- an off-by-one here silently misreports SLOs.
+//===----------------------------------------------------------------------===//
+
+TEST(PauseHistTest, BucketBoundariesExhaustive) {
+  // Bucket 0 holds [0, 2) us; bucket B >= 1 holds [2^B, 2^(B+1)) us; the
+  // last bucket is open-ended. Check below/at/above every boundary.
+  EXPECT_EQ(pauseBucketFor(0), 0);
+  EXPECT_EQ(pauseBucketFor(1), 0);
+  for (int B = 1; B < NumPauseBuckets; ++B) {
+    uint64_t Lo = 1ull << B;
+    EXPECT_EQ(pauseBucketFor(Lo - 1), B - 1) << "below boundary 2^" << B;
+    EXPECT_EQ(pauseBucketFor(Lo), B) << "at boundary 2^" << B;
+    EXPECT_EQ(pauseBucketFor(Lo + 1), B) << "above boundary 2^" << B;
+  }
+  // Everything past the last boundary stays in the last bucket.
+  EXPECT_EQ(pauseBucketFor(1ull << NumPauseBuckets), NumPauseBuckets - 1);
+  EXPECT_EQ(pauseBucketFor(UINT64_MAX), NumPauseBuckets - 1);
+}
+
+TEST(PauseHistTest, BucketMaxMatchesBucketFor) {
+  // The inclusive upper edge of bucket B must map back into bucket B, and
+  // its successor into B+1 (except the open-ended last bucket).
+  for (int B = 0; B + 1 < NumPauseBuckets; ++B) {
+    uint64_t Max = pauseBucketMaxUs(B);
+    EXPECT_EQ(pauseBucketFor(Max), B) << "bucket " << B;
+    EXPECT_EQ(pauseBucketFor(Max + 1), B + 1) << "bucket " << B;
+  }
+  EXPECT_EQ(pauseBucketMaxUs(NumPauseBuckets - 1), UINT64_MAX);
+}
+
+TEST(PauseHistTest, PercentileOnSyntheticHistogram) {
+  uint64_t Hist[NumPauseBuckets] = {};
+  // Empty histogram: no pauses, every percentile is 0.
+  EXPECT_EQ(pausePercentileUs(Hist, 0.5, 0), 0u);
+  EXPECT_EQ(pausePercentileUs(Hist, 0.999, 0), 0u);
+
+  // 90 pauses in bucket 3 ([8,16) us), 9 in bucket 6 ([64,128) us), 1 in
+  // bucket 9 ([512,1024) us). Ranks: p50 -> 45th, p99 -> 100th*0.99 = 99th,
+  // p999 -> ceil(99.9) = 100th.
+  Hist[3] = 90;
+  Hist[6] = 9;
+  Hist[9] = 1;
+  uint64_t MaxNanos = 700 * 1000; // Largest observed pause: 700 us.
+  EXPECT_EQ(pausePercentileUs(Hist, 0.50, MaxNanos), 15u);
+  EXPECT_EQ(pausePercentileUs(Hist, 0.90, MaxNanos), 15u);
+  EXPECT_EQ(pausePercentileUs(Hist, 0.99, MaxNanos), 127u);
+  // p999 lands in the last occupied bucket, whose upper edge (1023 us)
+  // exceeds the largest observed pause -- the estimate must clamp to it.
+  EXPECT_EQ(pausePercentileUs(Hist, 0.999, MaxNanos), 700u);
+  EXPECT_EQ(pausePercentileUs(Hist, 1.0, MaxNanos), 700u);
+}
+
+TEST(PauseHistTest, PercentileSinglePauseClampsToObservedMax) {
+  uint64_t Hist[NumPauseBuckets] = {};
+  Hist[0] = 1; // One sub-2us pause, observed max 1.5 us.
+  EXPECT_EQ(pausePercentileUs(Hist, 0.5, 1500), 1u);
+  // A pause in the open-ended last bucket has no finite edge; the observed
+  // max is the only honest bound.
+  uint64_t Tail[NumPauseBuckets] = {};
+  Tail[NumPauseBuckets - 1] = 1;
+  EXPECT_EQ(pausePercentileUs(Tail, 0.99, 90'000'000'000ull), 90'000'000u);
+}
+
+TEST(PauseHistTest, SnapshotPercentilesComeFromLiveHistogram) {
+  // End-to-end: force GC cycles and check the snapshot's percentile agrees
+  // with recomputing from its own histogram, and is bounded by the max.
+  Heap H;
+  TestRoots R;
+  H.setRootScanner(&R);
+  for (int I = 0; I < 64; ++I)
+    R.Direct.push_back(H.allocate(64, scalarDesc(), AllocCat::Other, 0));
+  for (int I = 0; I < 5; ++I)
+    H.runGc();
+  StatsSnapshot S = H.stats().snap();
+  ASSERT_GT(S.GcPauses, 0u);
+  uint64_t Total = 0;
+  for (int B = 0; B < NumPauseBuckets; ++B)
+    Total += S.GcPauseHist[B];
+  EXPECT_EQ(Total, S.GcPauses) << "every pause lands in exactly one bucket";
+  EXPECT_EQ(S.pausePercentileUs(0.99),
+            pausePercentileUs(S.GcPauseHist, 0.99, S.GcMaxPauseNanos));
+  EXPECT_LE(S.pausePercentileUs(0.5), S.pausePercentileUs(0.99));
+  EXPECT_LE(S.pausePercentileUs(0.99), S.pausePercentileUs(0.999));
+  EXPECT_LE(S.pausePercentileUs(0.999) * 1000, S.GcMaxPauseNanos);
+}

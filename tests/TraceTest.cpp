@@ -414,3 +414,62 @@ TEST(TraceEndToEndTest, PanicTailSkippedFreesReclaimedByGc) {
   EXPECT_GT(Sweeps.back().V0, 0u) << "GC reclaimed no skipped garbage";
   EXPECT_GE(Sweeps.back().V1, 2u) << "expected at least kept+bad swept";
 }
+
+//===----------------------------------------------------------------------===//
+// Ring overflow accounting. The ring is bounded by design; what used to be
+// silent truncation is now a per-sink drop counter that the hub merges and
+// --trace-summary prints, so a biased merged stream is always flagged.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceOverflowTest, TinyRingCountsEveryDroppedEvent) {
+  TraceSink S(/*Capacity=*/8);
+  for (int I = 0; I < 100; ++I)
+    S.emit(EventKind::TcfreeFreed, 0, (uint64_t)I, 0);
+  EXPECT_EQ(S.size(), 8u) << "the ring never grows past its capacity";
+  EXPECT_EQ(S.dropped(), 92u) << "every rejected emit is counted";
+  // The retained prefix is the *first* 8 events, not an arbitrary sample.
+  for (size_t I = 0; I < S.size(); ++I)
+    EXPECT_EQ(S[I].V0, (uint64_t)I);
+  // clear() resets both the cursor and the drop counter.
+  S.clear();
+  EXPECT_EQ(S.size(), 0u);
+  EXPECT_EQ(S.dropped(), 0u);
+}
+
+TEST(TraceOverflowTest, HubMergesAndAttributesDrops) {
+  TraceHub Hub(/*CapacityPerSink=*/4);
+  TraceSink *A = Hub.makeSink();
+  TraceSink *B = Hub.makeSink();
+  for (int I = 0; I < 10; ++I)
+    A->emit(EventKind::TcfreeFreed); // 6 dropped.
+  for (int I = 0; I < 3; ++I)
+    B->emit(EventKind::TcfreeFreed); // None dropped.
+  EXPECT_EQ(Hub.dropped(), 6u);
+  std::vector<uint64_t> PerSink = Hub.droppedBySink();
+  ASSERT_EQ(PerSink.size(), 2u);
+  EXPECT_EQ(PerSink[0], 6u) << "the overflowing sink is identifiable";
+  EXPECT_EQ(PerSink[1], 0u);
+  // The summary carries both the total and the per-sink breakdown.
+  TraceSummary Sum = summarize(Hub);
+  EXPECT_EQ(Sum.DroppedEvents, 6u);
+  ASSERT_EQ(Sum.DroppedBySink.size(), 2u);
+  EXPECT_EQ(Sum.DroppedBySink[0], 6u);
+  EXPECT_EQ(Sum.Events, 7u) << "merge keeps what the rings retained";
+}
+
+TEST(TraceOverflowTest, RequestEventsFoldIntoSummary) {
+  TraceSink S;
+  S.emit(EventKind::Request, /*Profile=*/1, /*LatencyNs=*/2'000'000,
+         /*StallNs=*/250'000);
+  S.emit(EventKind::Request, /*Profile=*/0, /*LatencyNs=*/1'000'000,
+         /*StallNs=*/0);
+  TraceSummary Sum = summarize(S);
+  EXPECT_EQ(Sum.Requests, 2u);
+  EXPECT_EQ(Sum.RequestLatencyNanos, 3'000'000u);
+  EXPECT_EQ(Sum.RequestStallNanos, 250'000u);
+  // And the JSONL writer names the event (schema v2).
+  std::ostringstream Os;
+  writeJsonLines(Os, S, "gofree");
+  EXPECT_NE(Os.str().find("\"ev\":\"request\""), std::string::npos);
+  EXPECT_NE(Os.str().find("\"latency_ns\":2000000"), std::string::npos);
+}

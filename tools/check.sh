@@ -41,6 +41,15 @@
 #   tools/check.sh bench      benchmarks: runs bench_gc_pause and bench_vm
 #                             and writes BENCH_gc_pause.json / BENCH_vm.json
 #                             at the repo root
+#   tools/check.sh server     serving-workload pass: the fixed-seed
+#                             serve-sim smoke suite (ctest label
+#                             server_smoke) with the regular build and again
+#                             under ThreadSanitizer (real worker threads
+#                             race the collector), a deterministic
+#                             fixed-request serve-sim run through the CLI,
+#                             then bench_server --json into
+#                             BENCH_server.json at the repo root (the full
+#                             tcfree x backend x conc matrix)
 #
 # The smoke test runs examples/quickstart.minigo under --trace-out and
 # asserts the trace is valid JSON-lines containing at least one GC event,
@@ -184,7 +193,34 @@ bench)
   "$ROOT/build/bench/bench_vm"
   echo "check.sh: bench OK (wrote BENCH_gc_pause.json, BENCH_vm.json)"
   ;;
+server)
+  # Serving-harness smoke with the regular build: determinism, percentile
+  # math, stall attribution, request trace events (ctest label server_smoke).
+  cmake -B "$ROOT/build" -S "$ROOT"
+  cmake --build "$ROOT/build" -j
+  (cd "$ROOT/build" && ctest -L server_smoke --output-on-failure) \
+    || fail "server_smoke suite failed"
+  # TSan variant: the same suite with real worker threads racing the
+  # collector's safepoints, assists and write barriers.
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DGOFREE_SANITIZE=thread
+  cmake --build "$ROOT/build-tsan" -j --target server_test
+  (cd "$ROOT/build-tsan" && ctest -L server_smoke --output-on-failure) \
+    || fail "server_smoke suite failed under ThreadSanitizer"
+  # Deterministic fixed-seed CLI run: a fixed request count must come back
+  # ok with the request count echoed (the checksum is pinned by ctest; here
+  # we check the end-to-end plumbing).
+  out="$("$ROOT/build/tools/gofree" --json --gc=generational serve-sim \
+        --seed=11 --requests=200 --workers=2)" \
+    || fail "gofree serve-sim exited non-zero"
+  echo "$out" | grep -q '"requests":200' || fail "serve-sim lost requests: $out"
+  echo "$out" | grep -q '"ok":true' || fail "serve-sim run not ok: $out"
+  # The headline artifact: the full {go,gofree} x {marksweep,generational,
+  # rc} x {conc on,off} matrix with tail-latency SLO metrics.
+  "$ROOT/build/bench/bench_server" --json > "$ROOT/BENCH_server.json" \
+    || fail "bench_server failed (cell error or checksum mismatch)"
+  echo "check.sh: server OK (smoke + tsan + wrote BENCH_server.json)"
+  ;;
 *)
-  fail "unknown mode '$MODE' (expected 'all', 'smoke', 'tsan', 'ubsan', 'fuzz', 'gc', 'conc', or 'bench')"
+  fail "unknown mode '$MODE' (expected 'all', 'smoke', 'tsan', 'ubsan', 'fuzz', 'gc', 'conc', 'bench', or 'server')"
   ;;
 esac

@@ -11,6 +11,7 @@
 //   gofree compare prog.minigo [args...]  run under Go and GoFree, diff stats
 //   gofree dump prog.minigo               print analysis + instrumented code
 //   gofree fuzz [--seed=S] [--count=N]    differential fuzzing campaign
+//   gofree serve-sim [--requests=N] ...   open-loop request-serving harness
 //
 // Pipeline flags (before the command) are shared with every other front
 // end through compiler::driver -- see `gofree` with no arguments for the
@@ -32,6 +33,7 @@
 #include "fuzz/Fuzzer.h"
 #include "minigo/AstPrinter.h"
 #include "support/Trace.h"
+#include "workloads/ServeSim.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +55,10 @@ int usage() {
                "usage: gofree [flags] run|compare|dump <file> [int args...]\n"
                "       gofree fuzz [--seed=S] [--count=N] [--threads=T] "
                "[--no-reduce]\n"
+               "       gofree [flags] serve-sim [--requests=N] [--rps=R] "
+               "[--workers=W]\n"
+               "           [--sessions=N] [--slots=N] [--theta=T] "
+               "[--profile=P] [--seed=S]\n"
                "pipeline flags (shared with the bench binaries):\n%s"
                "cli flags:\n"
                "  --stats                      print runtime statistics\n"
@@ -173,6 +179,156 @@ int64_t parseCliInt(const std::string &Flag, size_t Prefix, bool &Ok) {
   return V;
 }
 
+double parseCliDouble(const std::string &Flag, size_t Prefix, bool &Ok) {
+  char *End = nullptr;
+  const char *S = Flag.c_str() + Prefix;
+  double V = std::strtod(S, &End);
+  Ok = End != S && *End == '\0';
+  return V;
+}
+
+/// `gofree serve-sim`: the open-loop request-serving harness (tail-latency
+/// SLOs). Pipeline flags before the command pick the mode and collector;
+/// the flags here shape the workload.
+int cmdServeSim(int Argc, char **Argv, int I, driver::PipelineOptions P,
+                bool Stats, bool Json, bool TraceSummary,
+                const std::string &TraceOut) {
+  workloads::ServeSimOptions SO;
+  SO.Mode = P.Compile.Mode;
+  SO.Heap = P.Exec.Heap;
+  if (P.Exec.NumThreads > 1)
+    SO.Workers = P.Exec.NumThreads;
+  for (; I < Argc; ++I) {
+    std::string Flag = Argv[I];
+    bool Ok = false;
+    if (Flag.rfind("--requests=", 0) == 0) {
+      int64_t V = parseCliInt(Flag, 11, Ok);
+      if (!Ok || V < 1)
+        return usage();
+      SO.Requests = (uint64_t)V;
+    } else if (Flag.rfind("--rps=", 0) == 0) {
+      double V = parseCliDouble(Flag, 6, Ok);
+      if (!Ok)
+        return usage();
+      SO.OfferedRps = V;
+    } else if (Flag.rfind("--workers=", 0) == 0) {
+      int64_t V = parseCliInt(Flag, 10, Ok);
+      if (!Ok || V < 1 || V > 256)
+        return usage();
+      SO.Workers = (int)V;
+    } else if (Flag.rfind("--sessions=", 0) == 0) {
+      int64_t V = parseCliInt(Flag, 11, Ok);
+      if (!Ok || V < 1)
+        return usage();
+      SO.Sessions = (uint64_t)V;
+    } else if (Flag.rfind("--slots=", 0) == 0) {
+      int64_t V = parseCliInt(Flag, 8, Ok);
+      if (!Ok || V < 1)
+        return usage();
+      SO.CacheSlots = (uint64_t)V;
+    } else if (Flag.rfind("--theta=", 0) == 0) {
+      double V = parseCliDouble(Flag, 8, Ok);
+      if (!Ok || V <= 0 || V >= 1)
+        return usage();
+      SO.ZipfTheta = V;
+    } else if (Flag.rfind("--profile=", 0) == 0) {
+      SO.Profile = Flag.substr(10);
+      if (SO.Profile != "hugo" && SO.Profile != "gojson" &&
+          SO.Profile != "badger" && SO.Profile != "mix")
+        return usage();
+    } else if (Flag.rfind("--seed=", 0) == 0) {
+      int64_t V = parseCliInt(Flag, 7, Ok);
+      if (!Ok || V < 0)
+        return usage();
+      SO.Seed = (uint64_t)V;
+    } else {
+      std::fprintf(stderr, "gofree serve-sim: unknown flag '%s'\n",
+                   Flag.c_str());
+      return usage();
+    }
+  }
+
+  std::unique_ptr<trace::TraceHub> Hub;
+  if (TraceSummary || !TraceOut.empty()) {
+    Hub = std::make_unique<trace::TraceHub>();
+    SO.Hub = Hub.get();
+  }
+  const char *Leg = driver::legName(SO.Mode);
+  workloads::ServeSimResult R = workloads::runServeSim(SO);
+  if (!R.ok())
+    std::fprintf(stderr, "gofree serve-sim: %s\n", R.Error.c_str());
+
+  if (Json) {
+    std::printf(
+        "{\"tool\":\"serve-sim\",\"v\":1,\"leg\":\"%s\",\"seed\":%llu,"
+        "\"gc\":{\"backend\":\"%s\"},\"requests\":%llu,\"workers\":%d,"
+        "\"open_loop\":%s,\"offered_rps\":%.1f,\"achieved_rps\":%.1f,"
+        "\"wall_s\":%.4f,"
+        "\"latency_ns\":{\"p50\":%llu,\"p99\":%llu,\"p999\":%llu},"
+        "\"stall_ns\":{\"p50\":%llu,\"p99\":%llu,\"p999\":%llu},"
+        "\"alloc_stall\":{\"park_ns\":%llu,\"parks\":%llu,"
+        "\"assist_ns\":%llu,\"tcfree_giveups\":%llu},"
+        "\"gc_pause_us\":{\"p50\":%llu,\"p99\":%llu,\"p999\":%llu},"
+        "\"gc_pauses\":%llu,\"checksum\":\"%016llx\",\"ok\":%s}\n",
+        Leg, (unsigned long long)SO.Seed, R.GcBackend,
+        (unsigned long long)R.Requests, SO.Workers,
+        R.OpenLoop ? "true" : "false", SO.OfferedRps, R.AchievedRps,
+        R.WallSeconds, (unsigned long long)R.latencyPercentileNs(0.50),
+        (unsigned long long)R.latencyPercentileNs(0.99),
+        (unsigned long long)R.latencyPercentileNs(0.999),
+        (unsigned long long)R.stallPercentileNs(0.50),
+        (unsigned long long)R.stallPercentileNs(0.99),
+        (unsigned long long)R.stallPercentileNs(0.999),
+        (unsigned long long)R.GcParkNanos, (unsigned long long)R.GcParks,
+        (unsigned long long)R.GcAssistNanos,
+        (unsigned long long)R.TcfreeGiveUps,
+        (unsigned long long)R.Stats.pausePercentileUs(0.50),
+        (unsigned long long)R.Stats.pausePercentileUs(0.99),
+        (unsigned long long)R.Stats.pausePercentileUs(0.999),
+        (unsigned long long)R.Stats.GcPauses,
+        (unsigned long long)R.Checksum, R.ok() ? "true" : "false");
+  } else {
+    std::printf("serve-sim: %llu requests on %d workers, %s",
+                (unsigned long long)R.Requests, SO.Workers,
+                R.OpenLoop ? "open-loop" : "closed-loop");
+    if (R.OpenLoop)
+      std::printf(" @ %.1f rps offered", SO.OfferedRps);
+    std::printf(" (%.1f rps achieved, %.3f s)\n", R.AchievedRps,
+                R.WallSeconds);
+    std::printf("mode %s, backend %s, seed %llu, profile %s\n", Leg,
+                R.GcBackend, (unsigned long long)SO.Seed,
+                SO.Profile.c_str());
+    std::printf("latency   p50 %8.3f ms   p99 %8.3f ms   p999 %8.3f ms\n",
+                R.latencyPercentileNs(0.50) * 1e-6,
+                R.latencyPercentileNs(0.99) * 1e-6,
+                R.latencyPercentileNs(0.999) * 1e-6);
+    std::printf("stall     p50 %8.3f ms   p99 %8.3f ms   p999 %8.3f ms\n",
+                R.stallPercentileNs(0.50) * 1e-6,
+                R.stallPercentileNs(0.99) * 1e-6,
+                R.stallPercentileNs(0.999) * 1e-6);
+    std::printf("gc pause  p50 %8llu us   p99 %8llu us   p999 %8llu us "
+                "(%llu pauses)\n",
+                (unsigned long long)R.Stats.pausePercentileUs(0.50),
+                (unsigned long long)R.Stats.pausePercentileUs(0.99),
+                (unsigned long long)R.Stats.pausePercentileUs(0.999),
+                (unsigned long long)R.Stats.GcPauses);
+    std::printf("alloc stall: %.3f ms parked (%llu parks), %.3f ms assist, "
+                "%llu tcfree give-ups\n",
+                R.GcParkNanos * 1e-6, (unsigned long long)R.GcParks,
+                R.GcAssistNanos * 1e-6, (unsigned long long)R.TcfreeGiveUps);
+    std::printf("checksum %016llx\n", (unsigned long long)R.Checksum);
+    if (Stats)
+      printStats(R.Stats, R.WallSeconds);
+  }
+  if (Hub) {
+    if (!TraceOut.empty() && !writeTrace(TraceOut, *Hub, Leg))
+      return 1;
+    if (TraceSummary)
+      trace::printSummary(stdout, trace::summarize(*Hub));
+  }
+  return R.ok() ? 0 : 1;
+}
+
 int cmdFuzz(int Argc, char **Argv, int I) {
   fuzz::FuzzOptions FO;
   FO.Out = stdout;
@@ -252,6 +408,8 @@ int main(int Argc, char **Argv) {
 
   if (Command == "fuzz")
     return cmdFuzz(Argc, Argv, I);
+  if (Command == "serve-sim")
+    return cmdServeSim(Argc, Argv, I, P, Stats, Json, TraceSummary, TraceOut);
 
   if (Argc - I < 1)
     return usage();
@@ -337,8 +495,7 @@ int main(int Argc, char **Argv) {
         if (!TraceOut.empty() && !writeTrace(TraceOut, *Hub, Leg))
           return 1;
         if (TraceSummary)
-          trace::printSummary(stdout,
-                              trace::summarize(Hub->merge(), Hub->dropped()));
+          trace::printSummary(stdout, trace::summarize(*Hub));
       }
     }
     return O.ok() ? 0 : 1;
@@ -420,11 +577,9 @@ int main(int Argc, char **Argv) {
       trace::printSummary(stdout, trace::summarize(*FreeSink));
     } else if (TraceSummary && GoHub) {
       std::printf("--- Go trace summary ---\n");
-      trace::printSummary(stdout,
-                          trace::summarize(GoHub->merge(), GoHub->dropped()));
+      trace::printSummary(stdout, trace::summarize(*GoHub));
       std::printf("--- GoFree trace summary ---\n");
-      trace::printSummary(
-          stdout, trace::summarize(FreeHub->merge(), FreeHub->dropped()));
+      trace::printSummary(stdout, trace::summarize(*FreeHub));
     }
     std::printf("checksums %s\n", Same ? "match" : "DIFFER (bug!)");
     return Same ? 0 : 1;
